@@ -1,0 +1,112 @@
+//! Structural comparison of two generated FSMs (the paper's §VI-B
+//! generated-vs-primer methodology).
+
+use protogen_spec::{ArcKind, Event, Fsm};
+use std::collections::BTreeSet;
+
+/// Differences between two controllers.
+#[derive(Debug, Clone, Default)]
+pub struct FsmDiff {
+    /// State names only in the left machine.
+    pub only_left: Vec<String>,
+    /// State names only in the right machine.
+    pub only_right: Vec<String>,
+    /// `(state, event)` pairs where one machine stalls and the other acts —
+    /// the "stalls less often" comparison of §VI-B.
+    pub stall_differences: Vec<String>,
+}
+
+impl FsmDiff {
+    /// No differences at all.
+    pub fn is_empty(&self) -> bool {
+        self.only_left.is_empty()
+            && self.only_right.is_empty()
+            && self.stall_differences.is_empty()
+    }
+}
+
+/// Compares two FSMs by state name (including merged aliases) and by
+/// stall behaviour on common states.
+pub fn diff(left: &Fsm, right: &Fsm) -> FsmDiff {
+    let names = |f: &Fsm| -> BTreeSet<String> {
+        f.states
+            .iter()
+            .flat_map(|s| {
+                let mut v = vec![s.name.clone()];
+                v.extend(s.merged_names.iter().cloned());
+                v
+            })
+            .collect()
+    };
+    let ln = names(left);
+    let rn = names(right);
+    let mut d = FsmDiff {
+        only_left: ln.difference(&rn).cloned().collect(),
+        only_right: rn.difference(&ln).cloned().collect(),
+        ..FsmDiff::default()
+    };
+    for name in ln.intersection(&rn) {
+        let (Some(ls), Some(rs)) = (left.state_by_name(name), right.state_by_name(name)) else {
+            continue;
+        };
+        // Compare stall behaviour per event, keyed by message name so the
+        // machines may use different message id spaces.
+        let events = |f: &Fsm, s| -> Vec<(String, bool)> {
+            f.arcs
+                .iter()
+                .filter(|a| a.from == s)
+                .map(|a| {
+                    let label = match a.event {
+                        Event::Access(acc) => acc.to_string(),
+                        Event::Msg(m) => f.msg(m).name.clone(),
+                    };
+                    (label, a.kind == ArcKind::Stall)
+                })
+                .collect()
+        };
+        for (label, lstall) in events(left, ls) {
+            for (rlabel, rstall) in events(right, rs) {
+                if label == rlabel && lstall != rstall {
+                    let (staller, actor) = if lstall { ("left", "right") } else { ("right", "left") };
+                    d.stall_differences.push(format!(
+                        "{name} + {label}: {staller} stalls, {actor} acts"
+                    ));
+                }
+            }
+        }
+    }
+    d.stall_differences.sort();
+    d.stall_differences.dedup();
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protogen_core::{generate, GenConfig};
+
+    #[test]
+    fn identical_machines_have_empty_diff() {
+        let ssp = protogen_protocols::msi();
+        let g = generate(&ssp, &GenConfig::non_stalling()).unwrap();
+        assert!(diff(&g.cache, &g.cache).is_empty());
+    }
+
+    #[test]
+    fn nonstalling_stalls_less_than_stalling() {
+        // §VI-B's central comparison: the non-stalling protocol acts where
+        // the stalling one stalls (IM_AD + Fwd_GetS and friends).
+        let ssp = protogen_protocols::msi();
+        let st = generate(&ssp, &GenConfig::stalling()).unwrap();
+        let ns = generate(&ssp, &GenConfig::non_stalling()).unwrap();
+        let d = diff(&st.cache, &ns.cache);
+        // The non-stalling machine has extra chain states.
+        assert!(d.only_right.iter().any(|n| n == "IM_AD_S"), "{:?}", d.only_right);
+        // And acts where the stalling machine stalls.
+        assert!(
+            d.stall_differences.iter().any(|s| s.contains("IM_AD + ") && s.contains("left stalls")),
+            "{:?}",
+            d.stall_differences
+        );
+    }
+}

@@ -1,0 +1,306 @@
+//! Render a generated FSM as a table in the style of the paper's Table VI.
+
+use protogen_spec::{
+    Access, AccessSummary, ArcKind, ArcNote, Event, Fsm, Guard, MsgClass,
+};
+
+/// Rendering options.
+#[derive(Debug, Clone)]
+pub struct TableOptions {
+    /// Hide synthesized defensive stale-forward handlers (the paper's
+    /// tables omit them).
+    pub hide_defensive: bool,
+    /// Produce Markdown (`|`-delimited) instead of aligned ASCII.
+    pub markdown: bool,
+}
+
+impl Default for TableOptions {
+    fn default() -> Self {
+        TableOptions { hide_defensive: true, markdown: false }
+    }
+}
+
+/// Renders `fsm` as a state × event table.
+///
+/// Columns: the three accesses (for caches), then one column per message
+/// the machine reacts to, splitting messages that carry an acknowledgment
+/// count into `(last)` / `(not last)` sub-columns the way the primer's
+/// tables split `Data (ack=0)` from `Data (ack>0)` and `Inv-Ack` from
+/// `Last-Inv-Ack`.
+pub fn render_table(fsm: &Fsm, opts: &TableOptions) -> String {
+    // Columns: accesses + every message with at least one arc.
+    let mut msg_cols: Vec<protogen_spec::MsgId> = Vec::new();
+    for a in &fsm.arcs {
+        if let Event::Msg(m) = a.event {
+            if opts.hide_defensive && a.note == ArcNote::Defensive {
+                continue;
+            }
+            if !msg_cols.contains(&m) {
+                msg_cols.push(m);
+            }
+        }
+    }
+    msg_cols.sort_by_key(|m| {
+        let d = fsm.msg(*m);
+        (
+            match d.class {
+                MsgClass::Forward => 0,
+                MsgClass::Response => 1,
+                MsgClass::Request => 2,
+            },
+            m.as_usize(),
+        )
+    });
+
+    let is_cache = fsm.machine == protogen_spec::MachineKind::Cache;
+    let mut headers: Vec<String> = vec!["State".into()];
+    if is_cache {
+        headers.extend(["load", "store", "repl"].map(String::from));
+    }
+    for &m in &msg_cols {
+        headers.push(fsm.msg(m).name.clone());
+    }
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for sid in fsm.state_ids() {
+        let st = fsm.state(sid);
+        let mut row = vec![st.full_name()];
+        if is_cache {
+            for access in Access::ALL {
+                row.push(match fsm.access_summary(sid, access) {
+                    AccessSummary::Hit => "hit".into(),
+                    AccessSummary::Stall => "stall".into(),
+                    AccessSummary::Issue(to) => {
+                        let target = fsm.state(to).full_name();
+                        let req = fsm
+                            .arcs_for(sid, Event::Access(access))
+                            .first()
+                            .and_then(|a| first_send_name(fsm, &a.actions))
+                            .unwrap_or_default();
+                        if req.is_empty() {
+                            format!("/{target}")
+                        } else {
+                            format!("{req}/{target}")
+                        }
+                    }
+                    AccessSummary::Undefined => String::new(),
+                });
+            }
+        }
+        for &m in &msg_cols {
+            let arcs = fsm.arcs_for(sid, Event::Msg(m));
+            let mut cells = Vec::new();
+            for a in arcs {
+                if opts.hide_defensive && a.note == ArcNote::Defensive {
+                    continue;
+                }
+                let mut cell = String::new();
+                if !a.guards.is_empty() {
+                    let gs: Vec<String> = a.guards.iter().map(render_guard).collect();
+                    cell.push_str(&format!("[{}] ", gs.join("&")));
+                }
+                if a.kind == ArcKind::Stall {
+                    cell.push_str("stall");
+                } else {
+                    let sends: Vec<String> = a
+                        .actions
+                        .iter()
+                        .filter_map(|act| match act {
+                            protogen_spec::Action::Send(sp) => Some(format!(
+                                "{}>{}",
+                                fsm.msg(sp.msg).name,
+                                sp.dst
+                            )),
+                            _ => None,
+                        })
+                        .collect();
+                    if !sends.is_empty() {
+                        cell.push_str(&sends.join(","));
+                    }
+                    if a.to != sid {
+                        cell.push_str(&format!("/{}", fsm.state(a.to).full_name()));
+                    } else if sends.is_empty() {
+                        cell.push('-');
+                    }
+                }
+                cells.push(cell);
+            }
+            row.push(cells.join(" | "));
+        }
+        rows.push(row);
+    }
+
+    layout(&headers, &rows, opts.markdown)
+}
+
+fn render_guard(g: &Guard) -> String {
+    g.to_string()
+}
+
+fn first_send_name(fsm: &Fsm, actions: &[protogen_spec::Action]) -> Option<String> {
+    actions.iter().find_map(|a| match a {
+        protogen_spec::Action::Send(sp) => Some(fsm.msg(sp.msg).name.clone()),
+        _ => None,
+    })
+}
+
+fn layout(headers: &[String], rows: &[Vec<String>], markdown: bool) -> String {
+    let ncols = headers.len();
+    let mut widths = vec![0usize; ncols];
+    for (i, h) in headers.iter().enumerate() {
+        widths[i] = h.len();
+    }
+    for row in rows {
+        for (i, c) in row.iter().enumerate() {
+            widths[i] = widths[i].max(c.len());
+        }
+    }
+    let mut out = String::new();
+    let sep = if markdown { " | " } else { "  " };
+    let edge = if markdown { "| " } else { "" };
+    let edge_r = if markdown { " |" } else { "" };
+    let line = |cells: &[String], out: &mut String| {
+        out.push_str(edge);
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!("{:w$}", c, w = widths[i]));
+            if i + 1 < ncols {
+                out.push_str(sep);
+            }
+        }
+        out.push_str(edge_r);
+        out.push('\n');
+    };
+    line(headers, &mut out);
+    if markdown {
+        let dashes: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        line(&dashes, &mut out);
+    } else {
+        let total: usize = widths.iter().sum::<usize>() + sep.len() * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+    }
+    for row in rows {
+        line(row, &mut out);
+    }
+    out
+}
+
+/// Renders the atomic SSP of one machine as a table (the paper's Tables I
+/// and II).
+pub fn render_ssp_table(ssp: &protogen_spec::Ssp, kind: protogen_spec::MachineKind) -> String {
+    use protogen_spec::{Effect, Trigger};
+    let m = ssp.machine(kind);
+    let mut headers: Vec<String> = vec!["State".into()];
+    let mut triggers: Vec<Trigger> = Vec::new();
+    if kind == protogen_spec::MachineKind::Cache {
+        for a in Access::ALL {
+            triggers.push(Trigger::Access(a));
+            headers.push(a.to_string());
+        }
+    }
+    for mid in ssp.msg_ids() {
+        let t = Trigger::Msg(mid);
+        if m.entries.iter().any(|e| e.trigger == t) {
+            triggers.push(t);
+            headers.push(ssp.msg(mid).name.clone());
+        }
+    }
+    let mut rows = Vec::new();
+    for sid in m.state_ids() {
+        let mut row = vec![m.state(sid).name.clone()];
+        for &t in &triggers {
+            let entries = m.entries_for(sid, t);
+            let cells: Vec<String> = entries
+                .iter()
+                .map(|e| {
+                    let mut cell = String::new();
+                    if !e.guards.is_empty() {
+                        let gs: Vec<String> = e.guards.iter().map(render_guard).collect();
+                        cell.push_str(&format!("[{}] ", gs.join("&")));
+                    }
+                    match &e.effect {
+                        Effect::Local { actions, next } => {
+                            let sends: Vec<String> = actions
+                                .iter()
+                                .filter_map(|a| match a {
+                                    protogen_spec::Action::Send(sp) => {
+                                        Some(format!("{}>{}", ssp.msg(sp.msg).name, sp.dst))
+                                    }
+                                    protogen_spec::Action::PerformAccess => Some("hit".into()),
+                                    _ => None,
+                                })
+                                .collect();
+                            cell.push_str(&sends.join(","));
+                            if let Some(n) = next {
+                                cell.push_str(&format!("/{}", m.state(*n).name));
+                            }
+                        }
+                        Effect::Issue { request, chain } => {
+                            if let Some(r) = first_send_name_ssp(ssp, request) {
+                                cell.push_str(&r);
+                            }
+                            let finals: Vec<String> = chain
+                                .final_states()
+                                .iter()
+                                .map(|f| m.state(*f).name.clone())
+                                .collect();
+                            cell.push_str(&format!("../{}", finals.join("|")));
+                        }
+                    }
+                    cell
+                })
+                .collect();
+            row.push(cells.join(" | "));
+        }
+        rows.push(row);
+    }
+    layout(&headers, &rows, false)
+}
+
+fn first_send_name_ssp(ssp: &protogen_spec::Ssp, actions: &[protogen_spec::Action]) -> Option<String> {
+    actions.iter().find_map(|a| match a {
+        protogen_spec::Action::Send(sp) => Some(ssp.msg(sp.msg).name.clone()),
+        _ => None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protogen_core::{generate, GenConfig};
+
+    #[test]
+    fn table_contains_paper_states_and_cells() {
+        let ssp = protogen_protocols::msi();
+        let g = generate(&ssp, &GenConfig::non_stalling()).unwrap();
+        let t = render_table(&g.cache, &TableOptions::default());
+        // Table VI anchor points.
+        assert!(t.contains("IM_AD_S"), "{t}");
+        assert!(t.contains("IM_A_S=SM_A_S"), "{t}");
+        assert!(t.contains("IS_D_I"), "{t}");
+        // SMAD processes a Case-1 Inv by acknowledging and restarting at
+        // IM_AD (Figure 1 of the paper).
+        let smad_row: &str = t.lines().find(|l| l.starts_with("SM_AD ")).unwrap();
+        assert!(smad_row.contains("Inv_Ack>Req/IM_AD"), "{smad_row}");
+    }
+
+    #[test]
+    fn ssp_table_matches_table_i() {
+        let ssp = protogen_protocols::msi();
+        let t = render_ssp_table(&ssp, protogen_spec::MachineKind::Cache);
+        assert!(t.contains("GetS"));
+        let s_row: &str = t.lines().find(|l| l.starts_with("S ")).unwrap();
+        assert!(s_row.contains("hit"));
+    }
+
+    #[test]
+    fn markdown_mode_emits_pipes() {
+        let ssp = protogen_protocols::msi();
+        let g = generate(&ssp, &GenConfig::stalling()).unwrap();
+        let t = render_table(
+            &g.directory,
+            &TableOptions { markdown: true, hide_defensive: true },
+        );
+        assert!(t.starts_with("| "));
+    }
+}

@@ -1,0 +1,3 @@
+//! Benchmark-only crate; see the `benches/` directory. Each bench harness
+//! regenerates one of the paper's tables or figures (DESIGN.md, §4) and
+//! then measures the machinery behind it with Criterion.

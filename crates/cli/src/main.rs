@@ -1,0 +1,263 @@
+//! `protogen` — the command-line front door to the toolchain.
+//!
+//! ```text
+//! protogen table   <protocol> [--stalling] [--machine cache|dir] [--markdown]
+//! protogen verify  <protocol> [--stalling] [--caches N]
+//! protogen dot     <protocol> [--stalling] [--machine cache|dir]
+//! protogen murphi  <protocol> [--stalling] [--caches N]
+//! protogen simulate <protocol> [--stalling] [--stores PCT] [--cores N]
+//! protogen stats   [--stalling]
+//! protogen compile <file.pgen> [--stalling] [--caches N]
+//! ```
+//!
+//! `<protocol>` is one of: msi, mesi, mosi, msi-upgrade, msi-unordered,
+//! tso-cc.
+
+use protogen_backend::{render_table, to_dot, to_murphi, TableOptions};
+use protogen_core::{generate, GenConfig, Generated};
+use protogen_mc::{McConfig, ModelChecker};
+use protogen_sim::{simulate, SimConfig, Workload};
+use protogen_spec::Ssp;
+use std::process::ExitCode;
+
+struct Args {
+    flags: Vec<String>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut flags = Vec::new();
+        let mut positional = Vec::new();
+        let mut it = std::env::args().skip(1).peekable();
+        while let Some(a) = it.next() {
+            if let Some(f) = a.strip_prefix("--") {
+                let needs_value = matches!(f, "machine" | "caches" | "stores" | "cores");
+                if needs_value {
+                    let v = it.next().unwrap_or_default();
+                    flags.push(format!("{f}={v}"));
+                } else {
+                    flags.push(f.to_string());
+                }
+            } else {
+                positional.push(a);
+            }
+        }
+        Args { flags, positional }
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find_map(|f| f.strip_prefix(&format!("{name}=")))
+    }
+}
+
+fn protocol(name: &str) -> Option<Ssp> {
+    Some(match name {
+        "msi" => protogen_protocols::msi(),
+        "mesi" => protogen_protocols::mesi(),
+        "mosi" => protogen_protocols::mosi(),
+        "msi-upgrade" => protogen_protocols::msi_upgrade(),
+        "msi-unordered" => protogen_protocols::msi_unordered(),
+        "tso-cc" => protogen_protocols::tso_cc(),
+        _ => return None,
+    })
+}
+
+fn gen_config(args: &Args) -> GenConfig {
+    if args.flag("stalling") {
+        GenConfig::stalling()
+    } else {
+        GenConfig::non_stalling()
+    }
+}
+
+fn generate_or_exit(ssp: &Ssp, args: &Args) -> Generated {
+    match generate(ssp, &gen_config(args)) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("generation failed: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn verify(g: &Generated, ssp: &Ssp, n: usize) -> bool {
+    let mut cfg = McConfig::with_caches(n);
+    cfg.ordered = ssp.network_ordered;
+    if ssp.name == "TSO-CC" {
+        cfg.check_swmr = false;
+        cfg.check_data_value = false;
+    }
+    let r = ModelChecker::new(&g.cache, &g.directory, cfg).run();
+    println!(
+        "{}: {} — {} states, {} transitions, {:.2}s",
+        ssp.name,
+        if r.passed() { "PASSED" } else { "FAILED" },
+        r.states,
+        r.transitions,
+        r.seconds
+    );
+    if let Some(v) = &r.violation {
+        println!("violation: {}", v.kind);
+        for line in &v.trace {
+            println!("  {line}");
+        }
+    }
+    r.passed()
+}
+
+fn main() -> ExitCode {
+    let args = Args::parse();
+    let Some(cmd) = args.positional.first().map(String::as_str) else {
+        eprintln!("usage: protogen <table|verify|dot|murphi|simulate|stats|compile> …");
+        return ExitCode::from(2);
+    };
+    let caches: usize = args.value("caches").and_then(|v| v.parse().ok()).unwrap_or(2);
+
+    match cmd {
+        "stats" => {
+            println!(
+                "{:<14} {:<13} {:>12} {:>12} {:>10} {:>10}",
+                "protocol", "config", "cache-states", "dir-states", "cache-arcs", "dir-arcs"
+            );
+            for ssp in protogen_protocols::all() {
+                for (label, cfg) in
+                    [("stalling", GenConfig::stalling()), ("non-stalling", GenConfig::non_stalling())]
+                {
+                    match generate(&ssp, &cfg) {
+                        Ok(g) => println!(
+                            "{:<14} {:<13} {:>12} {:>12} {:>10} {:>10}",
+                            ssp.name,
+                            label,
+                            g.cache.state_count(),
+                            g.directory.state_count(),
+                            g.cache.transition_count(),
+                            g.directory.transition_count()
+                        ),
+                        Err(e) => println!("{:<14} {label}: error {e}", ssp.name),
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        "table" | "verify" | "dot" | "murphi" | "simulate" => {
+            let Some(name) = args.positional.get(1) else {
+                eprintln!("usage: protogen {cmd} <protocol> [flags]");
+                return ExitCode::from(2);
+            };
+            let Some(ssp) = protocol(name) else {
+                eprintln!(
+                    "unknown protocol `{name}` (try msi, mesi, mosi, msi-upgrade, \
+                     msi-unordered, tso-cc)"
+                );
+                return ExitCode::from(2);
+            };
+            let g = generate_or_exit(&ssp, &args);
+            match cmd {
+                "table" => {
+                    let machine = if args.value("machine") == Some("dir") {
+                        &g.directory
+                    } else {
+                        &g.cache
+                    };
+                    let opts = TableOptions {
+                        markdown: args.flag("markdown"),
+                        ..TableOptions::default()
+                    };
+                    println!("{}", g.report);
+                    println!("{}", render_table(machine, &opts));
+                    ExitCode::SUCCESS
+                }
+                "dot" => {
+                    let machine = if args.value("machine") == Some("dir") {
+                        &g.directory
+                    } else {
+                        &g.cache
+                    };
+                    println!("{}", to_dot(machine));
+                    ExitCode::SUCCESS
+                }
+                "murphi" => {
+                    println!("{}", to_murphi(&g.cache, &g.directory, caches));
+                    ExitCode::SUCCESS
+                }
+                "verify" => {
+                    if verify(&g, &ssp, caches) {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                _ => {
+                    let cfg = SimConfig {
+                        n_caches: args.value("cores").and_then(|v| v.parse().ok()).unwrap_or(4),
+                        workload: Workload::Mixed {
+                            store_pct: args
+                                .value("stores")
+                                .and_then(|v| v.parse().ok())
+                                .unwrap_or(50),
+                        },
+                        ..SimConfig::default()
+                    };
+                    match simulate(&g.cache, &g.directory, &cfg) {
+                        Ok(r) => {
+                            println!(
+                                "{}: {} accesses in {} cycles, avg miss latency {:.1}, \
+                                 {} stall-cycles, {} messages",
+                                ssp.name,
+                                r.completed,
+                                r.cycles,
+                                r.avg_miss_latency,
+                                r.stall_cycles,
+                                r.messages
+                            );
+                            ExitCode::SUCCESS
+                        }
+                        Err(e) => {
+                            eprintln!("simulation failed: {e}");
+                            ExitCode::FAILURE
+                        }
+                    }
+                }
+            }
+        }
+        "compile" => {
+            let Some(path) = args.positional.get(1) else {
+                eprintln!("usage: protogen compile <file.pgen> [flags]");
+                return ExitCode::from(2);
+            };
+            let src = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let ssp = match protogen_dsl::parse_protocol(&src) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let g = generate_or_exit(&ssp, &args);
+            println!("{}", g.report);
+            println!("{}", render_table(&g.cache, &TableOptions::default()));
+            if verify(&g, &ssp, caches) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        other => {
+            eprintln!("unknown command `{other}`");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Generation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced during protocol generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenError {
+    /// The input SSP failed validation.
+    InvalidSsp(String),
+    /// The SSP uses a construct the generator does not support; the message
+    /// names it and the state where it occurs.
+    Unsupported(String),
+    /// The preprocessing step could not associate a forwarded request with
+    /// the directory states that send it.
+    Ambiguous(String),
+    /// A generation invariant was violated (an internal bug, not a user
+    /// error).
+    Internal(String),
+}
+
+impl fmt::Display for GenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenError::InvalidSsp(m) => write!(f, "invalid SSP: {m}"),
+            GenError::Unsupported(m) => write!(f, "unsupported specification: {m}"),
+            GenError::Ambiguous(m) => write!(f, "ambiguous specification: {m}"),
+            GenError::Internal(m) => write!(f, "internal generation error: {m}"),
+        }
+    }
+}
+
+impl Error for GenError {}
+
+impl From<protogen_spec::SpecError> for GenError {
+    fn from(e: protogen_spec::SpecError) -> Self {
+        GenError::InvalidSsp(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_category() {
+        assert!(GenError::Unsupported("x".into()).to_string().contains("unsupported"));
+        assert!(GenError::Ambiguous("x".into()).to_string().contains("ambiguous"));
+    }
+
+    #[test]
+    fn converts_spec_errors() {
+        let e: GenError = protogen_spec::SpecError::UnknownName("Q".into()).into();
+        assert!(matches!(e, GenError::InvalidSsp(_)));
+    }
+}

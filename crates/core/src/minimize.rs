@@ -1,0 +1,258 @@
+//! FSM minimization: merge behaviourally identical transient states.
+//!
+//! §VI-B observes that ProtoGen "was able to merge some states that were
+//! kept separate in the primer like IMAS = SMAS". We implement Moore-machine
+//! partition refinement over guarded transition rows: two transient states
+//! merge when their outgoing arcs (events, guards, kinds, actions) are
+//! identical up to the partition of their targets. Stable states are never
+//! merged (they are the directory-visible anchor points and the SSP's
+//! interface).
+
+use crate::report::Merge;
+use protogen_spec::{Arc, ArcKind, Fsm, FsmStateId};
+use std::collections::HashMap;
+
+/// Minimizes `fsm`, returning the reduced machine and the merges performed.
+///
+/// State 0 (the initial state) is stable and therefore always survives with
+/// its identity intact. Surviving states keep the name of their
+/// first-generated member; the other members' names are recorded in
+/// [`protogen_spec::FsmState::merged_names`] and reported.
+pub fn minimize(fsm: &Fsm) -> (Fsm, Vec<Merge>) {
+    let n = fsm.states.len();
+    // Initial partition: every stable state is its own class (never merged);
+    // transient states start in one class and get refined apart.
+    let stable_count = fsm.states.iter().filter(|s| s.is_stable()).count();
+    let mut class: Vec<usize> = (0..n)
+        .map(|i| {
+            if fsm.states[i].is_stable() {
+                i
+            } else {
+                stable_count // shared bucket; refined below
+            }
+        })
+        .collect();
+
+    // Pre-group arcs by source for speed.
+    let mut arcs_by_state: Vec<Vec<&Arc>> = vec![Vec::new(); n];
+    for a in &fsm.arcs {
+        arcs_by_state[a.from.as_usize()].push(a);
+    }
+
+    loop {
+        let mut sig_to_class: HashMap<(usize, Vec<u8>), usize> = HashMap::new();
+        let mut next_class = vec![0usize; n];
+        for i in 0..n {
+            let sig = signature(&arcs_by_state[i], &class);
+            let key = (class[i], sig);
+            let fresh = sig_to_class.len();
+            let c = *sig_to_class.entry(key).or_insert(fresh);
+            next_class[i] = c;
+        }
+        let changed = next_class != class;
+        class = next_class;
+        if !changed {
+            break;
+        }
+    }
+
+    // Canonical class representative: the first-generated member.
+    let mut rep_of_class: HashMap<usize, usize> = HashMap::new();
+    for i in 0..n {
+        rep_of_class.entry(class[i]).or_insert(i);
+    }
+    // New ids ordered by representative, preserving generation order (so the
+    // initial state stays id 0).
+    let mut reps: Vec<usize> = rep_of_class.values().copied().collect();
+    reps.sort_unstable();
+    let new_id_of_rep: HashMap<usize, usize> =
+        reps.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+    let new_id = |old: usize| new_id_of_rep[&rep_of_class[&class[old]]];
+
+    let mut merges = Vec::new();
+    let mut states = Vec::with_capacity(reps.len());
+    for &rep in &reps {
+        let mut st = fsm.states[rep].clone();
+        let merged: Vec<String> = (0..n)
+            .filter(|&i| i != rep && class[i] == class[rep])
+            .map(|i| fsm.states[i].name.clone())
+            .collect();
+        if !merged.is_empty() {
+            merges.push(Merge { kept: st.name.clone(), merged: merged.clone() });
+            st.merged_names = merged;
+        }
+        states.push(st);
+    }
+
+    let mut arcs = Vec::new();
+    for &rep in &reps {
+        for a in &arcs_by_state[rep] {
+            let mut a2 = (*a).clone();
+            a2.from = FsmStateId::from_usize(new_id(rep));
+            a2.to = FsmStateId::from_usize(new_id(a.to.as_usize()));
+            if !arcs.contains(&a2) {
+                arcs.push(a2);
+            }
+        }
+    }
+
+    let out = Fsm {
+        protocol: fsm.protocol.clone(),
+        machine: fsm.machine,
+        messages: fsm.messages.clone(),
+        states,
+        arcs,
+    };
+    (out, merges)
+}
+
+/// A canonical byte encoding of a state's outgoing behaviour, with arc
+/// targets replaced by their current class.
+fn signature(arcs: &[&Arc], class: &[usize]) -> Vec<u8> {
+    let mut rows: Vec<Vec<u8>> = arcs
+        .iter()
+        .map(|a| {
+            let mut row = Vec::new();
+            match a.event {
+                protogen_spec::Event::Access(acc) => {
+                    row.push(0);
+                    row.push(acc.index() as u8);
+                }
+                protogen_spec::Event::Msg(m) => {
+                    row.push(1);
+                    row.extend_from_slice(&m.0.to_le_bytes());
+                }
+            }
+            row.push(match a.kind {
+                ArcKind::Normal => 0,
+                ArcKind::Stall => 1,
+            });
+            if a.guards.is_empty() {
+                row.push(0xff);
+            } else {
+                for g in &a.guards {
+                    row.push(*g as u8);
+                }
+            }
+            // Actions affect behaviour; encode them via Debug (stable within
+            // one process, which is all minimization needs).
+            row.extend_from_slice(format!("{:?}", a.actions).as_bytes());
+            row.extend_from_slice(&(class[a.to.as_usize()] as u64).to_le_bytes());
+            row
+        })
+        .collect();
+    rows.sort();
+    rows.concat()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protogen_spec::{
+        Access, ArcNote, Event, FsmState, FsmStateKind, MachineKind, Perm, StableId, TransientMeta,
+    };
+
+    fn state(name: &str, stable: bool) -> FsmState {
+        FsmState {
+            name: name.into(),
+            kind: if stable {
+                FsmStateKind::Stable(StableId(0))
+            } else {
+                FsmStateKind::Transient(TransientMeta {
+                    own_from: StableId(0),
+                    own_to: StableId(0),
+                    wait_tag: "D".into(),
+                    chain: vec![],
+                })
+            },
+            state_sets: vec![],
+            perm: Perm::None,
+            data_valid: false,
+            merged_names: vec![],
+        }
+    }
+
+    fn arc(from: u32, to: u32, acc: Access) -> Arc {
+        Arc {
+            from: FsmStateId(from),
+            event: Event::Access(acc),
+            guards: vec![],
+            actions: vec![],
+            to: FsmStateId(to),
+            kind: ArcKind::Normal,
+            note: ArcNote::Step2,
+        }
+    }
+
+    #[test]
+    fn merges_identical_transients() {
+        // 0 stable; 1 and 2 transient with identical rows pointing at 0.
+        let fsm = Fsm {
+            protocol: "t".into(),
+            machine: MachineKind::Cache,
+            messages: vec![],
+            states: vec![state("I", true), state("A", false), state("B", false)],
+            arcs: vec![arc(1, 0, Access::Load), arc(2, 0, Access::Load)],
+        };
+        let (out, merges) = minimize(&fsm);
+        assert_eq!(out.states.len(), 2);
+        assert_eq!(merges.len(), 1);
+        assert_eq!(merges[0].kept, "A");
+        assert_eq!(merges[0].merged, vec!["B".to_string()]);
+        assert_eq!(out.state_by_name("B"), out.state_by_name("A"));
+    }
+
+    #[test]
+    fn distinguishes_differing_rows() {
+        let fsm = Fsm {
+            protocol: "t".into(),
+            machine: MachineKind::Cache,
+            messages: vec![],
+            states: vec![state("I", true), state("A", false), state("B", false)],
+            arcs: vec![arc(1, 0, Access::Load), arc(2, 0, Access::Store)],
+        };
+        let (out, merges) = minimize(&fsm);
+        assert_eq!(out.states.len(), 3);
+        assert!(merges.is_empty());
+    }
+
+    #[test]
+    fn never_merges_stable_states() {
+        // Two stable states with identical (empty) rows must survive.
+        let fsm = Fsm {
+            protocol: "t".into(),
+            machine: MachineKind::Cache,
+            messages: vec![],
+            states: vec![state("I", true), state("S", true)],
+            arcs: vec![],
+        };
+        let (out, merges) = minimize(&fsm);
+        assert_eq!(out.states.len(), 2);
+        assert!(merges.is_empty());
+    }
+
+    #[test]
+    fn refines_through_targets() {
+        // 1→3, 2→4; 3 and 4 differ, so 1 and 2 must not merge.
+        let fsm = Fsm {
+            protocol: "t".into(),
+            machine: MachineKind::Cache,
+            messages: vec![],
+            states: vec![
+                state("I", true),
+                state("A", false),
+                state("B", false),
+                state("C", false),
+                state("D", false),
+            ],
+            arcs: vec![
+                arc(1, 3, Access::Load),
+                arc(2, 4, Access::Load),
+                arc(3, 0, Access::Load),
+                arc(4, 0, Access::Store),
+            ],
+        };
+        let (out, _) = minimize(&fsm);
+        assert_eq!(out.states.len(), 5);
+    }
+}

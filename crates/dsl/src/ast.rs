@@ -1,0 +1,110 @@
+//! Abstract syntax tree for the ProtoGen DSL.
+
+/// A parsed protocol specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spec {
+    /// Protocol name from the `protocol NAME;` header.
+    pub name: String,
+    /// `network ordered;` / `network unordered;` (default ordered).
+    pub ordered: bool,
+    /// Message declarations.
+    pub messages: Vec<MessageDecl>,
+    /// Cache state declarations.
+    pub cache_states: Vec<StateDecl>,
+    /// Directory state declarations.
+    pub dir_states: Vec<StateDecl>,
+    /// Cache behaviour (`architecture cache { … }`).
+    pub cache_procs: Vec<Process>,
+    /// Directory behaviour (`architecture directory { … }`).
+    pub dir_procs: Vec<Process>,
+}
+
+/// `message Data : response { data, acks } on forward_net;`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MessageDecl {
+    /// Message name.
+    pub name: String,
+    /// `request` / `forward` / `response`.
+    pub class: String,
+    /// Payload flags: `data`, `acks`.
+    pub fields: Vec<String>,
+    /// Optional virtual-network override.
+    pub vnet: Option<String>,
+}
+
+/// `state M readwrite;` — permission is `none` (default), `read`,
+/// `readwrite`; `data` marks a valid copy with read-only permission (O).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateDecl {
+    /// State name.
+    pub name: String,
+    /// Permission keyword.
+    pub perm: String,
+    /// Explicit `data` flag.
+    pub data: bool,
+}
+
+/// One `process(STATE, TRIGGER) { … }` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Process {
+    /// The stable state.
+    pub state: String,
+    /// `load` / `store` / `replacement` or a message name.
+    pub trigger: String,
+    /// Optional guard conjunction (`if owner && has_sharers`).
+    pub guards: Vec<String>,
+    /// Statements before the first `await`.
+    pub body: Vec<Stmt>,
+    /// Final-state arrow for await-free processes (`-> S;`).
+    pub next: Option<String>,
+    /// Await blocks, in order.
+    pub awaits: Vec<AwaitBlock>,
+}
+
+/// `await TAG { when … }`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AwaitBlock {
+    /// Naming tag (`AD`, `A`, `D`).
+    pub tag: String,
+    /// Arcs.
+    pub whens: Vec<WhenArm>,
+}
+
+/// `when MSG if GUARD: stmts -> STATE;` or `… => TAG;`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WhenArm {
+    /// Awaited message.
+    pub msg: String,
+    /// Guard conjunction.
+    pub guards: Vec<String>,
+    /// Statements.
+    pub stmts: Vec<Stmt>,
+    /// Where the arm leads.
+    pub target: WhenTarget,
+}
+
+/// Target of a `when` arm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WhenTarget {
+    /// `-> STATE` — the transaction completes.
+    Done(String),
+    /// `=> TAG` — move to (or stay in) an await block.
+    Wait(String),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `send MSG(args) to DST;`
+    Send {
+        /// Message name.
+        msg: String,
+        /// Payload arguments: `data`, `data=msg`, `acks`, `acks=msg`,
+        /// `acks=0`.
+        args: Vec<String>,
+        /// `dir`, `req`, `sender`, `owner`, `sharers`.
+        dst: String,
+    },
+    /// A keyword action: `perform`, `copy_data`, `inc_acks`, …
+    Word(String),
+}

@@ -1,0 +1,127 @@
+//! The ProtoGen domain-specific language (§IV-A).
+//!
+//! The paper's primary input is an SSP written in a DSL "similar in spirit
+//! to Teapot and SLICC" (Listing 1). This crate implements that front-end:
+//! a tokenizer, a recursive-descent parser, and a lowering pass onto the
+//! [`protogen_spec`] IR. The statement vocabulary covers everything the
+//! paper's protocols need — message sends with payload sources, the
+//! acknowledgment-counter idiom of Listing 1 (`set_expected`, `inc_acks`,
+//! `acks_complete`), await blocks with guarded arms, and directory
+//! auxiliary-state updates.
+//!
+//! # Example
+//!
+//! ```
+//! let ssp = protogen_dsl::parse_protocol(protogen_dsl::MSI_PGEN).unwrap();
+//! assert_eq!(ssp.name, "MSI");
+//! assert_eq!(ssp.cache.states.len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+mod lexer;
+mod lower;
+mod parser;
+
+pub use lexer::{tokenize, Token, TokenKind};
+pub use lower::{lower, LowerError};
+pub use parser::{parse, ParseError};
+
+use std::error::Error;
+use std::fmt;
+
+/// The bundled MSI protocol source (equivalent to
+/// `protogen_protocols::msi()`).
+pub const MSI_PGEN: &str = include_str!("../protocols/msi.pgen");
+
+/// The bundled MESI protocol source (equivalent to
+/// `protogen_protocols::mesi()`).
+pub const MESI_PGEN: &str = include_str!("../protocols/mesi.pgen");
+
+/// The bundled MOSI protocol source (equivalent to
+/// `protogen_protocols::mosi()`) — the paper's preprocessing example.
+pub const MOSI_PGEN: &str = include_str!("../protocols/mosi.pgen");
+
+/// The bundled MSI+Upgrade protocol source (§V-D1's reinterpretation
+/// example; equivalent to `protogen_protocols::msi_upgrade()`).
+pub const MSI_UPGRADE_PGEN: &str = include_str!("../protocols/msi_upgrade.pgen");
+
+/// The bundled simplified TSO-CC source (§VI-D; equivalent to
+/// `protogen_protocols::tso_cc()`).
+pub const TSO_CC_PGEN: &str = include_str!("../protocols/tso_cc.pgen");
+
+/// Front-end errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DslError {
+    /// Syntax error.
+    Parse(ParseError),
+    /// Semantic error during lowering.
+    Lower(LowerError),
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DslError::Parse(e) => write!(f, "{e}"),
+            DslError::Lower(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for DslError {}
+
+/// Parses and lowers DSL source into a validated SSP.
+///
+/// # Errors
+///
+/// Returns a [`DslError`] describing the first syntactic or semantic
+/// problem.
+pub fn parse_protocol(src: &str) -> Result<protogen_spec::Ssp, DslError> {
+    let ast = parser::parse(src).map_err(DslError::Parse)?;
+    lower::lower(&ast).map_err(DslError::Lower)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundled_msi_parses_and_validates() {
+        let ssp = parse_protocol(MSI_PGEN).unwrap();
+        assert_eq!(ssp.name, "MSI");
+        assert_eq!(ssp.cache.states.len(), 3);
+        assert_eq!(ssp.directory.states.len(), 3);
+        assert!(ssp.msg_by_name("Fwd_GetS").is_some());
+    }
+
+    #[test]
+    fn bundled_mesi_parses_and_validates() {
+        let ssp = parse_protocol(MESI_PGEN).unwrap();
+        assert_eq!(ssp.name, "MESI");
+        assert_eq!(ssp.cache.states.len(), 4);
+        assert_eq!(ssp.directory.states.len(), 3);
+    }
+
+    #[test]
+    fn bundled_upgrade_and_tso_cc_parse_and_validate() {
+        let up = parse_protocol(MSI_UPGRADE_PGEN).unwrap();
+        assert!(up.msg_by_name("Upgrade").is_some());
+        let tso = parse_protocol(TSO_CC_PGEN).unwrap();
+        assert!(tso.msg_by_name("Inv").is_none());
+    }
+
+    #[test]
+    fn bundled_mosi_parses_and_validates() {
+        let ssp = parse_protocol(MOSI_PGEN).unwrap();
+        assert_eq!(ssp.name, "MOSI");
+        assert_eq!(ssp.cache.states.len(), 4);
+        assert_eq!(ssp.directory.states.len(), 4);
+        // The conjunction guard survived the round trip.
+        let o = ssp.directory.state_by_name("O").unwrap();
+        let put_o = ssp.msg_by_name("PutO").unwrap();
+        let entries = ssp.directory.entries_for(o, protogen_spec::Trigger::Msg(put_o));
+        assert_eq!(entries[0].guards.len(), 2);
+    }
+}

@@ -1,0 +1,535 @@
+//! Explicit-state reachability exploration with invariant checking.
+
+use crate::system::{permutations, SysState};
+use protogen_runtime::{apply, select_arc, MachineCtx, Msg, NodeId};
+use protogen_spec::{Access, Event, Fsm, Perm};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::time::Instant;
+
+/// Model-checker configuration.
+#[derive(Debug, Clone)]
+pub struct McConfig {
+    /// Number of caches (the paper verifies with 3, the most Murϕ could
+    /// handle without exhausting memory).
+    pub n_caches: usize,
+    /// Abort exploration after this many states.
+    pub max_states: usize,
+    /// Store values cycle through `0..value_domain` (small domain, the
+    /// standard bounding discipline).
+    pub value_domain: u8,
+    /// Error out when a channel exceeds this length.
+    pub channel_cap: usize,
+    /// Point-to-point ordered channels (`true`) or arbitrary reordering.
+    pub ordered: bool,
+    /// Check the single-writer/multiple-reader invariant over permission
+    /// states.
+    pub check_swmr: bool,
+    /// Check that loads performed with read permission return the most
+    /// recent store (ghost memory).
+    pub check_data_value: bool,
+    /// Canonicalize states under cache-id permutation (Murϕ scalarsets).
+    pub symmetry: bool,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        McConfig {
+            n_caches: 3,
+            max_states: 20_000_000,
+            value_domain: 2,
+            channel_cap: 8,
+            ordered: true,
+            check_swmr: true,
+            check_data_value: true,
+            symmetry: true,
+        }
+    }
+}
+
+impl McConfig {
+    /// Configuration with `n` caches.
+    pub fn with_caches(n: usize) -> Self {
+        McConfig { n_caches: n, ..McConfig::default() }
+    }
+}
+
+/// One scheduling decision of the explored system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Deliver the message at position `idx` of channel `src → dst`.
+    Deliver {
+        /// Source node.
+        src: u8,
+        /// Destination node.
+        dst: u8,
+        /// Queue position (always 0 with ordered channels).
+        idx: u8,
+    },
+    /// Cache `cache` issues `access`.
+    IssueAccess {
+        /// The cache.
+        cache: u8,
+        /// The access.
+        access: Access,
+    },
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Step::Deliver { src, dst, idx } => write!(f, "deliver n{src}→n{dst}[{idx}]"),
+            Step::IssueAccess { cache, access } => write!(f, "cache n{cache} issues {access}"),
+        }
+    }
+}
+
+/// Why checking failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Two caches hold conflicting permissions simultaneously.
+    Swmr(String),
+    /// A load returned a value other than the most recent store.
+    DataValue(String),
+    /// A non-quiescent state has no deliverable message.
+    Deadlock,
+    /// A message arrived for which the controller has no transition — the
+    /// generated protocol is incomplete.
+    UnexpectedMessage(String),
+    /// A channel exceeded its capacity bound.
+    ChannelOverflow(String),
+    /// The runtime rejected an action (a generator bug).
+    Exec(String),
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViolationKind::Swmr(d) => write!(f, "SWMR violation: {d}"),
+            ViolationKind::DataValue(d) => write!(f, "data-value violation: {d}"),
+            ViolationKind::Deadlock => f.write_str("deadlock"),
+            ViolationKind::UnexpectedMessage(d) => write!(f, "unexpected message: {d}"),
+            ViolationKind::ChannelOverflow(d) => write!(f, "channel overflow: {d}"),
+            ViolationKind::Exec(d) => write!(f, "execution error: {d}"),
+        }
+    }
+}
+
+/// A violation with its counterexample trace (one line per step from the
+/// initial state).
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// What went wrong.
+    pub kind: ViolationKind,
+    /// Human-readable steps from the initial state to the violation.
+    pub trace: Vec<String>,
+}
+
+/// Outcome of a model-checking run.
+#[derive(Debug, Clone)]
+pub struct CheckResult {
+    /// Distinct (canonicalized) states visited.
+    pub states: usize,
+    /// Transitions fired.
+    pub transitions: usize,
+    /// The first violation found, if any.
+    pub violation: Option<Violation>,
+    /// Whether exploration stopped at `max_states` before exhausting the
+    /// space.
+    pub hit_state_limit: bool,
+    /// Wall-clock seconds spent exploring.
+    pub seconds: f64,
+}
+
+impl CheckResult {
+    /// Whether the protocol passed every check over the explored space.
+    pub fn passed(&self) -> bool {
+        self.violation.is_none() && !self.hit_state_limit
+    }
+}
+
+/// The model checker: explores every reachable state of N caches + the
+/// directory running the generated FSMs, checking SWMR, the data-value
+/// invariant, deadlock freedom, and protocol completeness.
+#[derive(Debug)]
+pub struct ModelChecker<'a> {
+    cache_fsm: &'a Fsm,
+    dir_fsm: &'a Fsm,
+    cfg: McConfig,
+    perms: Vec<Vec<u8>>,
+}
+
+impl<'a> ModelChecker<'a> {
+    /// Creates a checker for the given controllers.
+    pub fn new(cache_fsm: &'a Fsm, dir_fsm: &'a Fsm, cfg: McConfig) -> Self {
+        let perms = permutations(cfg.n_caches);
+        ModelChecker { cache_fsm, dir_fsm, cfg, perms }
+    }
+
+    /// Runs breadth-first exploration until exhaustion, a violation, or the
+    /// state limit.
+    pub fn run(&self) -> CheckResult {
+        let start = Instant::now();
+        let initial = SysState::initial(self.cfg.n_caches);
+        let mut visited: HashMap<Vec<u8>, u32> = HashMap::new();
+        let mut parents: Vec<(u32, Option<Step>)> = Vec::new();
+        let mut queue: VecDeque<(SysState, u32)> = VecDeque::new();
+        let mut transitions = 0usize;
+
+        visited.insert(self.encode(&initial), 0);
+        parents.push((0, None));
+        queue.push_back((initial, 0));
+
+        while let Some((state, id)) = queue.pop_front() {
+            let mut any_delivery = false;
+
+            for step in self.steps(&state) {
+                match self.successor(&state, step) {
+                    Err(kind) => {
+                        let v = Violation { kind, trace: self.build_trace(&parents, id, Some(step)) };
+                        return self.finish(start, visited.len(), transitions, Some(v), false);
+                    }
+                    Ok(None) => {}
+                    Ok(Some(next)) => {
+                        if matches!(step, Step::Deliver { .. }) {
+                            any_delivery = true;
+                        }
+                        transitions += 1;
+                        if let Some(kind) = self.check_state(&next) {
+                            let v = Violation { kind, trace: self.build_trace(&parents, id, Some(step)) };
+                            return self.finish(start, visited.len(), transitions, Some(v), false);
+                        }
+                        let enc = self.encode(&next);
+                        if !visited.contains_key(&enc) {
+                            let nid = parents.len() as u32;
+                            visited.insert(enc, nid);
+                            parents.push((id, Some(step)));
+                            queue.push_back((next, nid));
+                            if visited.len() >= self.cfg.max_states {
+                                return self.finish(start, visited.len(), transitions, None, true);
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Deadlock: pending work with no deliverable message. New
+            // accesses can only add transactions, never unblock existing
+            // ones, so they do not count as progress.
+            if !any_delivery && (state.messages_in_flight() > 0 || state.has_pending_access()) {
+                let v = Violation {
+                    kind: ViolationKind::Deadlock,
+                    trace: self.build_trace(&parents, id, None),
+                };
+                return self.finish(start, visited.len(), transitions, Some(v), false);
+            }
+        }
+        self.finish(start, visited.len(), transitions, None, false)
+    }
+
+    fn finish(
+        &self,
+        start: Instant,
+        states: usize,
+        transitions: usize,
+        violation: Option<Violation>,
+        hit_limit: bool,
+    ) -> CheckResult {
+        CheckResult {
+            states,
+            transitions,
+            violation,
+            hit_state_limit: hit_limit,
+            seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    fn encode(&self, s: &SysState) -> Vec<u8> {
+        if self.cfg.symmetry {
+            s.canonical_encoding(&self.perms)
+        } else {
+            s.encode()
+        }
+    }
+
+    /// All candidate steps from `state`.
+    fn steps(&self, state: &SysState) -> Vec<Step> {
+        let mut out = Vec::new();
+        let n = state.n_caches() + 1;
+        for src in 0..n {
+            for dst in 0..n {
+                let q = &state.channels[src][dst];
+                if q.is_empty() {
+                    continue;
+                }
+                let idxs: Vec<u8> = if self.cfg.ordered {
+                    vec![0]
+                } else {
+                    (0..q.len() as u8).collect()
+                };
+                for idx in idxs {
+                    out.push(Step::Deliver { src: src as u8, dst: dst as u8, idx });
+                }
+            }
+        }
+        for cache in 0..state.n_caches() {
+            for access in Access::ALL {
+                out.push(Step::IssueAccess { cache: cache as u8, access });
+            }
+        }
+        out
+    }
+
+    /// Computes the successor for `step`, or `Ok(None)` when the step is
+    /// not enabled (stalled message, absent access arc, busy cache).
+    fn successor(&self, state: &SysState, step: Step) -> Result<Option<SysState>, ViolationKind> {
+        match step {
+            Step::Deliver { src, dst, idx } => self.deliver(state, src, dst, idx),
+            Step::IssueAccess { cache, access } => self.issue(state, cache, access),
+        }
+    }
+
+    fn deliver(
+        &self,
+        state: &SysState,
+        src: u8,
+        dst: u8,
+        idx: u8,
+    ) -> Result<Option<SysState>, ViolationKind> {
+        let msg = state.channels[src as usize][dst as usize][idx as usize];
+        let is_dir = dst as usize == state.n_caches();
+        let event = Event::Msg(msg.mtype);
+        let arc = if is_dir {
+            select_arc(self.dir_fsm, state.dir.state, event, Some(&msg), None, Some(&state.dir))
+        } else {
+            let block = &state.caches[dst as usize];
+            select_arc(self.cache_fsm, block.state, event, Some(&msg), Some(block), None)
+        };
+        let Some(arc) = arc else {
+            let holder = if is_dir {
+                format!("directory in {}", self.dir_fsm.state(state.dir.state).full_name())
+            } else {
+                format!(
+                    "cache n{dst} in {}",
+                    self.cache_fsm.state(state.caches[dst as usize].state).full_name()
+                )
+            };
+            return Err(ViolationKind::UnexpectedMessage(format!("{msg} at {holder}")));
+        };
+        if arc.kind == protogen_spec::ArcKind::Stall {
+            return Ok(None);
+        }
+        let mut next = state.clone();
+        next.channels[src as usize][dst as usize].remove(idx as usize);
+        let store_value = (state.ghost + 1) % self.cfg.value_domain;
+        let outcome = if is_dir {
+            let dir_id = next.dir_id();
+            apply(
+                self.dir_fsm,
+                arc,
+                Some(&msg),
+                MachineCtx::Dir { entry: &mut next.dir, self_id: dir_id },
+                store_value,
+            )
+        } else {
+            let dir_id = next.dir_id();
+            apply(
+                self.cache_fsm,
+                arc,
+                Some(&msg),
+                MachineCtx::Cache {
+                    block: &mut next.caches[dst as usize],
+                    self_id: NodeId(dst),
+                    dir_id,
+                },
+                store_value,
+            )
+        }
+        .map_err(|e| ViolationKind::Exec(e.to_string()))?;
+        if let Some((Access::Store, _)) = outcome.performed {
+            next.ghost = store_value;
+        }
+        // Completion loads (e.g. the single access after invalidation in
+        // IS_D_I) read the response data by construction; the physical
+        // data-value check applies to hits only (design note in DESIGN.md).
+        self.route(&mut next, outcome.outgoing)?;
+        Ok(Some(next))
+    }
+
+    fn issue(
+        &self,
+        state: &SysState,
+        cache: u8,
+        access: Access,
+    ) -> Result<Option<SysState>, ViolationKind> {
+        let block = &state.caches[cache as usize];
+        let arc = select_arc(
+            self.cache_fsm,
+            block.state,
+            Event::Access(access),
+            None,
+            Some(block),
+            None,
+        );
+        let Some(arc) = arc else { return Ok(None) };
+        if arc.kind == protogen_spec::ArcKind::Stall {
+            return Ok(None);
+        }
+        let is_hit = arc.actions.iter().any(|a| matches!(a, protogen_spec::Action::PerformAccess));
+        if !is_hit && block.pending.is_some() {
+            // One outstanding transaction per block per cache (§V-F).
+            return Ok(None);
+        }
+        let mut next = state.clone();
+        let store_value = (state.ghost + 1) % self.cfg.value_domain;
+        let dir_id = next.dir_id();
+        let outcome = apply(
+            self.cache_fsm,
+            arc,
+            None,
+            MachineCtx::Cache {
+                block: &mut next.caches[cache as usize],
+                self_id: NodeId(cache),
+                dir_id,
+            },
+            store_value,
+        )
+        .map_err(|e| ViolationKind::Exec(e.to_string()))?;
+        match outcome.performed {
+            Some((Access::Store, _)) => next.ghost = store_value,
+            Some((Access::Load, Some(v))) if self.cfg.check_data_value => {
+                if v != state.ghost {
+                    return Err(ViolationKind::DataValue(format!(
+                        "cache n{cache} load hit returned {v}, expected {}",
+                        state.ghost
+                    )));
+                }
+            }
+            _ => {}
+        }
+        self.route(&mut next, outcome.outgoing)?;
+        Ok(Some(next))
+    }
+
+    fn route(&self, state: &mut SysState, outgoing: Vec<Msg>) -> Result<(), ViolationKind> {
+        for m in outgoing {
+            state.send(m);
+            let q = &state.channels[m.src.as_usize()][m.dst.as_usize()];
+            if q.len() > self.cfg.channel_cap {
+                return Err(ViolationKind::ChannelOverflow(format!(
+                    "channel n{}→n{} exceeded {}",
+                    m.src.0, m.dst.0, self.cfg.channel_cap
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// State-level invariants (checked on every new state).
+    fn check_state(&self, state: &SysState) -> Option<ViolationKind> {
+        if self.cfg.check_swmr {
+            let mut writer: Option<usize> = None;
+            let mut reader: Option<usize> = None;
+            for (i, c) in state.caches.iter().enumerate() {
+                match self.cache_fsm.state(c.state).perm {
+                    Perm::ReadWrite => {
+                        if let Some(w) = writer {
+                            return Some(ViolationKind::Swmr(format!(
+                                "caches n{w} and n{i} both hold write permission"
+                            )));
+                        }
+                        writer = Some(i);
+                    }
+                    Perm::Read => reader = Some(i),
+                    Perm::None => {}
+                }
+            }
+            if let (Some(w), Some(r)) = (writer, reader) {
+                return Some(ViolationKind::Swmr(format!(
+                    "cache n{w} holds write permission while n{r} holds read permission"
+                )));
+            }
+        }
+        if self.cfg.check_data_value {
+            // Every readable stable copy must equal the latest store.
+            for (i, c) in state.caches.iter().enumerate() {
+                let st = self.cache_fsm.state(c.state);
+                if st.is_stable() && st.perm >= Perm::Read && st.data_valid {
+                    if c.data != Some(state.ghost) {
+                        return Some(ViolationKind::DataValue(format!(
+                            "cache n{i} in {} holds {:?}, expected {}",
+                            st.full_name(),
+                            c.data,
+                            state.ghost
+                        )));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Rebuilds the step list to `id` (plus `last`) and renders it by
+    /// replaying from the initial state.
+    fn build_trace(
+        &self,
+        parents: &[(u32, Option<Step>)],
+        id: u32,
+        last: Option<Step>,
+    ) -> Vec<String> {
+        let mut steps = Vec::new();
+        let mut cur = id;
+        while cur != 0 {
+            let (p, s) = parents[cur as usize];
+            if let Some(s) = s {
+                steps.push(s);
+            }
+            cur = p;
+        }
+        steps.reverse();
+        if let Some(s) = last {
+            steps.push(s);
+        }
+        let mut lines = Vec::new();
+        let mut state = SysState::initial(self.cfg.n_caches);
+        for step in steps {
+            let desc = self.describe(&state, step);
+            match self.successor(&state, step) {
+                Ok(Some(next)) => {
+                    lines.push(desc);
+                    state = next;
+                }
+                Ok(None) => lines.push(format!("{desc} (not enabled?)")),
+                Err(kind) => {
+                    lines.push(format!("{desc} => {kind}"));
+                    break;
+                }
+            }
+        }
+        lines
+    }
+
+    fn describe(&self, state: &SysState, step: Step) -> String {
+        match step {
+            Step::Deliver { src, dst, idx } => {
+                let msg = state.channels[src as usize][dst as usize][idx as usize];
+                let mname = &self.cache_fsm.msg(msg.mtype).name;
+                let holder = if dst as usize == state.n_caches() {
+                    format!("dir[{}]", self.dir_fsm.state(state.dir.state).full_name())
+                } else {
+                    format!(
+                        "n{dst}[{}]",
+                        self.cache_fsm.state(state.caches[dst as usize].state).full_name()
+                    )
+                };
+                format!("{mname} {msg} -> {holder}")
+            }
+            Step::IssueAccess { cache, access } => {
+                format!(
+                    "n{cache}[{}] {access}",
+                    self.cache_fsm.state(state.caches[cache as usize].state).full_name()
+                )
+            }
+        }
+    }
+}

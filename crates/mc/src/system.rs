@@ -1,0 +1,246 @@
+//! The model-checked system: N caches + directory + channels.
+
+use protogen_runtime::{CacheBlock, DirEntry, Msg, NodeId, Val};
+use protogen_spec::Access;
+
+/// A complete system configuration (one explored state).
+///
+/// Channels are one FIFO per ordered `(src, dst)` pair carrying every
+/// message class: the protocols of §VI-A/B assume point-to-point ordering
+/// between each pair of nodes *across* classes (a response from the
+/// directory never overtakes an earlier forward to the same cache). The
+/// generated controllers guarantee a stalled head is always serialized
+/// after whatever the stalling machine is waiting for, so head-of-line
+/// blocking cannot deadlock. In unordered mode (§VI-C) delivery may take
+/// any queue position, which models arbitrary reordering.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SysState {
+    /// Per-cache block state; index = cache id.
+    pub caches: Vec<CacheBlock>,
+    /// The directory entry.
+    pub dir: DirEntry,
+    /// `channels[src][dst]` = in-flight messages, oldest first.
+    pub channels: Vec<Vec<Vec<Msg>>>,
+    /// Ghost memory: the value of the most recent store in serialization
+    /// order. Loads performed with read permission must return it.
+    pub ghost: Val,
+}
+
+impl SysState {
+    /// The initial state: every cache invalid, directory in its initial
+    /// state holding value 0, no messages.
+    pub fn initial(n_caches: usize) -> Self {
+        let n = n_caches + 1;
+        SysState {
+            caches: vec![CacheBlock::new(); n_caches],
+            dir: DirEntry::new(0),
+            channels: vec![vec![Vec::new(); n]; n],
+            ghost: 0,
+        }
+    }
+
+    /// Number of caches.
+    pub fn n_caches(&self) -> usize {
+        self.caches.len()
+    }
+
+    /// The directory's node id.
+    pub fn dir_id(&self) -> NodeId {
+        NodeId(self.caches.len() as u8)
+    }
+
+    /// Total number of in-flight messages.
+    pub fn messages_in_flight(&self) -> usize {
+        self.channels.iter().flatten().map(|q| q.len()).sum()
+    }
+
+    /// Whether any cache has an outstanding transaction.
+    pub fn has_pending_access(&self) -> bool {
+        self.caches.iter().any(|c| c.pending.is_some())
+    }
+
+    /// Pushes `msg` onto its channel.
+    pub fn send(&mut self, msg: Msg) {
+        self.channels[msg.src.as_usize()][msg.dst.as_usize()].push(msg);
+    }
+
+    /// A compact, canonical byte encoding for hashing and deduplication.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        for c in &self.caches {
+            out.extend_from_slice(&(c.state.0).to_le_bytes());
+            out.push(c.data.map_or(0xff, |v| v));
+            out.push(c.acks_received);
+            out.push(c.acks_expected.map_or(0xff, |v| v));
+            out.push(match c.pending {
+                None => 0xff,
+                Some(Access::Load) => 0,
+                Some(Access::Store) => 1,
+                Some(Access::Replacement) => 2,
+            });
+            out.push(c.chain_slots.len() as u8);
+            for (n, a) in &c.chain_slots {
+                out.push(n.0);
+                out.push(*a);
+            }
+        }
+        out.extend_from_slice(&(self.dir.state.0).to_le_bytes());
+        out.push(self.dir.owner.map_or(0xff, |n| n.0));
+        out.push(self.dir.sharers);
+        out.push(self.dir.data);
+        out.push(self.dir.chain_slots.len() as u8);
+        for (n, a) in &self.dir.chain_slots {
+            out.push(n.0);
+            out.push(*a);
+        }
+        for row in &self.channels {
+            for q in row.iter() {
+                out.push(q.len() as u8);
+                for m in q {
+                    out.extend_from_slice(&m.mtype.0.to_le_bytes());
+                    out.push(m.src.0);
+                    out.push(m.dst.0);
+                    out.push(m.req.0);
+                    out.push(m.ack_count.map_or(0xff, |v| v));
+                    out.push(m.data.map_or(0xff, |v| v));
+                }
+            }
+        }
+        out.push(self.ghost);
+        out
+    }
+
+    /// The canonical encoding under cache-identity symmetry: the
+    /// lexicographically least encoding over all permutations of cache ids
+    /// (the Murϕ scalarset reduction).
+    pub fn canonical_encoding(&self, perms: &[Vec<u8>]) -> Vec<u8> {
+        let mut best: Option<Vec<u8>> = None;
+        for p in perms {
+            let enc = self.permuted(p).encode();
+            if best.as_ref().is_none_or(|b| enc < *b) {
+                best = Some(enc);
+            }
+        }
+        best.unwrap_or_else(|| self.encode())
+    }
+
+    /// Applies a cache-id permutation: cache `i` becomes cache `perm[i]`.
+    pub fn permuted(&self, perm: &[u8]) -> SysState {
+        let n = self.n_caches();
+        let map = |id: NodeId| -> NodeId {
+            if id.as_usize() < n {
+                NodeId(perm[id.as_usize()])
+            } else {
+                id
+            }
+        };
+        let map_msg = |m: &Msg| Msg {
+            src: map(m.src),
+            dst: map(m.dst),
+            req: map(m.req),
+            ..*m
+        };
+        let mut caches = vec![CacheBlock::new(); n];
+        for (i, c) in self.caches.iter().enumerate() {
+            let mut c2 = c.clone();
+            c2.chain_slots = c.chain_slots.iter().map(|(n, a)| (map(*n), *a)).collect();
+            caches[perm[i] as usize] = c2;
+        }
+        let mut dir = self.dir.clone();
+        dir.owner = dir.owner.map(map);
+        dir.chain_slots = self.dir.chain_slots.iter().map(|(n, a)| (map(*n), *a)).collect();
+        dir.sharers = (0..n)
+            .filter(|&i| self.dir.sharers & (1 << i) != 0)
+            .fold(0u8, |acc, i| acc | (1 << perm[i]));
+        let total = n + 1;
+        let mut channels = vec![vec![Vec::new(); total]; total];
+        for (s, row) in self.channels.iter().enumerate() {
+            for (d, q) in row.iter().enumerate() {
+                let s2 = if s < n { perm[s] as usize } else { s };
+                let d2 = if d < n { perm[d] as usize } else { d };
+                channels[s2][d2] = q.iter().map(map_msg).collect();
+            }
+        }
+        SysState { caches, dir, channels, ghost: self.ghost }
+    }
+}
+
+/// All permutations of `0..n` (n is tiny: at most 4 caches).
+pub fn permutations(n: usize) -> Vec<Vec<u8>> {
+    fn go(acc: &mut Vec<Vec<u8>>, cur: &mut Vec<u8>, used: &mut Vec<bool>, n: usize) {
+        if cur.len() == n {
+            acc.push(cur.clone());
+            return;
+        }
+        for i in 0..n {
+            if !used[i] {
+                used[i] = true;
+                cur.push(i as u8);
+                go(acc, cur, used, n);
+                cur.pop();
+                used[i] = false;
+            }
+        }
+    }
+    let mut acc = Vec::new();
+    go(&mut acc, &mut Vec::new(), &mut vec![false; n], n);
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protogen_spec::MsgId;
+
+    #[test]
+    fn initial_state_is_quiescent() {
+        let s = SysState::initial(3);
+        assert_eq!(s.messages_in_flight(), 0);
+        assert!(!s.has_pending_access());
+        assert_eq!(s.dir_id(), NodeId(3));
+    }
+
+    #[test]
+    fn permutation_count() {
+        assert_eq!(permutations(3).len(), 6);
+        assert_eq!(permutations(2).len(), 2);
+    }
+
+    #[test]
+    fn canonical_encoding_identifies_symmetric_states() {
+        let perms = permutations(2);
+        // Cache 0 has a message to the directory.
+        let mut a = SysState::initial(2);
+        a.send(Msg {
+            mtype: MsgId(0),
+            src: NodeId(0),
+            dst: NodeId(2),
+            req: NodeId(0),
+            ack_count: None,
+            data: None,
+        });
+        // The mirror image: cache 1 sent it instead.
+        let mut b = SysState::initial(2);
+        b.send(Msg {
+            mtype: MsgId(0),
+            src: NodeId(1),
+            dst: NodeId(2),
+            req: NodeId(1),
+            ack_count: None,
+            data: None,
+        });
+        assert_ne!(a.encode(), b.encode());
+        assert_eq!(a.canonical_encoding(&perms), b.canonical_encoding(&perms));
+    }
+
+    #[test]
+    fn permutation_remaps_sharers_and_owner() {
+        let mut s = SysState::initial(3);
+        s.dir.add_sharer(NodeId(0));
+        s.dir.owner = Some(NodeId(2));
+        let p = s.permuted(&[1, 0, 2]);
+        assert!(p.dir.is_sharer(NodeId(1)));
+        assert!(!p.dir.is_sharer(NodeId(0)));
+        assert_eq!(p.dir.owner, Some(NodeId(2)));
+    }
+}

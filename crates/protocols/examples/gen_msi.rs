@@ -1,0 +1,21 @@
+fn main() {
+    let ssp = protogen_protocols::msi();
+    for (name, cfg) in [
+        ("stalling", protogen_core::GenConfig::stalling()),
+        ("non-stalling", protogen_core::GenConfig::non_stalling()),
+    ] {
+        match protogen_core::generate(&ssp, &cfg) {
+            Ok(g) => {
+                println!("=== {} ===", name);
+                println!("{}", g.report);
+                print!("cache states: ");
+                for s in &g.cache.states { print!("{} ", s.full_name()); }
+                println!();
+                print!("dir states: ");
+                for s in &g.directory.states { print!("{} ", s.full_name()); }
+                println!();
+            }
+            Err(e) => println!("{}: ERROR {e}", name),
+        }
+    }
+}

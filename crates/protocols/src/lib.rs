@@ -1,0 +1,55 @@
+//! The stable state protocols evaluated by the ProtoGen paper.
+//!
+//! Every protocol here is an *atomic* specification — just the stable
+//! states, as an architect would write them on a whiteboard. Feeding one to
+//! `protogen_core::generate` produces the full concurrent protocol.
+//!
+//! | Function | Protocol | Paper section |
+//! |---|---|---|
+//! | [`msi`] | Three-state MSI (Tables I/II) | §VI-A/B |
+//! | [`mesi`] | MESI with exclusive-clean state and silent upgrade | §VI-A/B |
+//! | [`mosi`] | MOSI with owned state (preprocessing demo, Tables III/IV) | §VI-A/B |
+//! | [`msi_upgrade`] | MSI + Upgrade requests (reinterpretation, §V-D1) | §V-D1 |
+//! | [`msi_unordered`] | MSI with handshakes for unordered networks | §VI-C |
+//! | [`tso_cc`] | Simplified TSO-CC (no sharer tracking) | §VI-D |
+//!
+//! # Example
+//!
+//! ```
+//! let ssp = protogen_protocols::msi();
+//! assert_eq!(ssp.cache.states.len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod mesi;
+mod mosi;
+mod msi;
+mod msi_unordered;
+mod msi_upgrade;
+mod tso_cc;
+
+pub use mesi::mesi;
+pub use mosi::mosi;
+pub use msi::msi;
+pub use msi_unordered::msi_unordered;
+pub use msi_upgrade::msi_upgrade;
+pub use tso_cc::tso_cc;
+
+use protogen_spec::Ssp;
+
+/// All built-in protocols, for sweeps and benchmarks.
+pub fn all() -> Vec<Ssp> {
+    vec![msi(), mesi(), mosi(), msi_upgrade(), msi_unordered(), tso_cc()]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn all_protocols_validate() {
+        for ssp in super::all() {
+            ssp.validate().unwrap_or_else(|e| panic!("{}: {e}", ssp.name));
+        }
+    }
+}

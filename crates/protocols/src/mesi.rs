@@ -1,0 +1,202 @@
+//! The MESI stable state protocol: MSI plus an Exclusive-clean state.
+//!
+//! A GetS that finds the block uncached is granted E (exclusive, clean);
+//! the cache may then silently upgrade E→M on a store without any message.
+//! Because of silent upgrades the directory cannot distinguish E from M, so
+//! it tracks both with a single `EM` state — which also means the forwarded
+//! requests to the owner (`Fwd_GetS`, `Fwd_GetM`) cannot be renamed apart
+//! during preprocessing and keep an association *set* {E, M} that the
+//! generator resolves per context.
+
+use protogen_spec::{Access, Action, Guard, MsgClass, Perm, Ssp, SspBuilder, VirtualNet};
+
+/// Builds the atomic MESI stable state protocol.
+///
+/// Cache states: I, S, E (exclusive clean, silent E→M upgrade), M.
+/// Directory states: I, S, EM (owner holds E or M).
+///
+/// # Example
+///
+/// ```
+/// let ssp = protogen_protocols::mesi();
+/// assert_eq!(ssp.cache.states.len(), 4);
+/// assert_eq!(ssp.directory.states.len(), 3);
+/// ```
+pub fn mesi() -> Ssp {
+    let mut b = SspBuilder::new("MESI");
+
+    let get_s = b.message("GetS", MsgClass::Request);
+    let get_m = b.message("GetM", MsgClass::Request);
+    let put_s = b.message("PutS", MsgClass::Request);
+    let put_m = b.data_message("PutM", MsgClass::Request);
+    let put_e = b.message("PutE", MsgClass::Request);
+    let fwd_get_s = b.message("Fwd_GetS", MsgClass::Forward);
+    let fwd_get_m = b.message("Fwd_GetM", MsgClass::Forward);
+    let inv = b.message("Inv", MsgClass::Forward);
+    let data = b.data_ack_message("Data", MsgClass::Response);
+    let data_e = b.data_message("DataE", MsgClass::Response);
+    let inv_ack = b.message("Inv_Ack", MsgClass::Response);
+    let put_ack = b.message("Put_Ack", MsgClass::Response);
+    b.assign_vnet(put_ack, VirtualNet::Forward);
+
+    let i = b.cache_state("I", Perm::None);
+    let s = b.cache_state("S", Perm::Read);
+    // E grants silent write permission: model it as Read here (a load-only
+    // state) with the silent upgrade explicit as a hit-and-move to M, so
+    // the checker sees the write permission appear exactly when M begins.
+    let e = b.cache_state_full("E", Perm::Read, true);
+    let m = b.cache_state("M", Perm::ReadWrite);
+
+    let di = b.dir_state("I");
+    let ds = b.dir_state("S");
+    let dem = b.dir_state("EM");
+
+    // ----- cache -----
+    // I: a load can be answered Shared (Data) or Exclusive (DataE).
+    let req = b.send_req(get_s);
+    let chain = b.await_data2(data, s, data_e, e);
+    b.cache_issue(i, Access::Load, req, chain);
+    let req = b.send_req(get_m);
+    let chain = b.await_data_acks(data, inv_ack, m);
+    b.cache_issue(i, Access::Store, req, chain);
+    // S
+    b.cache_hit(s, Access::Load);
+    let req = b.send_req(get_m);
+    let chain = b.await_data_acks(data, inv_ack, m);
+    b.cache_issue(s, Access::Store, req, chain);
+    let req = b.send_req(put_s);
+    let chain = b.await_ack(put_ack, i);
+    b.cache_issue(s, Access::Replacement, req, chain);
+    let ack = b.send_to_req(inv_ack);
+    b.cache_react(s, inv, vec![ack], Some(i));
+    // E: silent upgrade on store; owner duties for forwards.
+    b.cache_hit(e, Access::Load);
+    b.cache_hit_move(e, Access::Store, m);
+    let req = b.send_req(put_e);
+    let chain = b.await_ack(put_ack, i);
+    b.cache_issue(e, Access::Replacement, req, chain);
+    let to_req = b.send_data_to_req(data);
+    let to_dir = b.send_data_to_dir(data);
+    b.cache_react(e, fwd_get_s, vec![to_req, to_dir], Some(s));
+    let to_req = b.send_data_to_req(data);
+    b.cache_react(e, fwd_get_m, vec![to_req], Some(i));
+    // M
+    b.cache_hit(m, Access::Load);
+    b.cache_hit(m, Access::Store);
+    let req = b.send_req_data(put_m);
+    let chain = b.await_ack(put_ack, i);
+    b.cache_issue(m, Access::Replacement, req, chain);
+    let to_req = b.send_data_to_req(data);
+    let to_dir = b.send_data_to_dir(data);
+    b.cache_react(m, fwd_get_s, vec![to_req, to_dir], Some(s));
+    let to_req = b.send_data_to_req(data);
+    b.cache_react(m, fwd_get_m, vec![to_req], Some(i));
+
+    // ----- directory -----
+    // I: exclusive grant on GetS.
+    let d = b.send_data_to_req(data_e);
+    b.dir_react(di, get_s, vec![d, Action::SetOwnerToReq], Some(dem));
+    let d = b.send_data_acks_to_req(data);
+    b.dir_react(di, get_m, vec![d, Action::SetOwnerToReq], Some(dem));
+    // S
+    let d = b.send_data_to_req(data);
+    b.dir_react(ds, get_s, vec![d, Action::AddReqToSharers], None);
+    let d = b.send_data_acks_to_req(data);
+    let invs = b.inv_sharers(inv);
+    b.dir_react(
+        ds,
+        get_m,
+        vec![d, invs, Action::SetOwnerToReq, Action::ClearSharers],
+        Some(dem),
+    );
+    let pa = b.send_to_req(put_ack);
+    b.dir_react_guarded(
+        ds,
+        put_s,
+        Guard::ReqIsLastSharer,
+        vec![pa, Action::RemoveReqFromSharers],
+        Some(di),
+    );
+    let pa = b.send_to_req(put_ack);
+    b.dir_react_guarded(
+        ds,
+        put_s,
+        Guard::ReqIsNotLastSharer,
+        vec![pa, Action::RemoveReqFromSharers],
+        None,
+    );
+    // EM: the owner holds E or M; it supplies data either way.
+    let f = b.fwd_to_owner(fwd_get_s);
+    let chain = b.await_owner_data(data, ds);
+    b.dir_issue(
+        dem,
+        get_s,
+        vec![
+            f,
+            Action::AddReqToSharers,
+            Action::AddOwnerToSharers,
+            Action::ClearOwner,
+        ],
+        chain,
+    );
+    let f = b.fwd_to_owner(fwd_get_m);
+    b.dir_react(dem, get_m, vec![f, Action::SetOwnerToReq], None);
+    let pa = b.send_to_req(put_ack);
+    b.dir_react_guarded(
+        dem,
+        put_m,
+        Guard::ReqIsOwner,
+        vec![Action::CopyDataFromMsg, pa, Action::ClearOwner],
+        Some(di),
+    );
+    // PutE: the block is clean, so no data travels; the directory's copy
+    // is already current.
+    let pa = b.send_to_req(put_ack);
+    b.dir_react_guarded(
+        dem,
+        put_e,
+        Guard::ReqIsOwner,
+        vec![pa, Action::ClearOwner],
+        Some(di),
+    );
+
+    b.build().expect("MESI SSP is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protogen_spec::Trigger;
+
+    #[test]
+    fn mesi_is_valid() {
+        let ssp = mesi();
+        assert_eq!(ssp.name, "MESI");
+    }
+
+    #[test]
+    fn forwards_arrive_at_e_and_m() {
+        let ssp = mesi();
+        let f = ssp.msg_by_name("Fwd_GetS").unwrap();
+        let arrivals: Vec<_> = ssp
+            .cache
+            .state_ids()
+            .filter(|&s| ssp.cache.handles(s, Trigger::Msg(f)))
+            .map(|s| ssp.cache.state(s).name.clone())
+            .collect();
+        assert_eq!(arrivals, vec!["E".to_string(), "M".to_string()]);
+    }
+
+    #[test]
+    fn silent_upgrade_is_a_local_store() {
+        let ssp = mesi();
+        let e = ssp.cache.state_by_name("E").unwrap();
+        let m = ssp.cache.state_by_name("M").unwrap();
+        let entries = ssp.cache.entries_for(e, Trigger::Access(Access::Store));
+        assert_eq!(entries.len(), 1);
+        match &entries[0].effect {
+            protogen_spec::Effect::Local { next, .. } => assert_eq!(*next, Some(m)),
+            other => panic!("expected silent upgrade, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! The MOSI stable state protocol: MSI plus an Owned state.
+//!
+//! O holds the block dirty but shared: the owner supplies data to readers
+//! without writing back to the LLC. This is the paper's preprocessing
+//! example (Tables III and IV): `Fwd_GetS` can arrive at M *and* O, and the
+//! directory knows which (its own O state mirrors the owner's O state), so
+//! preprocessing renames O's copy to `O_Fwd_GetS`.
+//!
+//! The M→O handoff means the directory never waits for a writeback on a
+//! read: every directory reaction is single-step, so the generated MOSI
+//! directory has no transient states at all.
+
+use protogen_spec::{
+    AckSrc, Access, Action, DataSrc, Dst, Guard, MsgClass, Perm, ReqField, SendSpec, Ssp,
+    SspBuilder, VirtualNet,
+};
+
+/// Builds the atomic MOSI stable state protocol.
+///
+/// Cache states: I, S, O (owned: dirty + shared, read permission), M.
+/// Directory states: I, S, O, M.
+///
+/// The store-upgrade from O keeps the data (the directory answers with an
+/// acknowledgment count only), and a non-owner GetM at O is forwarded to
+/// the owner with the invalidation count piggybacked so the owner's data
+/// response carries it (`AckSrc::FromMsg`).
+///
+/// # Example
+///
+/// ```
+/// let ssp = protogen_protocols::mosi();
+/// assert_eq!(ssp.cache.states.len(), 4);
+/// assert_eq!(ssp.directory.states.len(), 4);
+/// ```
+pub fn mosi() -> Ssp {
+    let mut b = SspBuilder::new("MOSI");
+
+    let get_s = b.message("GetS", MsgClass::Request);
+    let get_m = b.message("GetM", MsgClass::Request);
+    let put_s = b.message("PutS", MsgClass::Request);
+    let put_m = b.data_message("PutM", MsgClass::Request);
+    let put_o = b.data_message("PutO", MsgClass::Request);
+    // Fwd_GetS arrives at M and O in this (natural) specification;
+    // preprocessing renames the O copy (Tables III/IV).
+    let fwd_get_s = b.message("Fwd_GetS", MsgClass::Forward);
+    // Fwd_GetM likewise arrives at M and O; the O variant carries the
+    // invalidation count for the owner to piggyback onto its data response.
+    let fwd_get_m = b.message("Fwd_GetM", MsgClass::Forward);
+    let fwd_get_m_o = b.ack_count_message("Fwd_GetM_O", MsgClass::Forward);
+    let inv = b.message("Inv", MsgClass::Forward);
+    let data = b.data_ack_message("Data", MsgClass::Response);
+    let ack_count = b.ack_count_message("AckCount", MsgClass::Response);
+    let inv_ack = b.message("Inv_Ack", MsgClass::Response);
+    let put_ack = b.message("Put_Ack", MsgClass::Response);
+    b.assign_vnet(put_ack, VirtualNet::Forward);
+
+    let i = b.cache_state("I", Perm::None);
+    let s = b.cache_state("S", Perm::Read);
+    let o = b.cache_state_full("O", Perm::Read, true);
+    let m = b.cache_state("M", Perm::ReadWrite);
+
+    let di = b.dir_state("I");
+    let ds = b.dir_state("S");
+    let do_ = b.dir_state("O");
+    let dm = b.dir_state("M");
+
+    // ----- cache -----
+    // I
+    let req = b.send_req(get_s);
+    let chain = b.await_data(data, s);
+    b.cache_issue(i, Access::Load, req, chain);
+    let req = b.send_req(get_m);
+    let chain = b.await_data_acks(data, inv_ack, m);
+    b.cache_issue(i, Access::Store, req, chain);
+    // S
+    b.cache_hit(s, Access::Load);
+    let req = b.send_req(get_m);
+    let chain = b.await_data_acks(data, inv_ack, m);
+    b.cache_issue(s, Access::Store, req, chain);
+    let req = b.send_req(put_s);
+    let chain = b.await_ack(put_ack, i);
+    b.cache_issue(s, Access::Replacement, req, chain);
+    let ack = b.send_to_req(inv_ack);
+    b.cache_react(s, inv, vec![ack], Some(i));
+    // O: loads hit; stores upgrade in place (the dirty copy stays valid, so
+    // the directory answers with a count, not data); replacements write
+    // back with PutO.
+    b.cache_hit(o, Access::Load);
+    let req = b.send_req(get_m);
+    let chain = b.await_count_acks(ack_count, inv_ack, m);
+    b.cache_issue(o, Access::Store, req, chain);
+    let req = b.send_req_data(put_o);
+    let chain = b.await_ack(put_ack, i);
+    b.cache_issue(o, Access::Replacement, req, chain);
+    // O as data supplier: GetS readers are served while staying O; a GetM
+    // winner gets the data plus the piggybacked invalidation count.
+    let to_req = b.send_data_to_req(data);
+    b.cache_react(o, fwd_get_s, vec![to_req], None);
+    let to_req = Action::Send(
+        SendSpec::new(data, Dst::Req)
+            .data(DataSrc::OwnBlock)
+            .acks(AckSrc::FromMsg)
+            .req_field(ReqField::FromMsg),
+    );
+    b.cache_react(o, fwd_get_m_o, vec![to_req], Some(i));
+    // M
+    b.cache_hit(m, Access::Load);
+    b.cache_hit(m, Access::Store);
+    let req = b.send_req_data(put_m);
+    let chain = b.await_ack(put_ack, i);
+    b.cache_issue(m, Access::Replacement, req, chain);
+    // M + Fwd_GetS: serve the reader and *keep* the dirty block as O — the
+    // MOSI difference from MSI (no writeback to the directory).
+    let to_req = b.send_data_to_req(data);
+    b.cache_react(m, fwd_get_s, vec![to_req], Some(o));
+    let to_req = b.send_data_to_req(data);
+    b.cache_react(m, fwd_get_m, vec![to_req], Some(i));
+
+    // ----- directory -----
+    // I
+    let d = b.send_data_to_req(data);
+    b.dir_react(di, get_s, vec![d, Action::AddReqToSharers], Some(ds));
+    let d = b.send_data_acks_to_req(data);
+    b.dir_react(di, get_m, vec![d, Action::SetOwnerToReq], Some(dm));
+    // S
+    let d = b.send_data_to_req(data);
+    b.dir_react(ds, get_s, vec![d, Action::AddReqToSharers], None);
+    let d = b.send_data_acks_to_req(data);
+    let invs = b.inv_sharers(inv);
+    b.dir_react(
+        ds,
+        get_m,
+        vec![d, invs, Action::SetOwnerToReq, Action::ClearSharers],
+        Some(dm),
+    );
+    let pa = b.send_to_req(put_ack);
+    b.dir_react_guarded(
+        ds,
+        put_s,
+        Guard::ReqIsLastSharer,
+        vec![pa, Action::RemoveReqFromSharers],
+        Some(di),
+    );
+    let pa = b.send_to_req(put_ack);
+    b.dir_react_guarded(
+        ds,
+        put_s,
+        Guard::ReqIsNotLastSharer,
+        vec![pa, Action::RemoveReqFromSharers],
+        None,
+    );
+    // O: the owner supplies readers; no directory transient needed.
+    let f = b.fwd_to_owner(fwd_get_s);
+    b.dir_react(do_, get_s, vec![f, Action::AddReqToSharers], None);
+    // Owner upgrade: count only, invalidate the other sharers.
+    let cnt = Action::Send(
+        SendSpec::new(ack_count, Dst::Req)
+            .acks(AckSrc::SharersExceptReqCount)
+            .req_field(ReqField::FromMsg),
+    );
+    let invs = b.inv_sharers(inv);
+    b.dir_react_guarded(
+        do_,
+        get_m,
+        Guard::ReqIsOwner,
+        vec![cnt, invs, Action::ClearSharers],
+        Some(dm),
+    );
+    // Non-owner GetM: forward to the owner with the count piggybacked, and
+    // invalidate the other sharers.
+    let f = Action::Send(
+        SendSpec::new(fwd_get_m_o, Dst::Owner)
+            .acks(AckSrc::SharersExceptReqCount)
+            .req_field(ReqField::FromMsg),
+    );
+    let invs = b.inv_sharers(inv);
+    b.dir_react_guarded(
+        do_,
+        get_m,
+        Guard::ReqIsNotOwner,
+        vec![f, invs, Action::SetOwnerToReq, Action::ClearSharers],
+        Some(dm),
+    );
+    let pa = b.send_to_req(put_ack);
+    b.dir_react(do_, put_s, vec![pa, Action::RemoveReqFromSharers], None);
+    // Owner writeback from O: land in S when sharers remain, I otherwise.
+    // The ReqIsOwner conjunct matters under concurrency: a *stale* PutO
+    // from a previous owner must not install its (old) data — the
+    // synthesized stale-Put rule acknowledges it instead.
+    let pa = b.send_to_req(put_ack);
+    b.dir_react_guards(
+        do_,
+        put_o,
+        vec![Guard::ReqIsOwner, Guard::SharersEmpty],
+        vec![Action::CopyDataFromMsg, pa, Action::ClearOwner],
+        Some(di),
+    );
+    let pa = b.send_to_req(put_ack);
+    b.dir_react_guards(
+        do_,
+        put_o,
+        vec![Guard::ReqIsOwner, Guard::SharersNonEmpty],
+        vec![Action::CopyDataFromMsg, pa, Action::ClearOwner],
+        Some(ds),
+    );
+    // M
+    let f = b.fwd_to_owner(fwd_get_s);
+    b.dir_react(dm, get_s, vec![f, Action::AddReqToSharers], Some(do_));
+    let f = b.fwd_to_owner(fwd_get_m);
+    b.dir_react(dm, get_m, vec![f, Action::SetOwnerToReq], None);
+    let pa = b.send_to_req(put_ack);
+    b.dir_react_guarded(
+        dm,
+        put_m,
+        Guard::ReqIsOwner,
+        vec![Action::CopyDataFromMsg, pa, Action::ClearOwner],
+        Some(di),
+    );
+
+    b.build().expect("MOSI SSP is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protogen_spec::Trigger;
+
+    #[test]
+    fn mosi_is_valid() {
+        let ssp = mosi();
+        assert_eq!(ssp.name, "MOSI");
+    }
+
+    #[test]
+    fn fwd_gets_arrives_at_m_and_o_before_preprocessing() {
+        // Tables III/IV: the natural SSP lets Fwd_GetS arrive at both M and
+        // O; preprocessing (tested in protogen-core) renames O's copy.
+        let ssp = mosi();
+        let f = ssp.msg_by_name("Fwd_GetS").unwrap();
+        let arrivals: Vec<_> = ssp
+            .cache
+            .state_ids()
+            .filter(|&s| ssp.cache.handles(s, Trigger::Msg(f)))
+            .map(|s| ssp.cache.state(s).name.clone())
+            .collect();
+        assert_eq!(arrivals, vec!["O".to_string(), "M".to_string()]);
+    }
+
+    #[test]
+    fn owner_upgrade_awaits_count_not_data() {
+        let ssp = mosi();
+        let o = ssp.cache.state_by_name("O").unwrap();
+        let entries = ssp.cache.entries_for(o, Trigger::Access(Access::Store));
+        let protogen_spec::Effect::Issue { chain, .. } = &entries[0].effect else {
+            panic!("O store should issue");
+        };
+        assert_eq!(chain.nodes[0].tag, "AC");
+    }
+}

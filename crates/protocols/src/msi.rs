@@ -1,0 +1,196 @@
+//! The MSI stable state protocol (Tables I and II of the paper).
+//!
+//! This is the canonical three-state directory protocol from Sorin, Hill &
+//! Wood's primer, specified atomically: three cache states (I, S, M), three
+//! directory states (I, S, M), Get/Put requests, directory-forwarded
+//! requests, and data/acknowledgment responses.
+
+use protogen_spec::{Access, Action, Guard, Perm, Ssp, SspBuilder};
+
+/// Builds the atomic MSI stable state protocol.
+///
+/// Cache specification (Table I):
+///
+/// | | load | store | replacement | Fwd-GetS | Fwd-GetM | Inv |
+/// |---|---|---|---|---|---|---|
+/// | I | GetS→S | GetM→M | | | | |
+/// | S | hit | GetM→M | PutS→I | | | Inv-Ack→I |
+/// | M | hit | hit | PutM→I | Data to req+dir→S | Data to req→I | |
+///
+/// Directory specification (Table II):
+///
+/// | | GetS | GetM | PutS | PutM |
+/// |---|---|---|---|---|
+/// | I | Data→S | Data+acks→M | | |
+/// | S | Data | Data+acks, Invs→M | Put-Ack, −sharer | |
+/// | M | fwd, await writeback→S | fwd | | Put-Ack→I |
+///
+/// # Example
+///
+/// ```
+/// let ssp = protogen_protocols::msi();
+/// assert_eq!(ssp.cache.states.len(), 3);
+/// assert_eq!(ssp.directory.states.len(), 3);
+/// ```
+pub fn msi() -> Ssp {
+    let mut b = SspBuilder::new("MSI");
+
+    // Messages.
+    let get_s = b.message("GetS", protogen_spec::MsgClass::Request);
+    let get_m = b.message("GetM", protogen_spec::MsgClass::Request);
+    let put_s = b.message("PutS", protogen_spec::MsgClass::Request);
+    let put_m = b.data_message("PutM", protogen_spec::MsgClass::Request);
+    let fwd_get_s = b.message("Fwd_GetS", protogen_spec::MsgClass::Forward);
+    let fwd_get_m = b.message("Fwd_GetM", protogen_spec::MsgClass::Forward);
+    let inv = b.message("Inv", protogen_spec::MsgClass::Forward);
+    let data = b.data_ack_message("Data", protogen_spec::MsgClass::Response);
+    let inv_ack = b.message("Inv_Ack", protogen_spec::MsgClass::Response);
+    let put_ack = b.message("Put_Ack", protogen_spec::MsgClass::Response);
+    // Put-Ack rides the forward network: it is a directory→cache message
+    // that must stay ordered behind forwards to the same cache (a Put-Ack
+    // overtaking a Fwd-GetM would let the old owner drop the only data
+    // copy before serving it).
+    b.assign_vnet(put_ack, protogen_spec::VirtualNet::Forward);
+
+    // Cache states.
+    let i = b.cache_state("I", Perm::None);
+    let s = b.cache_state("S", Perm::Read);
+    let m = b.cache_state("M", Perm::ReadWrite);
+
+    // Directory states (named after the owner/sharer situation they track,
+    // which is what pairs them with cache states during preprocessing).
+    let di = b.dir_state("I");
+    let ds = b.dir_state("S");
+    let dm = b.dir_state("M");
+
+    // ----- cache: Table I -----
+    // I
+    let req = b.send_req(get_s);
+    let chain = b.await_data(data, s);
+    b.cache_issue(i, Access::Load, req, chain);
+    let req = b.send_req(get_m);
+    let chain = b.await_data_acks(data, inv_ack, m);
+    b.cache_issue(i, Access::Store, req, chain);
+    // S
+    b.cache_hit(s, Access::Load);
+    let req = b.send_req(get_m);
+    let chain = b.await_data_acks(data, inv_ack, m);
+    b.cache_issue(s, Access::Store, req, chain);
+    let req = b.send_req(put_s);
+    let chain = b.await_ack(put_ack, i);
+    b.cache_issue(s, Access::Replacement, req, chain);
+    let ack = b.send_to_req(inv_ack);
+    b.cache_react(s, inv, vec![ack], Some(i));
+    // M
+    b.cache_hit(m, Access::Load);
+    b.cache_hit(m, Access::Store);
+    let req = b.send_req_data(put_m);
+    let chain = b.await_ack(put_ack, i);
+    b.cache_issue(m, Access::Replacement, req, chain);
+    let to_req = b.send_data_to_req(data);
+    let to_dir = b.send_data_to_dir(data);
+    b.cache_react(m, fwd_get_s, vec![to_req, to_dir], Some(s));
+    let to_req = b.send_data_to_req(data);
+    b.cache_react(m, fwd_get_m, vec![to_req], Some(i));
+
+    // ----- directory: Table II -----
+    // I
+    let d = b.send_data_to_req(data);
+    b.dir_react(di, get_s, vec![d, Action::AddReqToSharers], Some(ds));
+    let d = b.send_data_acks_to_req(data);
+    b.dir_react(di, get_m, vec![d, Action::SetOwnerToReq], Some(dm));
+    // S
+    let d = b.send_data_to_req(data);
+    b.dir_react(ds, get_s, vec![d, Action::AddReqToSharers], None);
+    let d = b.send_data_acks_to_req(data);
+    let invs = b.inv_sharers(inv);
+    b.dir_react(
+        ds,
+        get_m,
+        vec![d, invs, Action::SetOwnerToReq, Action::ClearSharers],
+        Some(dm),
+    );
+    let pa = b.send_to_req(put_ack);
+    b.dir_react_guarded(
+        ds,
+        put_s,
+        Guard::ReqIsLastSharer,
+        vec![pa, Action::RemoveReqFromSharers],
+        Some(di),
+    );
+    let pa = b.send_to_req(put_ack);
+    b.dir_react_guarded(
+        ds,
+        put_s,
+        Guard::ReqIsNotLastSharer,
+        vec![pa, Action::RemoveReqFromSharers],
+        None,
+    );
+    // M
+    let f = b.fwd_to_owner(fwd_get_s);
+    let chain = b.await_owner_data(data, ds);
+    b.dir_issue(
+        dm,
+        get_s,
+        vec![
+            f,
+            Action::AddReqToSharers,
+            Action::AddOwnerToSharers,
+            Action::ClearOwner,
+        ],
+        chain,
+    );
+    let f = b.fwd_to_owner(fwd_get_m);
+    b.dir_react(dm, get_m, vec![f, Action::SetOwnerToReq], None);
+    let pa = b.send_to_req(put_ack);
+    b.dir_react_guarded(
+        dm,
+        put_m,
+        Guard::ReqIsOwner,
+        vec![Action::CopyDataFromMsg, pa, Action::ClearOwner],
+        Some(di),
+    );
+
+    b.build().expect("MSI SSP is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protogen_spec::{MsgClass, Trigger};
+
+    #[test]
+    fn msi_is_valid() {
+        let ssp = msi();
+        assert_eq!(ssp.name, "MSI");
+        assert!(ssp.network_ordered);
+    }
+
+    #[test]
+    fn forwards_arrive_at_unique_states() {
+        // Table I: Fwd-GetS and Fwd-GetM at M only; Inv at S only. The SSP
+        // already satisfies the §V-A invariant without preprocessing.
+        let ssp = msi();
+        for (name, state) in [("Fwd_GetS", "M"), ("Fwd_GetM", "M"), ("Inv", "S")] {
+            let m = ssp.msg_by_name(name).unwrap();
+            let arrivals: Vec<_> = ssp
+                .cache
+                .state_ids()
+                .filter(|&s| ssp.cache.handles(s, Trigger::Msg(m)))
+                .collect();
+            assert_eq!(arrivals.len(), 1, "{name}");
+            assert_eq!(arrivals[0], ssp.cache.state_by_name(state).unwrap(), "{name}");
+        }
+    }
+
+    #[test]
+    fn message_classes_match_roles() {
+        let ssp = msi();
+        assert_eq!(ssp.msg(ssp.msg_by_name("GetS").unwrap()).class, MsgClass::Request);
+        assert_eq!(ssp.msg(ssp.msg_by_name("Inv").unwrap()).class, MsgClass::Forward);
+        assert_eq!(ssp.msg(ssp.msg_by_name("Data").unwrap()).class, MsgClass::Response);
+        assert!(ssp.msg(ssp.msg_by_name("Data").unwrap()).carries_data);
+        assert!(ssp.msg(ssp.msg_by_name("PutM").unwrap()).carries_data);
+        assert!(!ssp.msg(ssp.msg_by_name("PutS").unwrap()).carries_data);
+    }
+}

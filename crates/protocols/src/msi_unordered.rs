@@ -1,0 +1,174 @@
+//! MSI for an interconnect **without** point-to-point ordering (§VI-C).
+//!
+//! Two extra handshakes make the protocol order-insensitive:
+//!
+//! * the directory treats an ownership handoff (`Fwd_GetM`) as a
+//!   transaction: the old owner acknowledges the handoff with `Fwd_Ack`,
+//!   and the directory blocks until it arrives. This closes the race where
+//!   a stale `PutM`'s acknowledgment overtakes the forward and the old
+//!   owner drops the only data copy;
+//! * `network_ordered = false` makes the generated directory serialize
+//!   racing transactions by stalling the second (paper footnote 3).
+//!
+//! Everything else — invalidation acknowledgments counted by the requestor,
+//! the single access after invalidation, defensive acknowledgment of
+//! stale invalidations — already works without ordering.
+
+use protogen_spec::{
+    Access, Action, Guard, MsgClass, Perm, Ssp, SspBuilder, WaitArc, WaitChain, WaitNode, WaitTo,
+};
+
+/// Builds the atomic MSI protocol for unordered networks.
+///
+/// # Example
+///
+/// ```
+/// let ssp = protogen_protocols::msi_unordered();
+/// assert!(!ssp.network_ordered);
+/// assert!(ssp.msg_by_name("Fwd_Ack").is_some());
+/// ```
+pub fn msi_unordered() -> Ssp {
+    let mut b = SspBuilder::new("MSI-unordered");
+    b.network_ordered(false);
+
+    let get_s = b.message("GetS", MsgClass::Request);
+    let get_m = b.message("GetM", MsgClass::Request);
+    let put_s = b.message("PutS", MsgClass::Request);
+    let put_m = b.data_message("PutM", MsgClass::Request);
+    let fwd_get_s = b.message("Fwd_GetS", MsgClass::Forward);
+    let fwd_get_m = b.message("Fwd_GetM", MsgClass::Forward);
+    let inv = b.message("Inv", MsgClass::Forward);
+    let data = b.data_ack_message("Data", MsgClass::Response);
+    let inv_ack = b.message("Inv_Ack", MsgClass::Response);
+    let put_ack = b.message("Put_Ack", MsgClass::Response);
+    // The handshake: the old owner confirms it has processed the handoff.
+    let fwd_ack = b.message("Fwd_Ack", MsgClass::Response);
+
+    let i = b.cache_state("I", Perm::None);
+    let s = b.cache_state("S", Perm::Read);
+    let m = b.cache_state("M", Perm::ReadWrite);
+
+    let di = b.dir_state("I");
+    let ds = b.dir_state("S");
+    let dm = b.dir_state("M");
+
+    // ----- cache (Table I plus the handshake) -----
+    let req = b.send_req(get_s);
+    let chain = b.await_data(data, s);
+    b.cache_issue(i, Access::Load, req, chain);
+    let req = b.send_req(get_m);
+    let chain = b.await_data_acks(data, inv_ack, m);
+    b.cache_issue(i, Access::Store, req, chain);
+    b.cache_hit(s, Access::Load);
+    let req = b.send_req(get_m);
+    let chain = b.await_data_acks(data, inv_ack, m);
+    b.cache_issue(s, Access::Store, req, chain);
+    let req = b.send_req(put_s);
+    let chain = b.await_ack(put_ack, i);
+    b.cache_issue(s, Access::Replacement, req, chain);
+    let ack = b.send_to_req(inv_ack);
+    b.cache_react(s, inv, vec![ack], Some(i));
+    b.cache_hit(m, Access::Load);
+    b.cache_hit(m, Access::Store);
+    let req = b.send_req_data(put_m);
+    let chain = b.await_ack(put_ack, i);
+    b.cache_issue(m, Access::Replacement, req, chain);
+    let to_req = b.send_data_to_req(data);
+    let to_dir = b.send_data_to_dir(data);
+    b.cache_react(m, fwd_get_s, vec![to_req, to_dir], Some(s));
+    // Ownership handoff: serve the new owner *and* confirm to the
+    // directory.
+    let to_req = b.send_data_to_req(data);
+    let confirm = Action::Send(protogen_spec::SendSpec::new(fwd_ack, protogen_spec::Dst::Dir));
+    b.cache_react(m, fwd_get_m, vec![to_req, confirm], Some(i));
+
+    // ----- directory (Table II with blocking handoffs) -----
+    let d = b.send_data_to_req(data);
+    b.dir_react(di, get_s, vec![d, Action::AddReqToSharers], Some(ds));
+    let d = b.send_data_acks_to_req(data);
+    b.dir_react(di, get_m, vec![d, Action::SetOwnerToReq], Some(dm));
+    let d = b.send_data_to_req(data);
+    b.dir_react(ds, get_s, vec![d, Action::AddReqToSharers], None);
+    let d = b.send_data_acks_to_req(data);
+    let invs = b.inv_sharers(inv);
+    b.dir_react(
+        ds,
+        get_m,
+        vec![d, invs, Action::SetOwnerToReq, Action::ClearSharers],
+        Some(dm),
+    );
+    let pa = b.send_to_req(put_ack);
+    b.dir_react_guarded(
+        ds,
+        put_s,
+        Guard::ReqIsLastSharer,
+        vec![pa, Action::RemoveReqFromSharers],
+        Some(di),
+    );
+    let pa = b.send_to_req(put_ack);
+    b.dir_react_guarded(
+        ds,
+        put_s,
+        Guard::ReqIsNotLastSharer,
+        vec![pa, Action::RemoveReqFromSharers],
+        None,
+    );
+    let f = b.fwd_to_owner(fwd_get_s);
+    let chain = b.await_owner_data(data, ds);
+    b.dir_issue(
+        dm,
+        get_s,
+        vec![
+            f,
+            Action::AddReqToSharers,
+            Action::AddOwnerToSharers,
+            Action::ClearOwner,
+        ],
+        chain,
+    );
+    // The handshake transaction: block until the old owner confirms.
+    let f = b.fwd_to_owner(fwd_get_m);
+    let chain = WaitChain {
+        nodes: vec![WaitNode {
+            tag: "A".into(),
+            arcs: vec![WaitArc {
+                msg: fwd_ack,
+                guards: vec![],
+                actions: vec![],
+                to: WaitTo::Done(dm),
+            }],
+        }],
+    };
+    b.dir_issue(dm, get_m, vec![f, Action::SetOwnerToReq], chain);
+    let pa = b.send_to_req(put_ack);
+    b.dir_react_guarded(
+        dm,
+        put_m,
+        Guard::ReqIsOwner,
+        vec![Action::CopyDataFromMsg, pa, Action::ClearOwner],
+        Some(di),
+    );
+
+    b.build().expect("MSI-unordered SSP is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protogen_spec::Trigger;
+
+    #[test]
+    fn unordered_is_valid() {
+        let ssp = msi_unordered();
+        assert!(!ssp.network_ordered);
+    }
+
+    #[test]
+    fn handoff_blocks_for_confirmation() {
+        let ssp = msi_unordered();
+        let dm = ssp.directory.state_by_name("M").unwrap();
+        let get_m = ssp.msg_by_name("GetM").unwrap();
+        let entries = ssp.directory.entries_for(dm, Trigger::Msg(get_m));
+        assert!(matches!(entries[0].effect, protogen_spec::Effect::Issue { .. }));
+    }
+}

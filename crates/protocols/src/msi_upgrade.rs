@@ -1,0 +1,198 @@
+//! MSI with Upgrade requests — the reinterpretation example of §V-D1.
+//!
+//! A store to a block in S does not need data, only permission: the cache
+//! issues an **Upgrade** and the directory answers with an acknowledgment
+//! count (no data). The interesting race: if another store is ordered
+//! first, the upgrader is invalidated and must logically restart from I —
+//! where the same access issues a *different* request (GetM). The issued
+//! Upgrade cannot be rescinded, so the generated directory reinterprets an
+//! Upgrade that arrives for a non-sharer as the GetM the restart requires.
+
+use protogen_spec::{
+    AckSrc, Access, Action, Dst, Guard, MsgClass, Perm, ReqField, SendSpec, Ssp, SspBuilder,
+    VirtualNet,
+};
+
+/// Builds the atomic MSI+Upgrade stable state protocol.
+///
+/// Identical to [`crate::msi`] except stores from S issue `Upgrade` and the
+/// directory's S state answers upgrades from sharers with `AckCount`.
+///
+/// # Example
+///
+/// ```
+/// let ssp = protogen_protocols::msi_upgrade();
+/// assert!(ssp.msg_by_name("Upgrade").is_some());
+/// ```
+pub fn msi_upgrade() -> Ssp {
+    let mut b = SspBuilder::new("MSI-Upgrade");
+
+    let get_s = b.message("GetS", MsgClass::Request);
+    let get_m = b.message("GetM", MsgClass::Request);
+    let upgrade = b.message("Upgrade", MsgClass::Request);
+    let put_s = b.message("PutS", MsgClass::Request);
+    let put_m = b.data_message("PutM", MsgClass::Request);
+    let fwd_get_s = b.message("Fwd_GetS", MsgClass::Forward);
+    let fwd_get_m = b.message("Fwd_GetM", MsgClass::Forward);
+    let inv = b.message("Inv", MsgClass::Forward);
+    let data = b.data_ack_message("Data", MsgClass::Response);
+    let ack_count = b.ack_count_message("AckCount", MsgClass::Response);
+    let inv_ack = b.message("Inv_Ack", MsgClass::Response);
+    let put_ack = b.message("Put_Ack", MsgClass::Response);
+    b.assign_vnet(put_ack, VirtualNet::Forward);
+
+    let i = b.cache_state("I", Perm::None);
+    let s = b.cache_state("S", Perm::Read);
+    let m = b.cache_state("M", Perm::ReadWrite);
+
+    let di = b.dir_state("I");
+    let ds = b.dir_state("S");
+    let dm = b.dir_state("M");
+
+    // ----- cache -----
+    let req = b.send_req(get_s);
+    let chain = b.await_data(data, s);
+    b.cache_issue(i, Access::Load, req, chain);
+    let req = b.send_req(get_m);
+    let chain = b.await_data_acks(data, inv_ack, m);
+    b.cache_issue(i, Access::Store, req, chain);
+    b.cache_hit(s, Access::Load);
+    // The §V-D1 difference: stores from S upgrade in place. The await
+    // structure accepts *either* an AckCount (the Upgrade won) or a Data
+    // (+count) response (the Upgrade lost, was reinterpreted as GetM, and
+    // fresh data arrives).
+    let req = b.send_req(upgrade);
+    let mut chain = b.await_count_acks(ack_count, inv_ack, m);
+    let data_chain = b.await_data_acks(data, inv_ack, m);
+    chain.nodes[0].arcs.extend(data_chain.nodes[0].arcs.iter().filter(|a| a.msg == data).cloned());
+    b.cache_issue(s, Access::Store, req, chain);
+    let req = b.send_req(put_s);
+    let chain = b.await_ack(put_ack, i);
+    b.cache_issue(s, Access::Replacement, req, chain);
+    let ack = b.send_to_req(inv_ack);
+    b.cache_react(s, inv, vec![ack], Some(i));
+    b.cache_hit(m, Access::Load);
+    b.cache_hit(m, Access::Store);
+    let req = b.send_req_data(put_m);
+    let chain = b.await_ack(put_ack, i);
+    b.cache_issue(m, Access::Replacement, req, chain);
+    let to_req = b.send_data_to_req(data);
+    let to_dir = b.send_data_to_dir(data);
+    b.cache_react(m, fwd_get_s, vec![to_req, to_dir], Some(s));
+    let to_req = b.send_data_to_req(data);
+    b.cache_react(m, fwd_get_m, vec![to_req], Some(i));
+
+    // ----- directory -----
+    let d = b.send_data_to_req(data);
+    b.dir_react(di, get_s, vec![d, Action::AddReqToSharers], Some(ds));
+    let d = b.send_data_acks_to_req(data);
+    b.dir_react(di, get_m, vec![d, Action::SetOwnerToReq], Some(dm));
+    let d = b.send_data_to_req(data);
+    b.dir_react(ds, get_s, vec![d, Action::AddReqToSharers], None);
+    let d = b.send_data_acks_to_req(data);
+    let invs = b.inv_sharers(inv);
+    b.dir_react(
+        ds,
+        get_m,
+        vec![d, invs, Action::SetOwnerToReq, Action::ClearSharers],
+        Some(dm),
+    );
+    // Upgrade from a sharer: permission only. An Upgrade from a cache that
+    // is *not* a sharer lost a race and was invalidated; the generator's
+    // reinterpretation rule (§V-D1) treats it as the GetM the same store
+    // would issue from I.
+    let cnt = Action::Send(
+        SendSpec::new(ack_count, Dst::Req)
+            .acks(AckSrc::SharersExceptReqCount)
+            .req_field(ReqField::FromMsg),
+    );
+    let invs = b.inv_sharers(inv);
+    b.dir_react_guarded(
+        ds,
+        upgrade,
+        Guard::ReqInSharers,
+        vec![cnt, invs, Action::SetOwnerToReq, Action::ClearSharers],
+        Some(dm),
+    );
+    let pa = b.send_to_req(put_ack);
+    b.dir_react_guarded(
+        ds,
+        put_s,
+        Guard::ReqIsLastSharer,
+        vec![pa, Action::RemoveReqFromSharers],
+        Some(di),
+    );
+    let pa = b.send_to_req(put_ack);
+    b.dir_react_guarded(
+        ds,
+        put_s,
+        Guard::ReqIsNotLastSharer,
+        vec![pa, Action::RemoveReqFromSharers],
+        None,
+    );
+    let f = b.fwd_to_owner(fwd_get_s);
+    let chain = b.await_owner_data(data, ds);
+    b.dir_issue(
+        dm,
+        get_s,
+        vec![
+            f,
+            Action::AddReqToSharers,
+            Action::AddOwnerToSharers,
+            Action::ClearOwner,
+        ],
+        chain,
+    );
+    let f = b.fwd_to_owner(fwd_get_m);
+    b.dir_react(dm, get_m, vec![f, Action::SetOwnerToReq], None);
+    let pa = b.send_to_req(put_ack);
+    b.dir_react_guarded(
+        dm,
+        put_m,
+        Guard::ReqIsOwner,
+        vec![Action::CopyDataFromMsg, pa, Action::ClearOwner],
+        Some(di),
+    );
+
+    b.build().expect("MSI-Upgrade SSP is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protogen_spec::Trigger;
+
+    #[test]
+    fn upgrade_is_valid() {
+        msi_upgrade().validate().unwrap();
+    }
+
+    #[test]
+    fn store_from_s_issues_upgrade_not_getm() {
+        let ssp = msi_upgrade();
+        let s = ssp.cache.state_by_name("S").unwrap();
+        let entries = ssp.cache.entries_for(s, Trigger::Access(Access::Store));
+        let protogen_spec::Effect::Issue { request, .. } = &entries[0].effect else {
+            panic!("S store should issue");
+        };
+        let upgrade = ssp.msg_by_name("Upgrade").unwrap();
+        assert!(request
+            .iter()
+            .any(|a| matches!(a, Action::Send(sp) if sp.msg == upgrade)));
+    }
+
+    #[test]
+    fn upgrade_wait_accepts_count_or_data() {
+        // The upgrader may receive AckCount (it won) or Data (it lost and
+        // the directory reinterpreted the Upgrade as a GetM).
+        let ssp = msi_upgrade();
+        let s = ssp.cache.state_by_name("S").unwrap();
+        let entries = ssp.cache.entries_for(s, Trigger::Access(Access::Store));
+        let protogen_spec::Effect::Issue { chain, .. } = &entries[0].effect else {
+            panic!("S store should issue");
+        };
+        let msgs: Vec<_> = chain.nodes[0].arcs.iter().map(|a| a.msg).collect();
+        assert!(msgs.contains(&ssp.msg_by_name("AckCount").unwrap()));
+        assert!(msgs.contains(&ssp.msg_by_name("Data").unwrap()));
+    }
+}

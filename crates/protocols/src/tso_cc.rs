@@ -1,0 +1,164 @@
+//! A simplified TSO-CC stable state protocol (§VI-D).
+//!
+//! TSO-CC (Elver & Nagarajan, HPCA ’14) exploits the TSO consistency model
+//! to avoid sharer tracking entirely: the directory never sends
+//! invalidations, shared copies go stale when a writer proceeds, and caches
+//! *self-invalidate* their shared copies (on timeout or acquire in the real
+//! design). Physical-time SWMR is intentionally broken; TSO is preserved.
+//!
+//! Substitutions relative to the published protocol (design note N10 in
+//! DESIGN.md): the timestamp/epoch machinery that decides *when* to
+//! self-invalidate is abstracted into a nondeterministic silent S→I decay,
+//! which over-approximates every timeout policy; the model checker then
+//! verifies the invariants TSO-CC actually promises (single writer, data
+//! value at the writer, deadlock freedom) rather than physical SWMR.
+//!
+//! Structure kept from the paper's §VI-D exercise: a point-to-point-ordered
+//! SSP with owner forwarding, acknowledgment-free stores (no invalidations
+//! ⇒ nothing to count), and silent shared evictions (no PutS ⇒ no sharer
+//! list needed).
+
+use protogen_spec::{Access, Action, Guard, MsgClass, Perm, Ssp, SspBuilder, VirtualNet};
+
+/// Builds the simplified TSO-CC stable state protocol.
+///
+/// Cache states: I, S (self-invalidating), M. Directory states: I (no
+/// copies guaranteed), S (read copies may exist — untracked), M (owned).
+///
+/// # Example
+///
+/// ```
+/// let ssp = protogen_protocols::tso_cc();
+/// // No invalidation message exists: stores are acknowledgment-free.
+/// assert!(ssp.msg_by_name("Inv").is_none());
+/// ```
+pub fn tso_cc() -> Ssp {
+    let mut b = SspBuilder::new("TSO-CC");
+
+    let get_s = b.message("GetS", MsgClass::Request);
+    let get_m = b.message("GetM", MsgClass::Request);
+    let put_m = b.data_message("PutM", MsgClass::Request);
+    let fwd_get_s = b.message("Fwd_GetS", MsgClass::Forward);
+    let fwd_get_m = b.message("Fwd_GetM", MsgClass::Forward);
+    let data = b.data_ack_message("Data", MsgClass::Response);
+    let put_ack = b.message("Put_Ack", MsgClass::Response);
+    b.assign_vnet(put_ack, VirtualNet::Forward);
+
+    let i = b.cache_state("I", Perm::None);
+    let s = b.cache_state("S", Perm::Read);
+    let m = b.cache_state("M", Perm::ReadWrite);
+
+    let di = b.dir_state("I");
+    let ds = b.dir_state("S");
+    let dm = b.dir_state("M");
+
+    // ----- cache -----
+    let req = b.send_req(get_s);
+    let chain = b.await_data(data, s);
+    b.cache_issue(i, Access::Load, req, chain);
+    let req = b.send_req(get_m);
+    let chain = b.await_data(data, m);
+    b.cache_issue(i, Access::Store, req, chain);
+    b.cache_hit(s, Access::Load);
+    // Store from S: fetch ownership; no invalidations exist, so the data
+    // response alone completes the transaction. The local S copy may be
+    // stale (another writer may have run) — the received data is current.
+    let req = b.send_req(get_m);
+    let chain = b.await_data(data, m);
+    b.cache_issue(s, Access::Store, req, chain);
+    // Self-invalidation: shared copies are dropped silently (no PutS, no
+    // sharer list to clean). The checker exercises this nondeterministically
+    // at every opportunity, over-approximating any timeout/acquire policy.
+    b.cache_react_silent_replacement(s, i);
+    b.cache_hit(m, Access::Load);
+    b.cache_hit(m, Access::Store);
+    let req = b.send_req_data(put_m);
+    let chain = b.await_ack(put_ack, i);
+    b.cache_issue(m, Access::Replacement, req, chain);
+    let to_req = b.send_data_to_req(data);
+    let to_dir = b.send_data_to_dir(data);
+    b.cache_react(m, fwd_get_s, vec![to_req, to_dir], Some(s));
+    let to_req = b.send_data_to_req(data);
+    b.cache_react(m, fwd_get_m, vec![to_req], Some(i));
+
+    // ----- directory (no sharer list!) -----
+    let d = b.send_data_to_req(data);
+    b.dir_react(di, get_s, vec![d], Some(ds));
+    let d = b.send_data_to_req(data);
+    b.dir_react(di, get_m, vec![d, Action::SetOwnerToReq], Some(dm));
+    let d = b.send_data_to_req(data);
+    b.dir_react(ds, get_s, vec![d], None);
+    // Acknowledgment-free store: readers are *not* invalidated; their
+    // copies go stale and self-invalidate later. This is the TSO-CC trade.
+    let d = b.send_data_to_req(data);
+    b.dir_react(ds, get_m, vec![d, Action::SetOwnerToReq], Some(dm));
+    let f = b.fwd_to_owner(fwd_get_s);
+    let chain = b.await_owner_data(data, ds);
+    b.dir_issue(dm, get_s, vec![f, Action::ClearOwner], chain);
+    let f = b.fwd_to_owner(fwd_get_m);
+    b.dir_react(dm, get_m, vec![f, Action::SetOwnerToReq], None);
+    let pa = b.send_to_req(put_ack);
+    b.dir_react_guarded(
+        dm,
+        put_m,
+        Guard::ReqIsOwner,
+        vec![Action::CopyDataFromMsg, pa, Action::ClearOwner],
+        Some(di),
+    );
+
+    b.build().expect("TSO-CC SSP is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protogen_spec::Trigger;
+
+    #[test]
+    fn tso_cc_is_valid() {
+        tso_cc().validate().unwrap();
+    }
+
+    #[test]
+    fn no_invalidations_or_sharer_tracking() {
+        let ssp = tso_cc();
+        assert!(ssp.msg_by_name("Inv").is_none());
+        assert!(ssp.msg_by_name("Inv_Ack").is_none());
+        // No directory action ever touches a sharer list.
+        for e in &ssp.directory.entries {
+            let actions = match &e.effect {
+                protogen_spec::Effect::Local { actions, .. } => actions.clone(),
+                protogen_spec::Effect::Issue { request, .. } => request.clone(),
+            };
+            for a in actions {
+                assert!(
+                    !matches!(
+                        a,
+                        Action::AddReqToSharers
+                            | Action::AddOwnerToSharers
+                            | Action::RemoveReqFromSharers
+                            | Action::ClearSharers
+                    ),
+                    "sharer tracking found: {a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_eviction_is_silent() {
+        let ssp = tso_cc();
+        let s = ssp.cache.state_by_name("S").unwrap();
+        let entries = ssp.cache.entries_for(s, Trigger::Access(Access::Replacement));
+        assert_eq!(entries.len(), 1);
+        match &entries[0].effect {
+            protogen_spec::Effect::Local { actions, next } => {
+                assert!(actions
+                    .iter()
+                    .all(|a| !matches!(a, Action::Send(_))));
+                assert_eq!(*next, Some(ssp.cache.state_by_name("I").unwrap()));
+            }
+            other => panic!("expected silent eviction, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Operational semantics for generated protocol FSMs.
+//!
+//! Both the model checker (`protogen-mc`) and the performance simulator
+//! (`protogen-sim`) execute generated [`protogen_spec::Fsm`]s through this
+//! crate, so the machine that is verified is exactly the machine that is
+//! simulated.
+//!
+//! The runtime models one cache block (coherence protocols are specified
+//! per block, §IV-A): a [`CacheBlock`] per cache, one [`DirEntry`], and
+//! [`Msg`] values travelling between them.
+//!
+//! # Example
+//!
+//! ```
+//! use protogen_runtime::{CacheBlock, NodeId};
+//!
+//! let block = CacheBlock::new();
+//! assert_eq!(block.state.as_usize(), 0); // initial state I
+//! assert_eq!(NodeId(2).as_usize(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exec;
+mod msg;
+mod state;
+
+pub use exec::{apply, select_arc, ApplyOutcome, ExecError, MachineCtx};
+pub use msg::{Msg, NodeId, Val};
+pub use state::{CacheBlock, DirEntry};

@@ -1,0 +1,79 @@
+//! Messages and node identities.
+
+use protogen_spec::MsgId;
+use std::fmt;
+
+/// A node in the system: caches are `0..n_caches`, the directory is
+/// `n_caches`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u8);
+
+impl NodeId {
+    /// Returns the id as an index.
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A data value. The value domain is kept tiny so the model checker's state
+/// space stays bounded (the standard Murϕ discipline).
+pub type Val = u8;
+
+/// One coherence message in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Msg {
+    /// Message type.
+    pub mtype: MsgId,
+    /// Physical sender.
+    pub src: NodeId,
+    /// Destination.
+    pub dst: NodeId,
+    /// The requestor on whose behalf the message travels (for forwarded
+    /// requests this is the cache that initiated the racing transaction,
+    /// not the directory that forwarded it).
+    pub req: NodeId,
+    /// Acknowledgment count, when the message type carries one.
+    pub ack_count: Option<u8>,
+    /// Block data, when the message type carries it.
+    pub data: Option<Val>,
+}
+
+impl fmt::Display for Msg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}→{} req={}", self.mtype, self.src, self.dst, self.req)?;
+        if let Some(a) = self.ack_count {
+            write!(f, " acks={a}")?;
+        }
+        if let Some(d) = self.data {
+            write!(f, " data={d}")?;
+        }
+        f.write_str("]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shows_route_and_payload() {
+        let m = Msg {
+            mtype: MsgId(3),
+            src: NodeId(0),
+            dst: NodeId(2),
+            req: NodeId(0),
+            ack_count: Some(2),
+            data: Some(1),
+        };
+        let s = m.to_string();
+        assert!(s.contains("n0→n2"));
+        assert!(s.contains("acks=2"));
+        assert!(s.contains("data=1"));
+    }
+}

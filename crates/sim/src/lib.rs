@@ -1,0 +1,362 @@
+//! Discrete-event performance simulation of generated protocols.
+//!
+//! The ProtoGen paper motivates non-stalling protocols by performance:
+//! stalling "will delay the start of the coherence permission epoch" and
+//! "block incoming coherence messages" (§V-D2). This crate runs the
+//! *generated* controllers — the same FSMs the model checker verified —
+//! over a latency-modelled interconnect with synthetic sharing workloads,
+//! so the stalling-vs-non-stalling comparison (experiment E10 in
+//! DESIGN.md) is measured, not asserted.
+//!
+//! The system simulates one contended cache block (coherence is specified
+//! and generated per block), N cores issuing accesses with a configurable
+//! think time, per-`(src,dst)` ordered channels with a fixed hop latency,
+//! and controllers that process at most one message per cycle. A stalled
+//! message blocks its channel; other channels continue.
+//!
+//! # Example
+//!
+//! ```
+//! use protogen_core::{generate, GenConfig};
+//! use protogen_sim::{simulate, SimConfig};
+//!
+//! let g = generate(&protogen_protocols::msi(), &GenConfig::non_stalling()).unwrap();
+//! let cfg = SimConfig { accesses_per_core: 50, ..SimConfig::default() };
+//! let r = simulate(&g.cache, &g.directory, &cfg).unwrap();
+//! assert_eq!(r.completed, 50 * cfg.n_caches);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use protogen_runtime::{apply, select_arc, CacheBlock, DirEntry, ExecError, MachineCtx, Msg, NodeId};
+use protogen_spec::{Access, ArcKind, Event, Fsm};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Synthetic sharing patterns over the contended block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Every core reads and writes with the given store percentage —
+    /// maximal racing, the situation §V-D2's transient states exist for.
+    Mixed {
+        /// Percentage of accesses that are stores (0–100).
+        store_pct: u8,
+    },
+    /// Core 0 writes, every other core reads (producer/consumer).
+    ProducerConsumer,
+    /// Cores alternate reading and writing (migratory sharing).
+    Migratory,
+    /// Only core 0 touches the block (no contention baseline).
+    Private,
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of caches.
+    pub n_caches: usize,
+    /// Network latency in cycles for every hop.
+    pub net_latency: u64,
+    /// Cycles a core waits between completing one access and issuing the
+    /// next.
+    pub think_time: u64,
+    /// Accesses each core performs.
+    pub accesses_per_core: usize,
+    /// The sharing pattern.
+    pub workload: Workload,
+    /// RNG seed (simulations are deterministic given a seed).
+    pub seed: u64,
+    /// Safety limit on simulated cycles.
+    pub max_cycles: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            n_caches: 4,
+            net_latency: 8,
+            think_time: 2,
+            accesses_per_core: 200,
+            workload: Workload::Mixed { store_pct: 50 },
+            seed: 0xC0FFEE,
+            max_cycles: 50_000_000,
+        }
+    }
+}
+
+/// Aggregated measurements.
+#[derive(Debug, Clone, Default)]
+pub struct SimResult {
+    /// Accesses completed (hits + transaction completions).
+    pub completed: usize,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Mean cycles from issue to completion over *miss* transactions.
+    pub avg_miss_latency: f64,
+    /// Number of cycles any controller spent with a stalled message at a
+    /// channel head (the paper's stalling cost).
+    pub stall_cycles: u64,
+    /// Coherence messages delivered.
+    pub messages: u64,
+}
+
+struct Channel {
+    queue: VecDeque<(u64, Msg)>, // (deliverable-at, message)
+}
+
+/// Runs the simulation.
+///
+/// # Errors
+///
+/// Returns an [`ExecError`] if the generated FSM misbehaves (which the
+/// model checker rules out for verified protocols) or if `max_cycles`
+/// elapses without completing the workload.
+pub fn simulate(cache_fsm: &Fsm, dir_fsm: &Fsm, cfg: &SimConfig) -> Result<SimResult, ExecError> {
+    let n = cfg.n_caches;
+    let dir_id = NodeId(n as u8);
+    let total = n + 1;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let mut caches: Vec<CacheBlock> = vec![CacheBlock::new(); n];
+    let mut dir = DirEntry::new(0);
+    let mut chans: Vec<Vec<Channel>> = (0..total)
+        .map(|_| (0..total).map(|_| Channel { queue: VecDeque::new() }).collect())
+        .collect();
+
+    let mut remaining: Vec<usize> = vec![cfg.accesses_per_core; n];
+    if cfg.workload == Workload::Private {
+        for r in remaining.iter_mut().skip(1) {
+            *r = 0;
+        }
+    }
+    let mut next_issue: Vec<u64> = vec![0; n];
+    let mut issue_time: Vec<Option<u64>> = vec![None; n];
+    let mut result = SimResult::default();
+    let mut miss_latency_sum: u64 = 0;
+    let mut misses: usize = 0;
+
+    let mut t: u64 = 0;
+    while remaining.iter().any(|&r| r > 0)
+        || caches.iter().any(|c| c.pending.is_some())
+        || chans.iter().flatten().any(|c| !c.queue.is_empty())
+    {
+        if t > cfg.max_cycles {
+            return Err(ExecError::MissingMsg(format!(
+                "simulation exceeded {} cycles (livelock?)",
+                cfg.max_cycles
+            )));
+        }
+
+        // 1. Deliver at most one ripe message per destination.
+        for dst in 0..total {
+            let mut delivered = false;
+            let mut stalled_here = false;
+            for src in 0..total {
+                if delivered {
+                    break;
+                }
+                let Some(&(ready, msg)) = chans[src][dst].queue.front() else { continue };
+                if ready > t {
+                    continue;
+                }
+                let arc = if dst == n {
+                    select_arc(dir_fsm, dir.state, Event::Msg(msg.mtype), Some(&msg), None, Some(&dir))
+                } else {
+                    select_arc(
+                        cache_fsm,
+                        caches[dst].state,
+                        Event::Msg(msg.mtype),
+                        Some(&msg),
+                        Some(&caches[dst]),
+                        None,
+                    )
+                };
+                let Some(arc) = arc else {
+                    return Err(ExecError::MissingMsg(format!(
+                        "unexpected {msg} at node {dst} (protocol incomplete)"
+                    )));
+                };
+                if arc.kind == ArcKind::Stall {
+                    stalled_here = true;
+                    continue; // blocks this channel; try other sources
+                }
+                chans[src][dst].queue.pop_front();
+                let outcome = if dst == n {
+                    apply(dir_fsm, arc, Some(&msg), MachineCtx::Dir { entry: &mut dir, self_id: dir_id }, 0)?
+                } else {
+                    apply(
+                        cache_fsm,
+                        arc,
+                        Some(&msg),
+                        MachineCtx::Cache { block: &mut caches[dst], self_id: NodeId(dst as u8), dir_id },
+                        0,
+                    )?
+                };
+                result.messages += 1;
+                delivered = true;
+                if outcome.performed.is_some() {
+                    if let Some(start) = issue_time[dst].take() {
+                        miss_latency_sum += t - start;
+                        misses += 1;
+                        result.completed += 1;
+                        next_issue[dst] = t + cfg.think_time;
+                    }
+                }
+                for m in outcome.outgoing {
+                    chans[m.src.as_usize()][m.dst.as_usize()]
+                        .queue
+                        .push_back((t + cfg.net_latency, m));
+                }
+            }
+            if stalled_here && !delivered {
+                result.stall_cycles += 1;
+            }
+        }
+
+        // 2. Cores issue accesses.
+        for c in 0..n {
+            if remaining[c] == 0 || caches[c].pending.is_some() || next_issue[c] > t {
+                continue;
+            }
+            let access = pick_access(cfg.workload, c, &mut rng, cfg.accesses_per_core - remaining[c]);
+            let arc = select_arc(cache_fsm, caches[c].state, Event::Access(access), None, Some(&caches[c]), None);
+            let Some(arc) = arc else {
+                // The SSP defines no behaviour (replacement of an invalid
+                // block): trivially complete.
+                remaining[c] -= 1;
+                result.completed += 1;
+                next_issue[c] = t + cfg.think_time;
+                continue;
+            };
+            if arc.kind == ArcKind::Stall {
+                continue; // retry next cycle
+            }
+            let outcome = apply(
+                cache_fsm,
+                arc,
+                None,
+                MachineCtx::Cache { block: &mut caches[c], self_id: NodeId(c as u8), dir_id },
+                0,
+            )?;
+            remaining[c] -= 1;
+            if outcome.performed.is_some() {
+                result.completed += 1; // hit
+                next_issue[c] = t + cfg.think_time;
+            } else {
+                issue_time[c] = Some(t); // miss: a transaction is in flight
+            }
+            for m in outcome.outgoing {
+                chans[m.src.as_usize()][m.dst.as_usize()]
+                    .queue
+                    .push_back((t + cfg.net_latency, m));
+            }
+        }
+
+        t += 1;
+    }
+
+    result.cycles = t;
+    result.avg_miss_latency =
+        if misses > 0 { miss_latency_sum as f64 / misses as f64 } else { 0.0 };
+    Ok(result)
+}
+
+fn pick_access(w: Workload, core: usize, rng: &mut StdRng, step: usize) -> Access {
+    match w {
+        Workload::Mixed { store_pct } => {
+            if rng.gen_range(0..100u8) < store_pct {
+                Access::Store
+            } else {
+                Access::Load
+            }
+        }
+        Workload::ProducerConsumer => {
+            if core == 0 {
+                Access::Store
+            } else {
+                Access::Load
+            }
+        }
+        Workload::Migratory => {
+            if step % 2 == 0 {
+                Access::Load
+            } else {
+                Access::Store
+            }
+        }
+        Workload::Private => {
+            if step % 4 == 0 {
+                Access::Store
+            } else {
+                Access::Load
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protogen_core::{generate, GenConfig};
+
+    fn run(cfg_gen: GenConfig, workload: Workload) -> SimResult {
+        let g = generate(&protogen_protocols::msi(), &cfg_gen).unwrap();
+        let cfg = SimConfig { accesses_per_core: 100, workload, ..SimConfig::default() };
+        simulate(&g.cache, &g.directory, &cfg).unwrap()
+    }
+
+    #[test]
+    fn workload_completes_all_accesses() {
+        let r = run(GenConfig::non_stalling(), Workload::Mixed { store_pct: 50 });
+        assert_eq!(r.completed, 4 * 100);
+        assert!(r.cycles > 0);
+        assert!(r.messages > 0);
+    }
+
+    #[test]
+    fn nonstalling_never_loses_to_stalling_under_contention() {
+        // The paper's performance claim (E10): under racing transactions
+        // the non-stalling protocol finishes no later and stalls less.
+        let st = run(GenConfig::stalling(), Workload::Mixed { store_pct: 50 });
+        let ns = run(GenConfig::non_stalling(), Workload::Mixed { store_pct: 50 });
+        assert!(
+            ns.cycles <= st.cycles,
+            "non-stalling {} cycles vs stalling {}",
+            ns.cycles,
+            st.cycles
+        );
+        assert!(ns.stall_cycles <= st.stall_cycles);
+    }
+
+    #[test]
+    fn private_workload_has_no_contention_gap() {
+        let st = run(GenConfig::stalling(), Workload::Private);
+        let ns = run(GenConfig::non_stalling(), Workload::Private);
+        // Without racing transactions the two protocols behave identically.
+        assert_eq!(st.cycles, ns.cycles);
+        assert_eq!(st.stall_cycles, 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(GenConfig::non_stalling(), Workload::Migratory);
+        let b = run(GenConfig::non_stalling(), Workload::Migratory);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.messages, b.messages);
+    }
+
+    #[test]
+    fn all_protocols_simulate_cleanly() {
+        for ssp in protogen_protocols::all() {
+            for gc in [GenConfig::stalling(), GenConfig::non_stalling()] {
+                let g = generate(&ssp, &gc).unwrap();
+                let cfg = SimConfig { accesses_per_core: 40, n_caches: 3, ..SimConfig::default() };
+                let r = simulate(&g.cache, &g.directory, &cfg)
+                    .unwrap_or_else(|e| panic!("{} ({:?}): {e}", ssp.name, gc.concurrency));
+                assert_eq!(r.completed, 3 * 40, "{}", ssp.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or validating protocol specifications.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The specification is structurally invalid.
+    Invalid(String),
+    /// A name was referenced that is not declared.
+    UnknownName(String),
+    /// A name was declared twice.
+    DuplicateName(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Invalid(msg) => write!(f, "invalid specification: {msg}"),
+            SpecError::UnknownName(name) => write!(f, "unknown name `{name}`"),
+            SpecError::DuplicateName(name) => write!(f, "duplicate name `{name}`"),
+        }
+    }
+}
+
+impl Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = SpecError::Invalid("wait node 3 unreachable".into());
+        let s = e.to_string();
+        assert!(s.starts_with("invalid"));
+        assert!(s.contains("wait node 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SpecError>();
+    }
+}

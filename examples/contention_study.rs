@@ -1,0 +1,58 @@
+//! The §VI-B performance argument, measured: stalling vs non-stalling
+//! protocols under increasing write contention (experiment E10).
+//!
+//! ```sh
+//! cargo run --release --example contention_study
+//! ```
+
+use protogen::gen::{generate, GenConfig};
+use protogen::sim::{simulate, SimConfig, Workload};
+
+fn main() {
+    let ssp = protogen::protocols::msi();
+    let stalling = generate(&ssp, &GenConfig::stalling()).unwrap();
+    let non_stalling = generate(&ssp, &GenConfig::non_stalling()).unwrap();
+
+    println!("MSI, 4 cores, one contended block, 200 accesses/core");
+    println!(
+        "{:>9} | {:>12} {:>12} {:>9} | {:>12} {:>12} {:>9} | {:>7}",
+        "store %", "stall cyc", "stall-stall", "lat", "nstall cyc", "nstall-stall", "lat", "speedup"
+    );
+    for store_pct in [0u8, 10, 25, 50, 75, 100] {
+        let cfg = SimConfig {
+            workload: Workload::Mixed { store_pct },
+            ..SimConfig::default()
+        };
+        let a = simulate(&stalling.cache, &stalling.directory, &cfg).unwrap();
+        let b = simulate(&non_stalling.cache, &non_stalling.directory, &cfg).unwrap();
+        println!(
+            "{:>9} | {:>12} {:>12} {:>9.1} | {:>12} {:>12} {:>9.1} | {:>6.3}x",
+            store_pct,
+            a.cycles,
+            a.stall_cycles,
+            a.avg_miss_latency,
+            b.cycles,
+            b.stall_cycles,
+            b.avg_miss_latency,
+            a.cycles as f64 / b.cycles as f64
+        );
+    }
+
+    println!("\nsharing patterns (50%-store mixed shown above):");
+    for (name, w) in [
+        ("producer-consumer", Workload::ProducerConsumer),
+        ("migratory", Workload::Migratory),
+        ("private", Workload::Private),
+    ] {
+        let cfg = SimConfig { workload: w, ..SimConfig::default() };
+        let a = simulate(&stalling.cache, &stalling.directory, &cfg).unwrap();
+        let b = simulate(&non_stalling.cache, &non_stalling.directory, &cfg).unwrap();
+        println!(
+            "{:>18}: stalling {:>8} cycles, non-stalling {:>8} cycles ({:.3}x)",
+            name,
+            a.cycles,
+            b.cycles,
+            a.cycles as f64 / b.cycles as f64
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Author a brand-new protocol in the DSL and push it through the whole
+//! pipeline: parse → generate → verify → render.
+//!
+//! The protocol here is a two-state Valid/Invalid write-through design —
+//! deliberately *not* one of the built-ins — showing what a downstream
+//! user does with the toolchain.
+//!
+//! ```sh
+//! cargo run --example custom_protocol
+//! ```
+
+use protogen::backend::{render_table, TableOptions};
+use protogen::gen::{generate, GenConfig};
+use protogen::mc::{McConfig, ModelChecker};
+
+const VI_PROTOCOL: &str = r#"
+    // A minimal VI (Valid/Invalid) protocol: every store fetches an
+    // exclusive copy; there is no shared state at all.
+    protocol VI;
+    network ordered;
+
+    message Get : request;
+    message Put : request { data };
+    message Fwd_Get : forward;
+    message Data : response { data, acks };
+    message Put_Ack : response on forward_net;
+
+    cache {
+        state I;
+        state V readwrite;
+    }
+    directory {
+        state I;
+        state V;
+    }
+
+    architecture cache {
+        process(I, load) {
+            reset_acks;
+            send Get to dir;
+            await D { when Data: copy_data; perform; -> V; }
+        }
+        process(I, store) {
+            reset_acks;
+            send Get to dir;
+            await D { when Data: copy_data; perform; -> V; }
+        }
+        process(V, load) { perform; }
+        process(V, store) { perform; }
+        process(V, replacement) {
+            reset_acks;
+            send Put(data) to dir;
+            await A { when Put_Ack: perform; -> I; }
+        }
+        process(V, Fwd_Get) { send Data(data) to req; -> I; }
+    }
+
+    architecture directory {
+        process(I, Get) { send Data(data) to req; set_owner; -> V; }
+        process(V, Get) { send Fwd_Get to owner; set_owner; }
+        process(V, Put) if owner { copy_data; send Put_Ack to req; clear_owner; -> I; }
+    }
+"#;
+
+fn main() {
+    let ssp = protogen::dsl::parse_protocol(VI_PROTOCOL).expect("VI protocol parses");
+    let g = generate(&ssp, &GenConfig::non_stalling()).expect("VI protocol generates");
+    println!("{}", g.report);
+    println!("{}", render_table(&g.cache, &TableOptions::default()));
+    let r = ModelChecker::new(&g.cache, &g.directory, McConfig::with_caches(3)).run();
+    println!(
+        "verification with 3 caches: {} ({} states explored in {:.2}s)",
+        if r.passed() { "PASSED" } else { "FAILED" },
+        r.states,
+        r.seconds
+    );
+    if let Some(v) = r.violation {
+        println!("violation: {}", v.kind);
+        for line in v.trace {
+            println!("  {line}");
+        }
+        std::process::exit(1);
+    }
+}

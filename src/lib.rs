@@ -1,0 +1,45 @@
+//! **protogen** — automatically generate concurrent directory cache
+//! coherence protocols from atomic (stable-state) specifications.
+//!
+//! A reproduction of *ProtoGen: Automatically Generating Directory Cache
+//! Coherence Protocols from Atomic Specifications* (Oswald, Nagarajan &
+//! Sorin, ISCA 2018). This facade crate re-exports the workspace:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`spec`] | `protogen-spec` | Protocol IR: SSPs and generated FSMs |
+//! | [`dsl`] | `protogen-dsl` | The specification language front-end |
+//! | [`gen`] | `protogen-core` | The ProtoGen generation algorithm |
+//! | [`runtime`] | `protogen-runtime` | Executable FSM semantics |
+//! | [`mc`] | `protogen-mc` | Explicit-state model checker (Murϕ substrate) |
+//! | [`sim`] | `protogen-sim` | Discrete-event performance simulator |
+//! | [`protocols`] | `protogen-protocols` | MSI, MESI, MOSI, Upgrade, unordered, TSO-CC |
+//! | [`backend`] | `protogen-backend` | Tables, DOT, Murϕ text, diffing |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use protogen::gen::{generate, GenConfig};
+//! use protogen::mc::{McConfig, ModelChecker};
+//!
+//! // 1. Take an atomic specification (Tables I/II of the paper)…
+//! let ssp = protogen::protocols::msi();
+//! // 2. …generate the complete concurrent protocol…
+//! let g = generate(&ssp, &GenConfig::non_stalling()).unwrap();
+//! assert_eq!(g.cache.state_count(), 18); // Table VI's transient states
+//! // 3. …and verify it for SWMR and deadlock freedom.
+//! let r = ModelChecker::new(&g.cache, &g.directory, McConfig::with_caches(2)).run();
+//! assert!(r.passed());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use protogen_backend as backend;
+pub use protogen_core as gen;
+pub use protogen_dsl as dsl;
+pub use protogen_mc as mc;
+pub use protogen_protocols as protocols;
+pub use protogen_runtime as runtime;
+pub use protogen_sim as sim;
+pub use protogen_spec as spec;

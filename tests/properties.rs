@@ -1,0 +1,120 @@
+//! Property-based tests on generator and runtime invariants.
+
+use proptest::prelude::*;
+use protogen::gen::{generate, minimize, preprocess, GenConfig};
+use protogen::mc::{permutations, SysState};
+use protogen::sim::{simulate, SimConfig, Workload};
+use protogen_runtime::NodeId;
+
+fn any_gen_config() -> impl Strategy<Value = GenConfig> {
+    (any::<bool>(), any::<bool>(), any::<bool>(), 1usize..=4).prop_map(
+        |(stalling, conservative, cleanup, limit)| {
+            let mut cfg = if stalling { GenConfig::stalling() } else { GenConfig::non_stalling() };
+            cfg.transient_access = if conservative {
+                protogen::gen::TransientAccessPolicy::Conservative
+            } else {
+                protogen::gen::TransientAccessPolicy::Paper
+            };
+            cfg.dir_stale_put_cleanup = cleanup;
+            cfg.pending_limit = limit;
+            cfg
+        },
+    )
+}
+
+fn protocol_index() -> impl Strategy<Value = usize> {
+    0usize..protogen::protocols::all().len()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generation never panics or errors over the whole configuration
+    /// space, and always yields well-formed machines: state 0 stable,
+    /// every arc in range, every stall a self-loop.
+    #[test]
+    fn generation_is_total_and_wellformed(cfg in any_gen_config(), pi in protocol_index()) {
+        let ssp = &protogen::protocols::all()[pi];
+        let g = generate(ssp, &cfg).expect("generation succeeds");
+        for fsm in [&g.cache, &g.directory] {
+            prop_assert!(fsm.state(protogen::spec::FsmStateId(0)).is_stable());
+            for a in &fsm.arcs {
+                prop_assert!(a.from.as_usize() < fsm.state_count());
+                prop_assert!(a.to.as_usize() < fsm.state_count());
+                if a.kind == protogen::spec::ArcKind::Stall {
+                    prop_assert_eq!(a.from, a.to);
+                    prop_assert!(a.actions.is_empty());
+                }
+            }
+        }
+    }
+
+    /// Preprocessing is idempotent: the renamed protocol needs no further
+    /// renames.
+    #[test]
+    fn preprocessing_is_idempotent(pi in protocol_index()) {
+        let ssp = &protogen::protocols::all()[pi];
+        let (once, _) = preprocess(ssp).expect("preprocess");
+        let (twice, renames) = preprocess(&once).expect("preprocess again");
+        prop_assert!(renames.is_empty());
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Minimization is idempotent and never grows the machine.
+    #[test]
+    fn minimization_is_idempotent(cfg in any_gen_config(), pi in protocol_index()) {
+        let ssp = &protogen::protocols::all()[pi];
+        let g = generate(ssp, &cfg).expect("generation succeeds");
+        for fsm in [&g.cache, &g.directory] {
+            let (again, merges) = minimize(fsm);
+            prop_assert!(merges.is_empty(), "{:?}", merges);
+            prop_assert_eq!(again.state_count(), fsm.state_count());
+        }
+    }
+
+    /// Symmetry canonicalization: permuting cache identities never changes
+    /// the canonical encoding (the Murϕ scalarset property).
+    #[test]
+    fn canonical_encoding_is_permutation_invariant(
+        owner in 0u8..3,
+        sharers in 0u8..8,
+        ghost in 0u8..2,
+        perm_idx in 0usize..6,
+    ) {
+        let perms = permutations(3);
+        let mut s = SysState::initial(3);
+        s.dir.owner = Some(NodeId(owner));
+        s.dir.sharers = sharers;
+        s.ghost = ghost;
+        let permuted = s.permuted(&perms[perm_idx]);
+        prop_assert_eq!(
+            s.canonical_encoding(&perms),
+            permuted.canonical_encoding(&perms)
+        );
+    }
+
+    /// Every verified protocol completes every workload in simulation —
+    /// no livelock, no lost accesses — under random parameters.
+    #[test]
+    fn simulation_always_completes(
+        pi in protocol_index(),
+        stalling in any::<bool>(),
+        seed in any::<u64>(),
+        store_pct in 0u8..=100,
+        latency in 1u64..20,
+    ) {
+        let ssp = &protogen::protocols::all()[pi];
+        let cfg = if stalling { GenConfig::stalling() } else { GenConfig::non_stalling() };
+        let g = generate(ssp, &cfg).expect("generation succeeds");
+        let sim_cfg = SimConfig {
+            n_caches: 3,
+            accesses_per_core: 30,
+            workload: Workload::Mixed { store_pct },
+            seed,
+            net_latency: latency,
+            ..SimConfig::default()
+        };
+        let r = simulate(&g.cache, &g.directory, &sim_cfg).expect("simulation completes");
+        prop_assert_eq!(r.completed, 90);
+    }
+}
