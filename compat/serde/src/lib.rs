@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`: no-op `Serialize`/`Deserialize` derives.
+//!
+//! The workspace's IR types carry `#[derive(Serialize, Deserialize)]` so
+//! they are serde-ready the moment the real dependency is available; until
+//! then these derives expand to nothing. See `compat/README.md`.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

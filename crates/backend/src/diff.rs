@@ -2,7 +2,7 @@
 //! generated-vs-primer methodology).
 
 use protogen_spec::{ArcKind, Event, Fsm};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Differences between two controllers.
 #[derive(Debug, Clone, Default)]
@@ -19,9 +19,7 @@ pub struct FsmDiff {
 impl FsmDiff {
     /// No differences at all.
     pub fn is_empty(&self) -> bool {
-        self.only_left.is_empty()
-            && self.only_right.is_empty()
-            && self.stall_differences.is_empty()
+        self.only_left.is_empty() && self.only_right.is_empty() && self.stall_differences.is_empty()
     }
 }
 
@@ -50,28 +48,35 @@ pub fn diff(left: &Fsm, right: &Fsm) -> FsmDiff {
             continue;
         };
         // Compare stall behaviour per event, keyed by message name so the
-        // machines may use different message id spaces.
-        let events = |f: &Fsm, s| -> Vec<(String, bool)> {
-            f.arcs
-                .iter()
-                .filter(|a| a.from == s)
-                .map(|a| {
-                    let label = match a.event {
-                        Event::Access(acc) => acc.to_string(),
-                        Event::Msg(m) => f.msg(m).name.clone(),
-                    };
-                    (label, a.kind == ArcKind::Stall)
-                })
-                .collect()
-        };
-        for (label, lstall) in events(left, ls) {
-            for (rlabel, rstall) in events(right, rs) {
-                if label == rlabel && lstall != rstall {
-                    let (staller, actor) = if lstall { ("left", "right") } else { ("right", "left") };
-                    d.stall_differences.push(format!(
-                        "{name} + {label}: {staller} stalls, {actor} acts"
-                    ));
+        // machines may use different message id spaces. Guarded entries can
+        // legitimately mix stalling and acting arcs on one (state, event)
+        // pair, so aggregate per label: a difference exists only when one
+        // machine stalls on an event the other handles without ever
+        // stalling.
+        let events = |f: &Fsm, s| -> BTreeMap<String, (bool, bool)> {
+            let mut m: BTreeMap<String, (bool, bool)> = BTreeMap::new();
+            for a in f.arcs.iter().filter(|a| a.from == s) {
+                let label = match a.event {
+                    Event::Access(acc) => acc.to_string(),
+                    Event::Msg(m) => f.msg(m).name.clone(),
+                };
+                let entry = m.entry(label).or_default();
+                if a.kind == ArcKind::Stall {
+                    entry.0 = true;
+                } else {
+                    entry.1 = true;
                 }
+            }
+            m
+        };
+        let revents = events(right, rs);
+        for (label, (lstall, lact)) in events(left, ls) {
+            let Some(&(rstall, ract)) = revents.get(&label) else { continue };
+            if lstall && !rstall && ract {
+                d.stall_differences.push(format!("{name} + {label}: left stalls, right acts"));
+            }
+            if rstall && !lstall && lact {
+                d.stall_differences.push(format!("{name} + {label}: right stalls, left acts"));
             }
         }
     }

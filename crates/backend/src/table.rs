@@ -1,8 +1,6 @@
 //! Render a generated FSM as a table in the style of the paper's Table VI.
 
-use protogen_spec::{
-    Access, AccessSummary, ArcKind, ArcNote, Event, Fsm, Guard, MsgClass,
-};
+use protogen_spec::{Access, AccessSummary, ArcKind, ArcNote, Event, Fsm, Guard, MsgClass};
 
 /// Rendering options.
 #[derive(Debug, Clone)]
@@ -106,11 +104,9 @@ pub fn render_table(fsm: &Fsm, opts: &TableOptions) -> String {
                         .actions
                         .iter()
                         .filter_map(|act| match act {
-                            protogen_spec::Action::Send(sp) => Some(format!(
-                                "{}>{}",
-                                fsm.msg(sp.msg).name,
-                                sp.dst
-                            )),
+                            protogen_spec::Action::Send(sp) => {
+                                Some(format!("{}>{}", fsm.msg(sp.msg).name, sp.dst))
+                            }
                             _ => None,
                         })
                         .collect();
@@ -125,7 +121,8 @@ pub fn render_table(fsm: &Fsm, opts: &TableOptions) -> String {
                 }
                 cells.push(cell);
             }
-            row.push(cells.join(" | "));
+            // `|` inside a cell would break the Markdown table grid.
+            row.push(cells.join(if opts.markdown { " ; " } else { " | " }));
         }
         rows.push(row);
     }
@@ -257,7 +254,10 @@ pub fn render_ssp_table(ssp: &protogen_spec::Ssp, kind: protogen_spec::MachineKi
     layout(&headers, &rows, false)
 }
 
-fn first_send_name_ssp(ssp: &protogen_spec::Ssp, actions: &[protogen_spec::Action]) -> Option<String> {
+fn first_send_name_ssp(
+    ssp: &protogen_spec::Ssp,
+    actions: &[protogen_spec::Action],
+) -> Option<String> {
     actions.iter().find_map(|a| match a {
         protogen_spec::Action::Send(sp) => Some(ssp.msg(sp.msg).name.clone()),
         _ => None,
@@ -297,10 +297,7 @@ mod tests {
     fn markdown_mode_emits_pipes() {
         let ssp = protogen_protocols::msi();
         let g = generate(&ssp, &GenConfig::stalling()).unwrap();
-        let t = render_table(
-            &g.directory,
-            &TableOptions { markdown: true, hide_defensive: true },
-        );
+        let t = render_table(&g.directory, &TableOptions { markdown: true, hide_defensive: true });
         assert!(t.starts_with("| "));
     }
 }

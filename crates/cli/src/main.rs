@@ -51,9 +51,7 @@ impl Args {
     }
 
     fn value(&self, name: &str) -> Option<&str> {
-        self.flags
-            .iter()
-            .find_map(|f| f.strip_prefix(&format!("{name}=")))
+        self.flags.iter().find_map(|f| f.strip_prefix(&format!("{name}=")))
     }
 }
 
@@ -127,9 +125,10 @@ fn main() -> ExitCode {
                 "protocol", "config", "cache-states", "dir-states", "cache-arcs", "dir-arcs"
             );
             for ssp in protogen_protocols::all() {
-                for (label, cfg) in
-                    [("stalling", GenConfig::stalling()), ("non-stalling", GenConfig::non_stalling())]
-                {
+                for (label, cfg) in [
+                    ("stalling", GenConfig::stalling()),
+                    ("non-stalling", GenConfig::non_stalling()),
+                ] {
                     match generate(&ssp, &cfg) {
                         Ok(g) => println!(
                             "{:<14} {:<13} {:>12} {:>12} {:>10} {:>10}",
@@ -161,25 +160,17 @@ fn main() -> ExitCode {
             let g = generate_or_exit(&ssp, &args);
             match cmd {
                 "table" => {
-                    let machine = if args.value("machine") == Some("dir") {
-                        &g.directory
-                    } else {
-                        &g.cache
-                    };
-                    let opts = TableOptions {
-                        markdown: args.flag("markdown"),
-                        ..TableOptions::default()
-                    };
+                    let machine =
+                        if args.value("machine") == Some("dir") { &g.directory } else { &g.cache };
+                    let opts =
+                        TableOptions { markdown: args.flag("markdown"), ..TableOptions::default() };
                     println!("{}", g.report);
                     println!("{}", render_table(machine, &opts));
                     ExitCode::SUCCESS
                 }
                 "dot" => {
-                    let machine = if args.value("machine") == Some("dir") {
-                        &g.directory
-                    } else {
-                        &g.cache
-                    };
+                    let machine =
+                        if args.value("machine") == Some("dir") { &g.directory } else { &g.cache };
                     println!("{}", to_dot(machine));
                     ExitCode::SUCCESS
                 }

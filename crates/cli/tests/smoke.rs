@@ -1,0 +1,84 @@
+//! End-to-end smoke tests driving the `protogen` binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn protogen(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_protogen")).args(args).output().expect("protogen binary runs")
+}
+
+fn msi_pgen_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../dsl/protocols/msi.pgen")
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    let out = protogen(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "{err}");
+    for cmd in ["table", "verify", "dot", "murphi", "simulate", "stats", "compile"] {
+        assert!(err.contains(cmd), "usage line missing `{cmd}`: {err}");
+    }
+}
+
+#[test]
+fn unknown_protocol_is_reported() {
+    let out = protogen(&["verify", "nonesuch"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown protocol"));
+}
+
+#[test]
+fn verify_msi_passes_at_two_caches() {
+    let out = protogen(&["verify", "msi", "--caches", "2"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("PASSED"), "{stdout}");
+}
+
+#[test]
+fn table_renders_generated_controller() {
+    let out = protogen(&["table", "msi"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("IM_AD"), "{stdout}");
+    // And the directory variant.
+    let out = protogen(&["table", "msi", "--machine", "dir", "--markdown"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("| "));
+}
+
+#[test]
+fn compile_bundled_msi_spec_verifies() {
+    let path = msi_pgen_path();
+    let out = protogen(&["compile", path.to_str().unwrap(), "--caches", "2"]);
+    assert!(
+        out.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("MSI"), "{stdout}");
+    assert!(stdout.contains("PASSED"), "{stdout}");
+}
+
+#[test]
+fn compile_rejects_missing_file() {
+    let out = protogen(&["compile", "/nonexistent/file.pgen"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn stats_covers_every_protocol_in_both_configs() {
+    let out = protogen(&["stats"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["MSI", "MESI", "MOSI", "MSI-Upgrade", "MSI-unordered", "TSO-CC"] {
+        assert!(stdout.contains(name), "{name} missing from stats:\n{stdout}");
+    }
+    assert!(stdout.contains("stalling") && stdout.contains("non-stalling"));
+    assert!(!stdout.contains("error"), "{stdout}");
+}

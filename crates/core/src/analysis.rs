@@ -103,11 +103,8 @@ impl Analysis {
             if ssp.msg(m).class != MsgClass::Forward {
                 continue;
             }
-            let arrivals: Vec<StableId> = ssp
-                .cache
-                .state_ids()
-                .filter(|&s| ssp.cache.handles(s, Trigger::Msg(m)))
-                .collect();
+            let arrivals: Vec<StableId> =
+                ssp.cache.state_ids().filter(|&s| ssp.cache.handles(s, Trigger::Msg(m))).collect();
             if arrivals.is_empty() {
                 continue; // declared but unused; harmless
             }
@@ -334,24 +331,20 @@ mod tests {
         let d = b.send_data_to_req(data);
         b.dir_react(di, get_s, vec![d, Action::AddReqToSharers], Some(ds));
         let d = b.send_data_acks_to_req(data);
-        b.dir_react(
-            di,
-            get_m,
-            vec![d, Action::SetOwnerToReq],
-            Some(dm),
-        );
+        b.dir_react(di, get_m, vec![d, Action::SetOwnerToReq], Some(dm));
         let d = b.send_data_acks_to_req(data);
         let iv = b.inv_sharers(inv);
-        b.dir_react(
-            ds,
-            get_m,
-            vec![d, iv, Action::SetOwnerToReq, Action::ClearSharers],
-            Some(dm),
-        );
+        b.dir_react(ds, get_m, vec![d, iv, Action::SetOwnerToReq, Action::ClearSharers], Some(dm));
         let f = b.fwd_to_owner(fwd_get_m);
         b.dir_react(dm, get_m, vec![f, Action::SetOwnerToReq], None);
         let pa = b.send_to_req(put_ack);
-        b.dir_react_guarded(dm, put_m, Guard::ReqIsOwner, vec![Action::CopyDataFromMsg, pa, Action::ClearOwner], Some(di));
+        b.dir_react_guarded(
+            dm,
+            put_m,
+            Guard::ReqIsOwner,
+            vec![Action::CopyDataFromMsg, pa, Action::ClearOwner],
+            Some(di),
+        );
         b.build().expect("mini SSP is valid")
     }
 

@@ -5,7 +5,7 @@ use crate::config::{Concurrency, GenConfig, TransientAccessPolicy};
 use crate::error::GenError;
 use crate::report::Reinterpretation;
 use protogen_spec::{
-    AckSrc, Access, Action, Arc, ArcKind, ArcNote, ChainLink, Dst, Effect, Event, Fsm, FsmState,
+    Access, AckSrc, Action, Arc, ArcKind, ArcNote, ChainLink, Dst, Effect, Event, Fsm, FsmState,
     FsmStateId, FsmStateKind, MachineKind, MsgId, Perm, ReqField, Ssp, StableId, TransientMeta,
     Trigger, WaitTo,
 };
@@ -26,10 +26,18 @@ pub(crate) struct Elem {
 pub(crate) enum Key {
     Stable(StableId),
     /// Await point `w` of transaction `txn` with a deferral chain.
-    Wait { txn: usize, w: usize, chain: Vec<Elem> },
+    Wait {
+        txn: usize,
+        w: usize,
+        chain: Vec<Elem>,
+    },
     /// The own transaction became moot (Case 1 with no restart); drain the
     /// outstanding response and land in `logical`.
-    Zombie { txn: usize, w: usize, logical: StableId },
+    Zombie {
+        txn: usize,
+        w: usize,
+        logical: StableId,
+    },
 }
 
 pub(crate) struct CacheGen<'a> {
@@ -109,12 +117,7 @@ impl<'a> CacheGen<'a> {
             Key::Wait { txn, w, chain } => {
                 let t = &self.an.txns[*txn];
                 let tag = &t.chain.nodes[*w].tag;
-                let mut n = format!(
-                    "{}{}_{}",
-                    self.sname(t.from),
-                    self.sname(t.finals[0]),
-                    tag
-                );
+                let mut n = format!("{}{}_{}", self.sname(t.from), self.sname(t.finals[0]), tag);
                 if !chain.is_empty() {
                     n.push('_');
                     for e in chain {
@@ -213,11 +216,8 @@ impl<'a> CacheGen<'a> {
                     ok = false;
                     break;
                 }
-                let these: Vec<Action> = actions
-                    .iter()
-                    .filter(|a| matches!(a, Action::Send(_)))
-                    .cloned()
-                    .collect();
+                let these: Vec<Action> =
+                    actions.iter().filter(|a| matches!(a, Action::Send(_))).cloned().collect();
                 if let Some(prev) = &acks {
                     if *prev != these {
                         ok = false;
@@ -233,10 +233,7 @@ impl<'a> CacheGen<'a> {
             }
             for i in 0..self.states.len() {
                 let id = FsmStateId::from_usize(i);
-                let has_arc = self
-                    .arcs
-                    .iter()
-                    .any(|a| a.from == id && a.event == Event::Msg(f));
+                let has_arc = self.arcs.iter().any(|a| a.from == id && a.event == Event::Msg(f));
                 if !has_arc {
                     self.push(id, Event::Msg(f), vec![], acks.clone(), id, ArcNote::Defensive);
                 }
@@ -298,12 +295,26 @@ impl<'a> CacheGen<'a> {
             match arc.to {
                 WaitTo::Wait(w2) => {
                     let to = self.intern(Key::Wait { txn, w: w2, chain: chain.to_vec() });
-                    self.push(id, Event::Msg(arc.msg), arc.guards.clone(), arc.actions.clone(), to, ArcNote::Step2);
+                    self.push(
+                        id,
+                        Event::Msg(arc.msg),
+                        arc.guards.clone(),
+                        arc.actions.clone(),
+                        to,
+                        ArcNote::Step2,
+                    );
                 }
                 WaitTo::Done(s) => {
                     if chain.is_empty() {
                         let to = self.intern(Key::Stable(s));
-                        self.push(id, Event::Msg(arc.msg), arc.guards.clone(), arc.actions.clone(), to, ArcNote::Step2);
+                        self.push(
+                            id,
+                            Event::Msg(arc.msg),
+                            arc.guards.clone(),
+                            arc.actions.clone(),
+                            to,
+                            ArcNote::Step2,
+                        );
                     } else {
                         // Complete the own transaction (which may perform
                         // the pending access — for a chain ending without
@@ -317,7 +328,14 @@ impl<'a> CacheGen<'a> {
                             actions.extend(e.deferred.iter().cloned());
                         }
                         let to = self.intern(Key::Stable(final_state));
-                        self.push(id, Event::Msg(arc.msg), arc.guards.clone(), actions, to, ArcNote::Completion);
+                        self.push(
+                            id,
+                            Event::Msg(arc.msg),
+                            arc.guards.clone(),
+                            actions,
+                            to,
+                            ArcNote::Completion,
+                        );
                     }
                 }
             }
@@ -386,10 +404,7 @@ impl<'a> CacheGen<'a> {
         if w > 0 || !chain.is_empty() {
             let t2 = self.an.txns[txn].clone();
             for &f in self.an.fwds_at[t2.from.as_usize()].clone().iter() {
-                let covered = self
-                    .arcs
-                    .iter()
-                    .any(|a| a.from == id && a.event == Event::Msg(f));
+                let covered = self.arcs.iter().any(|a| a.from == id && a.event == Event::Msg(f));
                 if covered {
                     continue;
                 }
@@ -483,9 +498,8 @@ impl<'a> CacheGen<'a> {
     ) -> Result<(), GenError> {
         let (actions, next) = self.reaction(logical_from, f)?;
         if self.cfg.concurrency == Concurrency::Stalling {
-            let dataless = !actions
-                .iter()
-                .any(|a| matches!(a, Action::Send(sp) if sp.data.is_some()));
+            let dataless =
+                !actions.iter().any(|a| matches!(a, Action::Send(sp) if sp.data.is_some()));
             // On an ordered network every Case 2 stall is safe. Without
             // ordering, a *stale* forward (one serialized before the own
             // request, whose epoch-ending acknowledgment overtook it) can
@@ -594,11 +608,25 @@ impl<'a> CacheGen<'a> {
             match arc.to {
                 WaitTo::Wait(w2) => {
                     let to = self.intern(Key::Zombie { txn, w: w2, logical });
-                    self.push(id, Event::Msg(arc.msg), arc.guards.clone(), keep, to, ArcNote::Case1);
+                    self.push(
+                        id,
+                        Event::Msg(arc.msg),
+                        arc.guards.clone(),
+                        keep,
+                        to,
+                        ArcNote::Case1,
+                    );
                 }
                 WaitTo::Done(_) => {
                     let to = self.intern(Key::Stable(logical));
-                    self.push(id, Event::Msg(arc.msg), arc.guards.clone(), keep, to, ArcNote::Case1);
+                    self.push(
+                        id,
+                        Event::Msg(arc.msg),
+                        arc.guards.clone(),
+                        keep,
+                        to,
+                        ArcNote::Case1,
+                    );
                 }
             }
         }
@@ -702,9 +730,7 @@ impl<'a> CacheGen<'a> {
                 _ => {
                     let hit = |a: Access| {
                         self.arcs.iter().any(|x| {
-                            x.from == id
-                                && x.event == Event::Access(a)
-                                && x.kind == ArcKind::Normal
+                            x.from == id && x.event == Event::Access(a) && x.kind == ArcKind::Normal
                         })
                     };
                     if hit(Access::Store) {

@@ -121,10 +121,7 @@ impl Default for GenConfig {
 impl GenConfig {
     /// The paper's §VI-A configuration: stalling controllers.
     pub fn stalling() -> Self {
-        GenConfig {
-            concurrency: Concurrency::Stalling,
-            ..GenConfig::default()
-        }
+        GenConfig { concurrency: Concurrency::Stalling, ..GenConfig::default() }
     }
 
     /// The paper's §VI-B configuration: non-stalling controllers (this is

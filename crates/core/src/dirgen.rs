@@ -87,12 +87,7 @@ impl<'a> DirGen<'a> {
             Key::Wait { txn, w, chain } => {
                 let t = &self.an.dir_txns[*txn];
                 let tag = &t.chain.nodes[*w].tag;
-                let mut n = format!(
-                    "{}{}_{}",
-                    self.sname(t.from),
-                    self.sname(t.final_state),
-                    tag
-                );
+                let mut n = format!("{}{}_{}", self.sname(t.from), self.sname(t.final_state), tag);
                 if !chain.is_empty() {
                     n.push('_');
                     for e in chain {
@@ -136,10 +131,7 @@ impl<'a> DirGen<'a> {
     /// response-class messages the SSP reacts to outside transactions
     /// (handshake protocols).
     fn receivable(&self) -> Vec<MsgId> {
-        self.ssp
-            .msg_ids()
-            .filter(|&m| self.ssp.msg(m).class != MsgClass::Forward)
-            .collect()
+        self.ssp.msg_ids().filter(|&m| self.ssp.msg(m).class != MsgClass::Forward).collect()
     }
 
     fn emit_stable(&mut self, id: FsmStateId, s: StableId) -> Result<(), GenError> {
@@ -161,14 +153,28 @@ impl<'a> DirGen<'a> {
                 match &e.effect {
                     Effect::Local { actions, next } => {
                         let to = next.map_or(id, |n| self.intern(Key::Stable(n)));
-                        self.push(id, Event::Msg(m), e.guards.clone(), actions.clone(), to, ArcNote::Ssp);
+                        self.push(
+                            id,
+                            Event::Msg(m),
+                            e.guards.clone(),
+                            actions.clone(),
+                            to,
+                            ArcNote::Ssp,
+                        );
                     }
                     Effect::Issue { request, .. } => {
                         let txn = self.an.dir_txn_by_entry(*entry_idx).ok_or_else(|| {
                             GenError::Internal("directory transaction not catalogued".into())
                         })?;
                         let to = self.intern(Key::Wait { txn, w: 0, chain: vec![] });
-                        self.push(id, Event::Msg(m), e.guards.clone(), request.clone(), to, ArcNote::Ssp);
+                        self.push(
+                            id,
+                            Event::Msg(m),
+                            e.guards.clone(),
+                            request.clone(),
+                            to,
+                            ArcNote::Ssp,
+                        );
                     }
                 }
             }
@@ -188,12 +194,26 @@ impl<'a> DirGen<'a> {
                     match &e.effect {
                         Effect::Local { actions, next } => {
                             let to = next.map_or(id, |n| self.intern(Key::Stable(n)));
-                            self.push(id, Event::Msg(m), e.guards.clone(), actions.clone(), to, note);
+                            self.push(
+                                id,
+                                Event::Msg(m),
+                                e.guards.clone(),
+                                actions.clone(),
+                                to,
+                                note,
+                            );
                         }
                         Effect::Issue { request, .. } => {
                             if let Some(txn) = self.an.dir_txn_by_entry(entry_idx) {
                                 let to = self.intern(Key::Wait { txn, w: 0, chain: vec![] });
-                                self.push(id, Event::Msg(m), e.guards.clone(), request.clone(), to, note);
+                                self.push(
+                                    id,
+                                    Event::Msg(m),
+                                    e.guards.clone(),
+                                    request.clone(),
+                                    to,
+                                    note,
+                                );
                             }
                         }
                     }
@@ -209,14 +229,9 @@ impl<'a> DirGen<'a> {
         if entries.iter().any(|(_, e)| e.guards.is_empty()) {
             return true;
         }
-        let guards: Vec<Guard> = entries
-            .iter()
-            .filter(|(_, e)| e.guards.len() == 1)
-            .map(|(_, e)| e.guards[0])
-            .collect();
-        guards
-            .iter()
-            .any(|g| guards.contains(&g.negate()))
+        let guards: Vec<Guard> =
+            entries.iter().filter(|(_, e)| e.guards.len() == 1).map(|(_, e)| e.guards[0]).collect();
+        guards.iter().any(|g| guards.contains(&g.negate()))
     }
 
     /// No SSP entry handles `m` in stable state `s`: synthesize a
@@ -299,7 +314,14 @@ impl<'a> DirGen<'a> {
             match arc.to {
                 WaitTo::Wait(w2) => {
                     let to = self.intern(Key::Wait { txn, w: w2, chain: chain.to_vec() });
-                    self.push(id, Event::Msg(arc.msg), arc.guards.clone(), arc.actions.clone(), to, ArcNote::Step2);
+                    self.push(
+                        id,
+                        Event::Msg(arc.msg),
+                        arc.guards.clone(),
+                        arc.actions.clone(),
+                        to,
+                        ArcNote::Step2,
+                    );
                 }
                 WaitTo::Done(s) => {
                     let final_state = if chain.is_empty() { s } else { logical };
@@ -363,7 +385,16 @@ impl<'a> DirGen<'a> {
                     Effect::Local { actions, next } => {
                         let logical_to = next.unwrap_or(logical);
                         self.case2_local(
-                            id, txn, w, chain, m, *entry_idx, e.guards.clone(), actions, logical_to, *note,
+                            id,
+                            txn,
+                            w,
+                            chain,
+                            m,
+                            *entry_idx,
+                            e.guards.clone(),
+                            actions,
+                            logical_to,
+                            *note,
                         );
                     }
                     Effect::Issue { .. } => {
@@ -386,11 +417,7 @@ impl<'a> DirGen<'a> {
     /// SSP entries for `(state, msg)`, following one reinterpretation hop
     /// when there is no direct entry or the direct entries do not cover
     /// every case.
-    fn entries_with_reinterp(
-        &mut self,
-        s: StableId,
-        m: MsgId,
-    ) -> Vec<(usize, SspEntry, ArcNote)> {
+    fn entries_with_reinterp(&mut self, s: StableId, m: MsgId) -> Vec<(usize, SspEntry, ArcNote)> {
         let mut direct: Vec<(usize, SspEntry, ArcNote)> = self
             .ssp
             .directory
@@ -513,7 +540,9 @@ impl<'a> DirGen<'a> {
         let mut deferred = Vec::new();
         for a in actions {
             match a {
-                Action::Send(sp) if sp.data == Some(protogen_spec::DataSrc::OwnBlock) && !data_ready => {
+                Action::Send(sp)
+                    if sp.data == Some(protogen_spec::DataSrc::OwnBlock) && !data_ready =>
+                {
                     let mut sp = *sp;
                     if sp.dst == Dst::Req {
                         sp.dst = Dst::ChainReq(slot);
@@ -538,7 +567,7 @@ impl<'a> DirGen<'a> {
                     }
                     deferred.push(Action::Send(sp));
                 }
-                other => immediate.push(other.clone()),
+                other => immediate.push(*other),
             }
         }
         if logical_to == logical && deferred.is_empty() {
@@ -576,11 +605,9 @@ impl<'a> DirGen<'a> {
     }
 
     fn stall_guarded(&mut self, from: FsmStateId, event: Event, guards: Vec<Guard>, note: ArcNote) {
-        if self
-            .arcs
-            .iter()
-            .any(|a| a.from == from && a.event == event && a.kind == ArcKind::Stall && a.guards == guards)
-        {
+        if self.arcs.iter().any(|a| {
+            a.from == from && a.event == event && a.kind == ArcKind::Stall && a.guards == guards
+        }) {
             return;
         }
         self.arcs.push(Arc {

@@ -58,8 +58,8 @@ pub fn minimize(fsm: &Fsm) -> (Fsm, Vec<Merge>) {
 
     // Canonical class representative: the first-generated member.
     let mut rep_of_class: HashMap<usize, usize> = HashMap::new();
-    for i in 0..n {
-        rep_of_class.entry(class[i]).or_insert(i);
+    for (i, &c) in class.iter().enumerate() {
+        rep_of_class.entry(c).or_insert(i);
     }
     // New ids ordered by representative, preserving generation order (so the
     // initial state stays id 0).

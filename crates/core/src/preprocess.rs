@@ -31,11 +31,8 @@ pub fn preprocess(ssp: &Ssp) -> Result<(Ssp, Vec<Rename>), GenError> {
         if ssp.msg(m).class != MsgClass::Forward {
             continue;
         }
-        let mut arrivals: Vec<StableId> = ssp
-            .cache
-            .state_ids()
-            .filter(|&s| ssp.cache.handles(s, Trigger::Msg(m)))
-            .collect();
+        let mut arrivals: Vec<StableId> =
+            ssp.cache.state_ids().filter(|&s| ssp.cache.handles(s, Trigger::Msg(m))).collect();
         if arrivals.len() <= 1 {
             continue;
         }
@@ -45,12 +42,8 @@ pub fn preprocess(ssp: &Ssp) -> Result<(Ssp, Vec<Rename>), GenError> {
         // same-named cache state (MESI's "EM" directory state cannot tell E
         // from M after silent upgrades), the forward keeps one name and the
         // generator resolves the association per context instead.
-        let mappable = ssp
-            .directory
-            .entries
-            .iter()
-            .filter(|e| entry_sends(&e.effect, m))
-            .all(|e| {
+        let mappable =
+            ssp.directory.entries.iter().filter(|e| entry_sends(&e.effect, m)).all(|e| {
                 let dir_name = &ssp.directory.states[e.state.as_usize()].name;
                 ssp.cache.state_by_name(dir_name).is_some()
             });
@@ -68,10 +61,7 @@ pub fn preprocess(ssp: &Ssp) -> Result<(Ssp, Vec<Rename>), GenError> {
             let orig = ssp.msg(m);
             let new_name = format!("{}_{}", ssp.cache.state(state).name, orig.name);
             let new_id = MsgId::from_usize(out.messages.len());
-            out.messages.push(MsgDecl {
-                name: new_name.clone(),
-                ..orig.clone()
-            });
+            out.messages.push(MsgDecl { name: new_name.clone(), ..orig.clone() });
             clone_for.insert(state, new_id);
             renames.push(Rename {
                 original: orig.name.clone(),
@@ -116,19 +106,13 @@ pub fn preprocess(ssp: &Ssp) -> Result<(Ssp, Vec<Rename>), GenError> {
 }
 
 fn entry_sends(effect: &Effect, m: MsgId) -> bool {
-    let in_actions = |acts: &[Action]| {
-        acts.iter()
-            .any(|a| matches!(a, Action::Send(s) if s.msg == m))
-    };
+    let in_actions =
+        |acts: &[Action]| acts.iter().any(|a| matches!(a, Action::Send(s) if s.msg == m));
     match effect {
         Effect::Local { actions, .. } => in_actions(actions),
         Effect::Issue { request, chain } => {
             in_actions(request)
-                || chain
-                    .nodes
-                    .iter()
-                    .flat_map(|n| n.arcs.iter())
-                    .any(|a| in_actions(&a.actions))
+                || chain.nodes.iter().flat_map(|n| n.arcs.iter()).any(|a| in_actions(&a.actions))
         }
     }
 }

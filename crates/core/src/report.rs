@@ -128,16 +128,10 @@ mod tests {
 
     #[test]
     fn display_includes_counts_and_merges() {
-        let mut r = GenReport {
-            protocol: "MSI".into(),
-            ..GenReport::default()
-        };
+        let mut r = GenReport { protocol: "MSI".into(), ..GenReport::default() };
         r.cache.stable_states = 3;
         r.cache.transient_states = 16;
-        r.cache_merges.push(Merge {
-            kept: "IM_A_S".into(),
-            merged: vec!["SM_A_S".into()],
-        });
+        r.cache_merges.push(Merge { kept: "IM_A_S".into(), merged: vec!["SM_A_S".into()] });
         let s = r.to_string();
         assert!(s.contains("19 states"));
         assert!(s.contains("IM_A_S=SM_A_S"));

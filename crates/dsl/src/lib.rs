@@ -48,6 +48,10 @@ pub const MOSI_PGEN: &str = include_str!("../protocols/mosi.pgen");
 /// example; equivalent to `protogen_protocols::msi_upgrade()`).
 pub const MSI_UPGRADE_PGEN: &str = include_str!("../protocols/msi_upgrade.pgen");
 
+/// The bundled MSI-for-unordered-networks source (§VI-C's handshake
+/// protocol; equivalent to `protogen_protocols::msi_unordered()`).
+pub const MSI_UNORDERED_PGEN: &str = include_str!("../protocols/msi_unordered.pgen");
+
 /// The bundled simplified TSO-CC source (§VI-D; equivalent to
 /// `protogen_protocols::tso_cc()`).
 pub const TSO_CC_PGEN: &str = include_str!("../protocols/tso_cc.pgen");

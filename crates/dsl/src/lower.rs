@@ -2,9 +2,9 @@
 
 use crate::ast::*;
 use protogen_spec::{
-    AckSrc, Access, Action, DataSrc, Dst, Effect, Guard, MachineKind, MachineSsp, MsgClass,
-    MsgDecl, MsgId, Perm, ReqField, SendSpec, SspEntry, StableDecl, Trigger,
-    VirtualNet, WaitArc, WaitChain, WaitNode, WaitTo,
+    Access, AckSrc, Action, DataSrc, Dst, Effect, Guard, MachineKind, MachineSsp, MsgClass,
+    MsgDecl, MsgId, Perm, ReqField, SendSpec, SspEntry, StableDecl, Trigger, VirtualNet, WaitArc,
+    WaitChain, WaitNode, WaitTo,
 };
 
 /// Lowering error.
@@ -109,11 +109,7 @@ fn lower_procs(
             name => Trigger::Msg(msg_id(ssp, name)?),
         };
         let guards = p.guards.iter().map(|g| guard(g)).collect::<Result<Vec<_>, _>>()?;
-        let actions = p
-            .body
-            .iter()
-            .map(|s| stmt(ssp, kind, s))
-            .collect::<Result<Vec<_>, _>>()?;
+        let actions = p.body.iter().map(|s| stmt(ssp, kind, s)).collect::<Result<Vec<_>, _>>()?;
         let effect = if p.awaits.is_empty() {
             let next = p
                 .next
@@ -166,8 +162,7 @@ fn lower_procs(
 }
 
 fn msg_id(ssp: &protogen_spec::Ssp, name: &str) -> Result<MsgId, LowerError> {
-    ssp.msg_by_name(name)
-        .ok_or_else(|| LowerError(format!("unknown message `{name}`")))
+    ssp.msg_by_name(name).ok_or_else(|| LowerError(format!("unknown message `{name}`")))
 }
 
 fn guard(g: &str) -> Result<Guard, LowerError> {
@@ -268,7 +263,9 @@ mod tests {
         // The issue process produced an Issue effect with one await node.
         let i = ssp.cache.state_by_name("I").unwrap();
         let entries = ssp.cache.entries_for(i, Trigger::Access(Access::Load));
-        assert!(matches!(entries[0].effect, Effect::Issue { ref chain, .. } if chain.nodes.len() == 1));
+        assert!(
+            matches!(entries[0].effect, Effect::Issue { ref chain, .. } if chain.nodes.len() == 1)
+        );
     }
 
     #[test]

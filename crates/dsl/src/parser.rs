@@ -50,7 +50,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String, ParseError> {
         match self.bump() {
             TokenKind::Ident(s) => Ok(s),
-            other => Err(ParseError(format!("expected identifier, found {other} at {}", self.here()))),
+            other => {
+                Err(ParseError(format!("expected identifier, found {other} at {}", self.here())))
+            }
         }
     }
 

@@ -5,10 +5,15 @@ use protogen_mc::{McConfig, ModelChecker};
 fn main() {
     let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2);
     for ssp in protogen_protocols::all() {
-        for (cname, cfg) in [("stalling", GenConfig::stalling()), ("non-stalling", GenConfig::non_stalling())] {
+        for (cname, cfg) in
+            [("stalling", GenConfig::stalling()), ("non-stalling", GenConfig::non_stalling())]
+        {
             let g = match generate(&ssp, &cfg) {
                 Ok(g) => g,
-                Err(e) => { println!("{:14} {cname:13}: GEN ERROR {e}", ssp.name); continue; }
+                Err(e) => {
+                    println!("{:14} {cname:13}: GEN ERROR {e}", ssp.name);
+                    continue;
+                }
             };
             let mut mc_cfg = McConfig::with_caches(n);
             mc_cfg.ordered = ssp.network_ordered;
@@ -26,7 +31,9 @@ fn main() {
             );
             if let Some(v) = r.violation {
                 println!("  VIOLATION: {}", v.kind);
-                for l in v.trace.iter().take(25) { println!("    {l}"); }
+                for l in v.trace.iter().take(25) {
+                    println!("    {l}");
+                }
             }
         }
     }

@@ -4,17 +4,24 @@ use protogen_mc::{McConfig, ModelChecker};
 fn main() {
     let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2);
     let ssp = protogen_protocols::msi();
-    for (name, cfg) in [("stalling", GenConfig::stalling()), ("non-stalling", GenConfig::non_stalling())] {
+    for (name, cfg) in
+        [("stalling", GenConfig::stalling()), ("non-stalling", GenConfig::non_stalling())]
+    {
         let g = generate(&ssp, &cfg).unwrap();
         let mc = ModelChecker::new(&g.cache, &g.directory, McConfig::with_caches(n));
         let r = mc.run();
         println!(
             "MSI {name} n={n}: passed={} states={} transitions={} time={:.2}s",
-            r.passed(), r.states, r.transitions, r.seconds
+            r.passed(),
+            r.states,
+            r.transitions,
+            r.seconds
         );
         if let Some(v) = r.violation {
             println!("  VIOLATION: {}", v.kind);
-            for l in v.trace { println!("    {l}"); }
+            for l in v.trace {
+                println!("    {l}");
+            }
         }
     }
 }

@@ -186,7 +186,8 @@ impl<'a> ModelChecker<'a> {
             for step in self.steps(&state) {
                 match self.successor(&state, step) {
                     Err(kind) => {
-                        let v = Violation { kind, trace: self.build_trace(&parents, id, Some(step)) };
+                        let v =
+                            Violation { kind, trace: self.build_trace(&parents, id, Some(step)) };
                         return self.finish(start, visited.len(), transitions, Some(v), false);
                     }
                     Ok(None) => {}
@@ -196,13 +197,16 @@ impl<'a> ModelChecker<'a> {
                         }
                         transitions += 1;
                         if let Some(kind) = self.check_state(&next) {
-                            let v = Violation { kind, trace: self.build_trace(&parents, id, Some(step)) };
+                            let v = Violation {
+                                kind,
+                                trace: self.build_trace(&parents, id, Some(step)),
+                            };
                             return self.finish(start, visited.len(), transitions, Some(v), false);
                         }
                         let enc = self.encode(&next);
-                        if !visited.contains_key(&enc) {
+                        if let std::collections::hash_map::Entry::Vacant(e) = visited.entry(enc) {
                             let nid = parents.len() as u32;
-                            visited.insert(enc, nid);
+                            e.insert(nid);
                             parents.push((id, Some(step)));
                             queue.push_back((next, nid));
                             if visited.len() >= self.cfg.max_states {
@@ -262,11 +266,8 @@ impl<'a> ModelChecker<'a> {
                 if q.is_empty() {
                     continue;
                 }
-                let idxs: Vec<u8> = if self.cfg.ordered {
-                    vec![0]
-                } else {
-                    (0..q.len() as u8).collect()
-                };
+                let idxs: Vec<u8> =
+                    if self.cfg.ordered { vec![0] } else { (0..q.len() as u8).collect() };
                 for idx in idxs {
                     out.push(Step::Deliver { src: src as u8, dst: dst as u8, idx });
                 }
@@ -363,14 +364,8 @@ impl<'a> ModelChecker<'a> {
         access: Access,
     ) -> Result<Option<SysState>, ViolationKind> {
         let block = &state.caches[cache as usize];
-        let arc = select_arc(
-            self.cache_fsm,
-            block.state,
-            Event::Access(access),
-            None,
-            Some(block),
-            None,
-        );
+        let arc =
+            select_arc(self.cache_fsm, block.state, Event::Access(access), None, Some(block), None);
         let Some(arc) = arc else { return Ok(None) };
         if arc.kind == protogen_spec::ArcKind::Stall {
             return Ok(None);
@@ -397,13 +392,11 @@ impl<'a> ModelChecker<'a> {
         .map_err(|e| ViolationKind::Exec(e.to_string()))?;
         match outcome.performed {
             Some((Access::Store, _)) => next.ghost = store_value,
-            Some((Access::Load, Some(v))) if self.cfg.check_data_value => {
-                if v != state.ghost {
-                    return Err(ViolationKind::DataValue(format!(
-                        "cache n{cache} load hit returned {v}, expected {}",
-                        state.ghost
-                    )));
-                }
+            Some((Access::Load, Some(v))) if self.cfg.check_data_value && v != state.ghost => {
+                return Err(ViolationKind::DataValue(format!(
+                    "cache n{cache} load hit returned {v}, expected {}",
+                    state.ghost
+                )));
             }
             _ => {}
         }
@@ -454,15 +447,17 @@ impl<'a> ModelChecker<'a> {
             // Every readable stable copy must equal the latest store.
             for (i, c) in state.caches.iter().enumerate() {
                 let st = self.cache_fsm.state(c.state);
-                if st.is_stable() && st.perm >= Perm::Read && st.data_valid {
-                    if c.data != Some(state.ghost) {
-                        return Some(ViolationKind::DataValue(format!(
-                            "cache n{i} in {} holds {:?}, expected {}",
-                            st.full_name(),
-                            c.data,
-                            state.ghost
-                        )));
-                    }
+                if st.is_stable()
+                    && st.perm >= Perm::Read
+                    && st.data_valid
+                    && c.data != Some(state.ghost)
+                {
+                    return Some(ViolationKind::DataValue(format!(
+                        "cache n{i} in {} holds {:?}, expected {}",
+                        st.full_name(),
+                        c.data,
+                        state.ghost
+                    )));
                 }
             }
         }

@@ -134,12 +134,7 @@ impl SysState {
                 id
             }
         };
-        let map_msg = |m: &Msg| Msg {
-            src: map(m.src),
-            dst: map(m.dst),
-            req: map(m.req),
-            ..*m
-        };
+        let map_msg = |m: &Msg| Msg { src: map(m.src), dst: map(m.dst), req: map(m.req), ..*m };
         let mut caches = vec![CacheBlock::new(); n];
         for (i, c) in self.caches.iter().enumerate() {
             let mut c2 = c.clone();

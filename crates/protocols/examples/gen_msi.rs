@@ -9,10 +9,14 @@ fn main() {
                 println!("=== {} ===", name);
                 println!("{}", g.report);
                 print!("cache states: ");
-                for s in &g.cache.states { print!("{} ", s.full_name()); }
+                for s in &g.cache.states {
+                    print!("{} ", s.full_name());
+                }
                 println!();
                 print!("dir states: ");
-                for s in &g.directory.states { print!("{} ", s.full_name()); }
+                for s in &g.directory.states {
+                    print!("{} ", s.full_name());
+                }
                 println!();
             }
             Err(e) => println!("{}: ERROR {e}", name),

@@ -103,12 +103,7 @@ pub fn mesi() -> Ssp {
     b.dir_react(ds, get_s, vec![d, Action::AddReqToSharers], None);
     let d = b.send_data_acks_to_req(data);
     let invs = b.inv_sharers(inv);
-    b.dir_react(
-        ds,
-        get_m,
-        vec![d, invs, Action::SetOwnerToReq, Action::ClearSharers],
-        Some(dem),
-    );
+    b.dir_react(ds, get_m, vec![d, invs, Action::SetOwnerToReq, Action::ClearSharers], Some(dem));
     let pa = b.send_to_req(put_ack);
     b.dir_react_guarded(
         ds,
@@ -131,12 +126,7 @@ pub fn mesi() -> Ssp {
     b.dir_issue(
         dem,
         get_s,
-        vec![
-            f,
-            Action::AddReqToSharers,
-            Action::AddOwnerToSharers,
-            Action::ClearOwner,
-        ],
+        vec![f, Action::AddReqToSharers, Action::AddOwnerToSharers, Action::ClearOwner],
         chain,
     );
     let f = b.fwd_to_owner(fwd_get_m);
@@ -152,13 +142,7 @@ pub fn mesi() -> Ssp {
     // PutE: the block is clean, so no data travels; the directory's copy
     // is already current.
     let pa = b.send_to_req(put_ack);
-    b.dir_react_guarded(
-        dem,
-        put_e,
-        Guard::ReqIsOwner,
-        vec![pa, Action::ClearOwner],
-        Some(di),
-    );
+    b.dir_react_guarded(dem, put_e, Guard::ReqIsOwner, vec![pa, Action::ClearOwner], Some(di));
 
     b.build().expect("MESI SSP is valid")
 }

@@ -11,7 +11,7 @@
 //! directory has no transient states at all.
 
 use protogen_spec::{
-    AckSrc, Access, Action, DataSrc, Dst, Guard, MsgClass, Perm, ReqField, SendSpec, Ssp,
+    Access, AckSrc, Action, DataSrc, Dst, Guard, MsgClass, Perm, ReqField, SendSpec, Ssp,
     SspBuilder, VirtualNet,
 };
 
@@ -127,12 +127,7 @@ pub fn mosi() -> Ssp {
     b.dir_react(ds, get_s, vec![d, Action::AddReqToSharers], None);
     let d = b.send_data_acks_to_req(data);
     let invs = b.inv_sharers(inv);
-    b.dir_react(
-        ds,
-        get_m,
-        vec![d, invs, Action::SetOwnerToReq, Action::ClearSharers],
-        Some(dm),
-    );
+    b.dir_react(ds, get_m, vec![d, invs, Action::SetOwnerToReq, Action::ClearSharers], Some(dm));
     let pa = b.send_to_req(put_ack);
     b.dir_react_guarded(
         ds,

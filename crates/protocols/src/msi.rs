@@ -104,12 +104,7 @@ pub fn msi() -> Ssp {
     b.dir_react(ds, get_s, vec![d, Action::AddReqToSharers], None);
     let d = b.send_data_acks_to_req(data);
     let invs = b.inv_sharers(inv);
-    b.dir_react(
-        ds,
-        get_m,
-        vec![d, invs, Action::SetOwnerToReq, Action::ClearSharers],
-        Some(dm),
-    );
+    b.dir_react(ds, get_m, vec![d, invs, Action::SetOwnerToReq, Action::ClearSharers], Some(dm));
     let pa = b.send_to_req(put_ack);
     b.dir_react_guarded(
         ds,
@@ -132,12 +127,7 @@ pub fn msi() -> Ssp {
     b.dir_issue(
         dm,
         get_s,
-        vec![
-            f,
-            Action::AddReqToSharers,
-            Action::AddOwnerToSharers,
-            Action::ClearOwner,
-        ],
+        vec![f, Action::AddReqToSharers, Action::AddOwnerToSharers, Action::ClearOwner],
         chain,
     );
     let f = b.fwd_to_owner(fwd_get_m);
@@ -173,11 +163,8 @@ mod tests {
         let ssp = msi();
         for (name, state) in [("Fwd_GetS", "M"), ("Fwd_GetM", "M"), ("Inv", "S")] {
             let m = ssp.msg_by_name(name).unwrap();
-            let arrivals: Vec<_> = ssp
-                .cache
-                .state_ids()
-                .filter(|&s| ssp.cache.handles(s, Trigger::Msg(m)))
-                .collect();
+            let arrivals: Vec<_> =
+                ssp.cache.state_ids().filter(|&s| ssp.cache.handles(s, Trigger::Msg(m))).collect();
             assert_eq!(arrivals.len(), 1, "{name}");
             assert_eq!(arrivals[0], ssp.cache.state_by_name(state).unwrap(), "{name}");
         }

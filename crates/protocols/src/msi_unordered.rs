@@ -91,12 +91,7 @@ pub fn msi_unordered() -> Ssp {
     b.dir_react(ds, get_s, vec![d, Action::AddReqToSharers], None);
     let d = b.send_data_acks_to_req(data);
     let invs = b.inv_sharers(inv);
-    b.dir_react(
-        ds,
-        get_m,
-        vec![d, invs, Action::SetOwnerToReq, Action::ClearSharers],
-        Some(dm),
-    );
+    b.dir_react(ds, get_m, vec![d, invs, Action::SetOwnerToReq, Action::ClearSharers], Some(dm));
     let pa = b.send_to_req(put_ack);
     b.dir_react_guarded(
         ds,
@@ -118,12 +113,7 @@ pub fn msi_unordered() -> Ssp {
     b.dir_issue(
         dm,
         get_s,
-        vec![
-            f,
-            Action::AddReqToSharers,
-            Action::AddOwnerToSharers,
-            Action::ClearOwner,
-        ],
+        vec![f, Action::AddReqToSharers, Action::AddOwnerToSharers, Action::ClearOwner],
         chain,
     );
     // The handshake transaction: block until the old owner confirms.

@@ -9,7 +9,7 @@
 //! Upgrade that arrives for a non-sharer as the GetM the restart requires.
 
 use protogen_spec::{
-    AckSrc, Access, Action, Dst, Guard, MsgClass, Perm, ReqField, SendSpec, Ssp, SspBuilder,
+    Access, AckSrc, Action, Dst, Guard, MsgClass, Perm, ReqField, SendSpec, Ssp, SspBuilder,
     VirtualNet,
 };
 
@@ -91,12 +91,7 @@ pub fn msi_upgrade() -> Ssp {
     b.dir_react(ds, get_s, vec![d, Action::AddReqToSharers], None);
     let d = b.send_data_acks_to_req(data);
     let invs = b.inv_sharers(inv);
-    b.dir_react(
-        ds,
-        get_m,
-        vec![d, invs, Action::SetOwnerToReq, Action::ClearSharers],
-        Some(dm),
-    );
+    b.dir_react(ds, get_m, vec![d, invs, Action::SetOwnerToReq, Action::ClearSharers], Some(dm));
     // Upgrade from a sharer: permission only. An Upgrade from a cache that
     // is *not* a sharer lost a race and was invalidated; the generator's
     // reinterpretation rule (§V-D1) treats it as the GetM the same store
@@ -135,12 +130,7 @@ pub fn msi_upgrade() -> Ssp {
     b.dir_issue(
         dm,
         get_s,
-        vec![
-            f,
-            Action::AddReqToSharers,
-            Action::AddOwnerToSharers,
-            Action::ClearOwner,
-        ],
+        vec![f, Action::AddReqToSharers, Action::AddOwnerToSharers, Action::ClearOwner],
         chain,
     );
     let f = b.fwd_to_owner(fwd_get_m);
@@ -176,9 +166,7 @@ mod tests {
             panic!("S store should issue");
         };
         let upgrade = ssp.msg_by_name("Upgrade").unwrap();
-        assert!(request
-            .iter()
-            .any(|a| matches!(a, Action::Send(sp) if sp.msg == upgrade)));
+        assert!(request.iter().any(|a| matches!(a, Action::Send(sp) if sp.msg == upgrade)));
     }
 
     #[test]

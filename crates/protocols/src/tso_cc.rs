@@ -153,9 +153,7 @@ mod tests {
         assert_eq!(entries.len(), 1);
         match &entries[0].effect {
             protogen_spec::Effect::Local { actions, next } => {
-                assert!(actions
-                    .iter()
-                    .all(|a| !matches!(a, Action::Send(_))));
+                assert!(actions.iter().all(|a| !matches!(a, Action::Send(_))));
                 assert_eq!(*next, Some(ssp.cache.state_by_name("I").unwrap()));
             }
             other => panic!("expected silent eviction, got {other:?}"),

@@ -3,7 +3,7 @@
 use crate::msg::{Msg, NodeId, Val};
 use crate::state::{CacheBlock, DirEntry};
 use protogen_spec::{
-    AckSrc, Access, Action, Arc, ArcKind, DataSrc, Dst, Event, Fsm, FsmStateId, Guard, ReqField,
+    Access, AckSrc, Action, Arc, ArcKind, DataSrc, Dst, Event, Fsm, FsmStateId, Guard, ReqField,
 };
 use std::error::Error;
 use std::fmt;
@@ -186,9 +186,7 @@ pub fn apply(
                 };
                 let loaded = match access {
                     Access::Load => {
-                        let v = block
-                            .data
-                            .ok_or_else(|| ExecError::LoadWithoutData(ctx()))?;
+                        let v = block.data.ok_or_else(|| ExecError::LoadWithoutData(ctx()))?;
                         Some(v)
                     }
                     Access::Store => {
@@ -551,14 +549,8 @@ mod tests {
             note: ArcNote::Case2,
         };
         let m = msg(0, None, Some(1));
-        apply(
-            &fsm,
-            &arc,
-            Some(&m),
-            MachineCtx::Dir { entry: &mut entry, self_id: NodeId(3) },
-            0,
-        )
-        .unwrap();
+        apply(&fsm, &arc, Some(&m), MachineCtx::Dir { entry: &mut entry, self_id: NodeId(3) }, 0)
+            .unwrap();
         // Requestor is n1; sharers {n0, n2} minus n1 = 2 captured.
         assert_eq!(entry.chain_slots, vec![(NodeId(1), 2)]);
         assert_eq!(entry.state, FsmStateId(2));

@@ -29,7 +29,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use protogen_runtime::{apply, select_arc, CacheBlock, DirEntry, ExecError, MachineCtx, Msg, NodeId};
+use protogen_runtime::{
+    apply, select_arc, CacheBlock, DirEntry, ExecError, MachineCtx, Msg, NodeId,
+};
 use protogen_spec::{Access, ArcKind, Event, Fsm};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -162,7 +164,14 @@ pub fn simulate(cache_fsm: &Fsm, dir_fsm: &Fsm, cfg: &SimConfig) -> Result<SimRe
                     continue;
                 }
                 let arc = if dst == n {
-                    select_arc(dir_fsm, dir.state, Event::Msg(msg.mtype), Some(&msg), None, Some(&dir))
+                    select_arc(
+                        dir_fsm,
+                        dir.state,
+                        Event::Msg(msg.mtype),
+                        Some(&msg),
+                        None,
+                        Some(&dir),
+                    )
                 } else {
                     select_arc(
                         cache_fsm,
@@ -184,13 +193,23 @@ pub fn simulate(cache_fsm: &Fsm, dir_fsm: &Fsm, cfg: &SimConfig) -> Result<SimRe
                 }
                 chans[src][dst].queue.pop_front();
                 let outcome = if dst == n {
-                    apply(dir_fsm, arc, Some(&msg), MachineCtx::Dir { entry: &mut dir, self_id: dir_id }, 0)?
+                    apply(
+                        dir_fsm,
+                        arc,
+                        Some(&msg),
+                        MachineCtx::Dir { entry: &mut dir, self_id: dir_id },
+                        0,
+                    )?
                 } else {
                     apply(
                         cache_fsm,
                         arc,
                         Some(&msg),
-                        MachineCtx::Cache { block: &mut caches[dst], self_id: NodeId(dst as u8), dir_id },
+                        MachineCtx::Cache {
+                            block: &mut caches[dst],
+                            self_id: NodeId(dst as u8),
+                            dir_id,
+                        },
                         0,
                     )?
                 };
@@ -220,8 +239,16 @@ pub fn simulate(cache_fsm: &Fsm, dir_fsm: &Fsm, cfg: &SimConfig) -> Result<SimRe
             if remaining[c] == 0 || caches[c].pending.is_some() || next_issue[c] > t {
                 continue;
             }
-            let access = pick_access(cfg.workload, c, &mut rng, cfg.accesses_per_core - remaining[c]);
-            let arc = select_arc(cache_fsm, caches[c].state, Event::Access(access), None, Some(&caches[c]), None);
+            let access =
+                pick_access(cfg.workload, c, &mut rng, cfg.accesses_per_core - remaining[c]);
+            let arc = select_arc(
+                cache_fsm,
+                caches[c].state,
+                Event::Access(access),
+                None,
+                Some(&caches[c]),
+                None,
+            );
             let Some(arc) = arc else {
                 // The SSP defines no behaviour (replacement of an invalid
                 // block): trivially complete.
@@ -248,9 +275,7 @@ pub fn simulate(cache_fsm: &Fsm, dir_fsm: &Fsm, cfg: &SimConfig) -> Result<SimRe
                 issue_time[c] = Some(t); // miss: a transaction is in flight
             }
             for m in outcome.outgoing {
-                chans[m.src.as_usize()][m.dst.as_usize()]
-                    .queue
-                    .push_back((t + cfg.net_latency, m));
+                chans[m.src.as_usize()][m.dst.as_usize()].queue.push_back((t + cfg.net_latency, m));
             }
         }
 
@@ -280,14 +305,14 @@ fn pick_access(w: Workload, core: usize, rng: &mut StdRng, step: usize) -> Acces
             }
         }
         Workload::Migratory => {
-            if step % 2 == 0 {
+            if step.is_multiple_of(2) {
                 Access::Load
             } else {
                 Access::Store
             }
         }
         Workload::Private => {
-            if step % 4 == 0 {
+            if step.is_multiple_of(4) {
                 Access::Store
             } else {
                 Access::Load

@@ -106,11 +106,7 @@ impl SspBuilder {
         data_valid: bool,
     ) -> StableId {
         let id = StableId::from_usize(self.cache.states.len());
-        self.cache.states.push(StableDecl {
-            name: name.into(),
-            perm,
-            data_valid,
-        });
+        self.cache.states.push(StableDecl { name: name.into(), perm, data_valid });
         id
     }
 
@@ -134,10 +130,7 @@ impl SspBuilder {
             state,
             trigger: Trigger::Access(access),
             guards: vec![],
-            effect: Effect::Local {
-                actions: vec![Action::PerformAccess],
-                next: None,
-            },
+            effect: Effect::Local { actions: vec![Action::PerformAccess], next: None },
         });
         self
     }
@@ -148,10 +141,7 @@ impl SspBuilder {
             state,
             trigger: Trigger::Access(access),
             guards: vec![],
-            effect: Effect::Local {
-                actions: vec![Action::PerformAccess],
-                next: Some(next),
-            },
+            effect: Effect::Local { actions: vec![Action::PerformAccess], next: Some(next) },
         });
         self
     }
@@ -309,18 +299,13 @@ impl SspBuilder {
 
     /// Request to the directory carrying the block's data (PutM + Data).
     pub fn send_req_data(&self, msg: MsgId) -> Vec<Action> {
-        vec![
-            Action::ResetAcks,
-            Action::Send(SendSpec::new(msg, Dst::Dir).data(DataSrc::OwnBlock)),
-        ]
+        vec![Action::ResetAcks, Action::Send(SendSpec::new(msg, Dst::Dir).data(DataSrc::OwnBlock))]
     }
 
     /// `send msg (Data) to requestor`.
     pub fn send_data_to_req(&self, msg: MsgId) -> Action {
         Action::Send(
-            SendSpec::new(msg, Dst::Req)
-                .data(DataSrc::OwnBlock)
-                .req_field(ReqField::FromMsg),
+            SendSpec::new(msg, Dst::Req).data(DataSrc::OwnBlock).req_field(ReqField::FromMsg),
         )
     }
 
@@ -605,17 +590,10 @@ mod tests {
         let chain = b.await_data_acks(data, ack, m);
         // The AD node must have an Inv_Ack self-loop (footnote 2).
         let ad = &chain.nodes[0];
-        let self_loop = ad
-            .arcs
-            .iter()
-            .find(|a| a.msg == ack)
-            .expect("Inv_Ack arc in AD node");
+        let self_loop = ad.arcs.iter().find(|a| a.msg == ack).expect("Inv_Ack arc in AD node");
         assert_eq!(self_loop.to, WaitTo::Wait(0));
         // And a direct completion for Data when acks are already satisfied.
-        assert!(ad
-            .arcs
-            .iter()
-            .any(|a| a.msg == data && a.guards == vec![Guard::AcksComplete]));
+        assert!(ad.arcs.iter().any(|a| a.msg == data && a.guards == vec![Guard::AcksComplete]));
     }
 
     #[test]

@@ -285,10 +285,7 @@ impl Fsm {
 
     /// All arcs leaving `state` for `event`.
     pub fn arcs_for(&self, state: FsmStateId, event: Event) -> Vec<&Arc> {
-        self.arcs
-            .iter()
-            .filter(|a| a.from == state && a.event == event)
-            .collect()
+        self.arcs.iter().filter(|a| a.from == state && a.event == event).collect()
     }
 
     /// The message declaration for `id`.
@@ -302,10 +299,7 @@ impl Fsm {
 
     /// Looks up a message id by name.
     pub fn msg_by_name(&self, name: &str) -> Option<MsgId> {
-        self.messages
-            .iter()
-            .position(|m| m.name == name)
-            .map(MsgId::from_usize)
+        self.messages.iter().position(|m| m.name == name).map(MsgId::from_usize)
     }
 
     /// Number of states.
@@ -343,9 +337,7 @@ impl Fsm {
 
     /// Returns the ids of all transient states.
     pub fn transient_states(&self) -> Vec<FsmStateId> {
-        self.state_ids()
-            .filter(|&s| !self.state(s.to_owned()).is_stable())
-            .collect()
+        self.state_ids().filter(|&s| !self.state(s.to_owned()).is_stable()).collect()
     }
 }
 
@@ -420,10 +412,7 @@ mod tests {
             AccessSummary::Issue(FsmStateId(1))
         );
         assert_eq!(f.access_summary(FsmStateId(1), Access::Store), AccessSummary::Stall);
-        assert_eq!(
-            f.access_summary(FsmStateId(0), Access::Replacement),
-            AccessSummary::Undefined
-        );
+        assert_eq!(f.access_summary(FsmStateId(0), Access::Replacement), AccessSummary::Undefined);
     }
 
     #[test]

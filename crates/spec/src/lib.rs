@@ -97,10 +97,7 @@ impl Ssp {
     ///
     /// Returns `None` when no message with that name exists.
     pub fn msg_by_name(&self, name: &str) -> Option<MsgId> {
-        self.messages
-            .iter()
-            .position(|m| m.name == name)
-            .map(MsgId::from_usize)
+        self.messages.iter().position(|m| m.name == name).map(MsgId::from_usize)
     }
 
     /// Returns the declaration for `id`.

@@ -50,7 +50,8 @@ pub enum VirtualNet {
 
 impl VirtualNet {
     /// All virtual networks, in delivery-priority order (responses first).
-    pub const ALL: [VirtualNet; 3] = [VirtualNet::Response, VirtualNet::Forward, VirtualNet::Request];
+    pub const ALL: [VirtualNet; 3] =
+        [VirtualNet::Response, VirtualNet::Forward, VirtualNet::Request];
 
     /// Returns a small dense index for array storage.
     pub fn index(self) -> usize {
@@ -97,13 +98,7 @@ impl MsgDecl {
             MsgClass::Forward => VirtualNet::Forward,
             MsgClass::Response => VirtualNet::Response,
         };
-        MsgDecl {
-            name: name.into(),
-            class,
-            vnet,
-            carries_data: false,
-            carries_ack_count: false,
-        }
+        MsgDecl { name: name.into(), class, vnet, carries_data: false, carries_ack_count: false }
     }
 
     /// Marks the message as carrying block data.

@@ -235,19 +235,12 @@ pub struct MachineSsp {
 impl MachineSsp {
     /// Creates an empty machine specification.
     pub fn new(kind: MachineKind) -> Self {
-        MachineSsp {
-            kind,
-            states: Vec::new(),
-            entries: Vec::new(),
-        }
+        MachineSsp { kind, states: Vec::new(), entries: Vec::new() }
     }
 
     /// Looks up a stable state id by name.
     pub fn state_by_name(&self, name: &str) -> Option<StableId> {
-        self.states
-            .iter()
-            .position(|s| s.name == name)
-            .map(StableId::from_usize)
+        self.states.iter().position(|s| s.name == name).map(StableId::from_usize)
     }
 
     /// Returns the declaration of `id`.
@@ -266,17 +259,12 @@ impl MachineSsp {
 
     /// All entries for `state` with the given trigger, in declaration order.
     pub fn entries_for(&self, state: StableId, trigger: Trigger) -> Vec<&SspEntry> {
-        self.entries
-            .iter()
-            .filter(|e| e.state == state && e.trigger == trigger)
-            .collect()
+        self.entries.iter().filter(|e| e.state == state && e.trigger == trigger).collect()
     }
 
     /// Whether any entry exists for `state` and `trigger`.
     pub fn handles(&self, state: StableId, trigger: Trigger) -> bool {
-        self.entries
-            .iter()
-            .any(|e| e.state == state && e.trigger == trigger)
+        self.entries.iter().any(|e| e.state == state && e.trigger == trigger)
     }
 }
 
@@ -321,11 +309,7 @@ mod tests {
     #[test]
     fn machine_lookup_by_name() {
         let mut m = MachineSsp::new(MachineKind::Cache);
-        m.states.push(StableDecl {
-            name: "I".into(),
-            perm: Perm::None,
-            data_valid: false,
-        });
+        m.states.push(StableDecl { name: "I".into(), perm: Perm::None, data_valid: false });
         assert_eq!(m.state_by_name("I"), Some(StableId(0)));
         assert_eq!(m.state_by_name("Z"), None);
     }

@@ -84,10 +84,10 @@ fn validate_machine(ssp: &Ssp, m: &MachineSsp) -> Result<(), SpecError> {
                         return Err(ctx(format!("next state {n} out of range")));
                     }
                 }
-                validate_actions(ssp, m, actions).map_err(|s| ctx(s))?;
+                validate_actions(ssp, m, actions).map_err(&ctx)?;
             }
             Effect::Issue { request, chain } => {
-                validate_actions(ssp, m, request).map_err(|s| ctx(s))?;
+                validate_actions(ssp, m, request).map_err(&ctx)?;
                 if chain.nodes.is_empty() {
                     return Err(ctx("transaction with empty wait chain".into()));
                 }
@@ -125,7 +125,7 @@ fn validate_machine(ssp: &Ssp, m: &MachineSsp) -> Result<(), SpecError> {
                                 return Err(ctx(format!("done state {s} out of range")));
                             }
                         }
-                        validate_actions(ssp, m, &arc.actions).map_err(|s| ctx(s))?;
+                        validate_actions(ssp, m, &arc.actions).map_err(&ctx)?;
                     }
                 }
             }

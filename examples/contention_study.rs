@@ -16,13 +16,17 @@ fn main() {
     println!("MSI, 4 cores, one contended block, 200 accesses/core");
     println!(
         "{:>9} | {:>12} {:>12} {:>9} | {:>12} {:>12} {:>9} | {:>7}",
-        "store %", "stall cyc", "stall-stall", "lat", "nstall cyc", "nstall-stall", "lat", "speedup"
+        "store %",
+        "stall cyc",
+        "stall-stall",
+        "lat",
+        "nstall cyc",
+        "nstall-stall",
+        "lat",
+        "speedup"
     );
     for store_pct in [0u8, 10, 25, 50, 75, 100] {
-        let cfg = SimConfig {
-            workload: Workload::Mixed { store_pct },
-            ..SimConfig::default()
-        };
+        let cfg = SimConfig { workload: Workload::Mixed { store_pct }, ..SimConfig::default() };
         let a = simulate(&stalling.cache, &stalling.directory, &cfg).unwrap();
         let b = simulate(&non_stalling.cache, &non_stalling.directory, &cfg).unwrap();
         println!(

@@ -17,7 +17,9 @@ fn main() {
     );
     let mut all_ok = true;
     for ssp in protogen::protocols::all() {
-        for (label, cfg) in [("stalling", GenConfig::stalling()), ("non-stalling", GenConfig::non_stalling())] {
+        for (label, cfg) in
+            [("stalling", GenConfig::stalling()), ("non-stalling", GenConfig::non_stalling())]
+        {
             let g = generate(&ssp, &cfg).expect("generation succeeds");
             let mut mc_cfg = McConfig::with_caches(n);
             mc_cfg.ordered = ssp.network_ordered;

@@ -75,11 +75,7 @@ fn e5_table_vi_nonstalling_msi() {
     let g = non_stalling_msi();
     // 18–20 states (§VI-B). The paper's table lists 19; our minimizer
     // additionally proves SI_A bisimilar to II_A (one fewer).
-    assert!(
-        (18..=20).contains(&g.cache.state_count()),
-        "state count {}",
-        g.cache.state_count()
-    );
+    assert!((18..=20).contains(&g.cache.state_count()), "state count {}", g.cache.state_count());
     // Count transitions the way the paper does: real protocol actions,
     // excluding synthesized defensive acknowledgments of stale forwards.
     let core_transitions = g
@@ -97,11 +93,7 @@ fn e5_table_vi_nonstalling_msi() {
         assert!(g.cache.state_by_name(name).is_some(), "missing {name}");
     }
     // The merges of §VI-B: IMAS=SMAS, IMASI=SMASI, IMAI=SMAI.
-    for (kept, merged) in [
-        ("IM_A_S", "SM_A_S"),
-        ("IM_A_SI", "SM_A_SI"),
-        ("IM_A_I", "SM_A_I"),
-    ] {
+    for (kept, merged) in [("IM_A_S", "SM_A_S"), ("IM_A_SI", "SM_A_SI"), ("IM_A_I", "SM_A_I")] {
         let m = g
             .report
             .cache_merges
@@ -164,10 +156,7 @@ fn e7_figure2_isd_inv() {
     let i = g.cache.state_by_name("I").unwrap();
     let arcs = g.cache.arcs_for(isdi, Event::Msg(data));
     assert_eq!(arcs[0].to, i);
-    assert!(arcs[0]
-        .actions
-        .iter()
-        .any(|a| matches!(a, protogen::spec::Action::PerformAccess)));
+    assert!(arcs[0].actions.iter().any(|a| matches!(a, protogen::spec::Action::PerformAccess)));
 }
 
 /// E8 — §VI-A: stalling MSI/MESI/MOSI verify for SWMR, data value,
@@ -175,7 +164,9 @@ fn e7_figure2_isd_inv() {
 /// the benchmark harness).
 #[test]
 fn e8_stalling_protocols_verify() {
-    for ssp in [protogen::protocols::msi(), protogen::protocols::mesi(), protogen::protocols::mosi()] {
+    for ssp in
+        [protogen::protocols::msi(), protogen::protocols::mesi(), protogen::protocols::mosi()]
+    {
         let g = generate(&ssp, &GenConfig::stalling()).unwrap();
         let r = ModelChecker::new(&g.cache, &g.directory, McConfig::with_caches(2)).run();
         assert!(r.passed(), "{}: {:?}", ssp.name, r.violation);
@@ -186,7 +177,9 @@ fn e8_stalling_protocols_verify() {
 /// paper's 18–20 band for MSI/MESI-class protocols.
 #[test]
 fn e9_nonstalling_protocols_verify() {
-    for ssp in [protogen::protocols::msi(), protogen::protocols::mesi(), protogen::protocols::mosi()] {
+    for ssp in
+        [protogen::protocols::msi(), protogen::protocols::mesi(), protogen::protocols::mosi()]
+    {
         let g = generate(&ssp, &GenConfig::non_stalling()).unwrap();
         assert!(g.cache.state_count() >= 18, "{}: {}", ssp.name, g.cache.state_count());
         let r = ModelChecker::new(&g.cache, &g.directory, McConfig::with_caches(2)).run();
@@ -202,11 +195,7 @@ fn e9_nonstalling_stalls_less() {
     let st = generate(&ssp, &GenConfig::stalling()).unwrap();
     let ns = generate(&ssp, &GenConfig::non_stalling()).unwrap();
     let d = diff(&st.cache, &ns.cache);
-    let less: Vec<_> = d
-        .stall_differences
-        .iter()
-        .filter(|s| s.contains("left stalls"))
-        .collect();
+    let less: Vec<_> = d.stall_differences.iter().filter(|s| s.contains("left stalls")).collect();
     assert!(!less.is_empty(), "non-stalling must stall strictly less");
     // And never the other way around.
     assert!(d.stall_differences.iter().all(|s| !s.contains("right stalls")), "{d:?}");
