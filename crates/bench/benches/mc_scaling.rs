@@ -1,0 +1,203 @@
+//! Thread-scaling benchmark for the sharded model checker.
+//!
+//! Runs the 3-cache MESI (non-stalling) verification workload at 1, 2,
+//! and 4 worker threads, reports states/second and peak visited-set
+//! bytes, and writes the results to `BENCH_mc.json` at the workspace root
+//! — the artifact the `bench-nightly` CI workflow uploads and gates on.
+//!
+//! Environment knobs (all off by default so plain `cargo bench` never
+//! fails on a laptop):
+//!
+//! * `MC_ENFORCE_BASELINE=1` — exit non-zero if 4-thread states/sec fall
+//!   more than 20 % below the committed `BENCH_mc_baseline.json`.
+//! * `MC_ENFORCE_SCALING=1` — exit non-zero unless 4 threads deliver more
+//!   than 1.8× the 1-thread states/sec (only meaningful on a machine with
+//!   4+ cores; the nightly CI runner qualifies).
+
+use protogen_core::{generate, GenConfig};
+use protogen_mc::{McConfig, ModelChecker};
+use std::path::{Path, PathBuf};
+
+const THREAD_POINTS: [usize; 3] = [1, 2, 4];
+/// Best-of-N to damp scheduler noise without statistical machinery.
+const REPS: usize = 3;
+
+struct Point {
+    threads: usize,
+    seconds: f64,
+    states_per_sec: f64,
+    peak_store_bytes: usize,
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("workspace root")
+}
+
+fn main() {
+    let ssp = protogen_protocols::mesi();
+    let g = generate(&ssp, &GenConfig::non_stalling()).unwrap();
+
+    println!("=== mc_scaling: MESI non-stalling, 3 caches ===");
+    println!(
+        "{:>7} {:>10} {:>9} {:>14} {:>16}",
+        "threads", "states", "seconds", "states/sec", "peak store (B)"
+    );
+
+    let mut states = 0usize;
+    let mut points: Vec<Point> = Vec::new();
+    for &threads in &THREAD_POINTS {
+        let mut best: Option<Point> = None;
+        for _ in 0..REPS {
+            let mut cfg = McConfig::with_caches(3);
+            cfg.ordered = ssp.network_ordered;
+            cfg.threads = threads;
+            let r = ModelChecker::new(&g.cache, &g.directory, cfg).run();
+            assert!(r.passed(), "scaling workload must verify: {:?}", r.violation);
+            assert!(states == 0 || states == r.states, "state count drifted across runs");
+            states = r.states;
+            let p = Point {
+                threads,
+                seconds: r.seconds,
+                states_per_sec: r.states as f64 / r.seconds,
+                peak_store_bytes: r.store_bytes,
+            };
+            if best.as_ref().is_none_or(|b| p.states_per_sec > b.states_per_sec) {
+                best = Some(p);
+            }
+        }
+        let p = best.unwrap();
+        println!(
+            "{:>7} {:>10} {:>9.3} {:>14.0} {:>16}",
+            p.threads, states, p.seconds, p.states_per_sec, p.peak_store_bytes
+        );
+        points.push(p);
+    }
+
+    let rate = |threads: usize| {
+        points.iter().find(|p| p.threads == threads).map(|p| p.states_per_sec).unwrap()
+    };
+    let speedup = rate(4) / rate(1);
+    let peak = points.iter().map(|p| p.peak_store_bytes).max().unwrap();
+    println!("speedup 4t/1t: {speedup:.2}×  (cores available: {})", available());
+
+    let json = render_json(states, &points, speedup, peak);
+    let out_path = workspace_root().join("BENCH_mc.json");
+    std::fs::write(&out_path, &json).expect("write BENCH_mc.json");
+    println!("wrote {}", out_path.display());
+
+    let mut failed = false;
+    if env_on("MC_ENFORCE_BASELINE") {
+        let baseline_path = std::env::var("MC_BASELINE")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| workspace_root().join("BENCH_mc_baseline.json"));
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => match extract_number(&text, "states_per_sec_4t") {
+                Some(base) => {
+                    // A baseline from a different core count gates nothing
+                    // useful (a 1-core-measured floor is far below any
+                    // multi-core run), so an incomparable baseline is a
+                    // hard failure — the freshly written BENCH_mc.json is
+                    // still uploaded by CI, ready to be committed as the
+                    // new baseline.
+                    if let Some(cores) = extract_number(&text, "cores_available") {
+                        if cores as usize != available() {
+                            eprintln!(
+                                "STALE BASELINE: measured on {} core(s) but this machine \
+                                 has {} — the regression floor is not comparable. \
+                                 Refresh {} from this run's BENCH_mc.json.",
+                                cores,
+                                available(),
+                                baseline_path.display()
+                            );
+                            failed = true;
+                        }
+                    }
+                    let floor = base * 0.8;
+                    if rate(4) < floor {
+                        eprintln!(
+                            "REGRESSION: 4-thread states/sec {:.0} < 80% of baseline {:.0} \
+                             (floor {:.0})",
+                            rate(4),
+                            base,
+                            floor
+                        );
+                        failed = true;
+                    } else {
+                        println!(
+                            "baseline check OK: {:.0} states/sec vs baseline {:.0} (floor {:.0})",
+                            rate(4),
+                            base,
+                            floor
+                        );
+                    }
+                }
+                None => {
+                    eprintln!("baseline {} lacks states_per_sec_4t", baseline_path.display());
+                    failed = true;
+                }
+            },
+            Err(e) => {
+                eprintln!("cannot read baseline {}: {e}", baseline_path.display());
+                failed = true;
+            }
+        }
+    }
+    if env_on("MC_ENFORCE_SCALING") {
+        if speedup > 1.8 {
+            println!("scaling check OK: {speedup:.2}× > 1.8×");
+        } else {
+            eprintln!("SCALING FAILURE: 4-thread speedup {speedup:.2}× ≤ 1.8×");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn available() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn env_on(name: &str) -> bool {
+    std::env::var(name).map(|v| v == "1" || v.eq_ignore_ascii_case("true")).unwrap_or(false)
+}
+
+fn render_json(states: usize, points: &[Point], speedup: f64, peak: usize) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"workload\": \"MESI non-stalling, 3 caches\",\n");
+    s.push_str(&format!("  \"states\": {states},\n"));
+    s.push_str(&format!("  \"cores_available\": {},\n", available()));
+    s.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"threads\": {}, \"seconds\": {:.4}, \"states_per_sec\": {:.0}, \
+             \"peak_store_bytes\": {}}}{}\n",
+            p.threads,
+            p.seconds,
+            p.states_per_sec,
+            p.peak_store_bytes,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    for p in points {
+        s.push_str(&format!("  \"states_per_sec_{}t\": {:.0},\n", p.threads, p.states_per_sec));
+    }
+    s.push_str(&format!("  \"speedup_4t\": {speedup:.3},\n"));
+    s.push_str(&format!("  \"peak_store_bytes\": {peak}\n"));
+    s.push_str("}\n");
+    s
+}
+
+/// Minimal flat-JSON number lookup (`"key": 123.4`) — enough for the
+/// baseline file, which this harness itself writes.
+fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}

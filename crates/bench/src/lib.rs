@@ -1,3 +1,5 @@
 //! Benchmark-only crate; see the `benches/` directory. Each bench harness
-//! regenerates one of the paper's tables or figures (DESIGN.md, §4) and
-//! then measures the machinery behind it with Criterion.
+//! regenerates one of the paper's tables or figures (DESIGN.md, §5) and
+//! then measures the machinery behind it; `mc_scaling` additionally
+//! records the model checker's thread-scaling in `BENCH_mc.json` for the
+//! nightly CI regression gate.

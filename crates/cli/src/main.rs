@@ -2,13 +2,16 @@
 //!
 //! ```text
 //! protogen table   <protocol> [--stalling] [--machine cache|dir] [--markdown]
-//! protogen verify  <protocol> [--stalling] [--caches N]
+//! protogen verify  <protocol> [--stalling] [--caches N] [--threads N]
 //! protogen dot     <protocol> [--stalling] [--machine cache|dir]
 //! protogen murphi  <protocol> [--stalling] [--caches N]
 //! protogen simulate <protocol> [--stalling] [--stores PCT] [--cores N]
 //! protogen stats   [--stalling]
-//! protogen compile <file.pgen> [--stalling] [--caches N]
+//! protogen compile <file.pgen> [--stalling] [--caches N] [--threads N]
 //! ```
+//!
+//! `--threads` sets the model checker's worker count (default: all
+//! available cores); results are identical for every thread count.
 //!
 //! `<protocol>` is one of: msi, mesi, mosi, msi-upgrade, msi-unordered,
 //! tso-cc.
@@ -32,7 +35,8 @@ impl Args {
         let mut it = std::env::args().skip(1).peekable();
         while let Some(a) = it.next() {
             if let Some(f) = a.strip_prefix("--") {
-                let needs_value = matches!(f, "machine" | "caches" | "stores" | "cores");
+                let needs_value =
+                    matches!(f, "machine" | "caches" | "stores" | "cores" | "threads");
                 if needs_value {
                     let v = it.next().unwrap_or_default();
                     flags.push(format!("{f}={v}"));
@@ -85,21 +89,24 @@ fn generate_or_exit(ssp: &Ssp, args: &Args) -> Generated {
     }
 }
 
-fn verify(g: &Generated, ssp: &Ssp, n: usize) -> bool {
+fn verify(g: &Generated, ssp: &Ssp, n: usize, threads: usize) -> bool {
     let mut cfg = McConfig::with_caches(n);
     cfg.ordered = ssp.network_ordered;
+    cfg.threads = threads;
     if ssp.name == "TSO-CC" {
         cfg.check_swmr = false;
         cfg.check_data_value = false;
     }
     let r = ModelChecker::new(&g.cache, &g.directory, cfg).run();
     println!(
-        "{}: {} — {} states, {} transitions, {:.2}s",
+        "{}: {} — {} states, {} transitions, {:.2}s on {} thread{}",
         ssp.name,
         if r.passed() { "PASSED" } else { "FAILED" },
         r.states,
         r.transitions,
-        r.seconds
+        r.seconds,
+        r.threads,
+        if r.threads == 1 { "" } else { "s" }
     );
     if let Some(v) = &r.violation {
         println!("violation: {}", v.kind);
@@ -117,6 +124,8 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     let caches: usize = args.value("caches").and_then(|v| v.parse().ok()).unwrap_or(2);
+    // 0 = "auto": the checker resolves it to available_parallelism.
+    let threads: usize = args.value("threads").and_then(|v| v.parse().ok()).unwrap_or(0);
 
     match cmd {
         "stats" => {
@@ -179,7 +188,7 @@ fn main() -> ExitCode {
                     ExitCode::SUCCESS
                 }
                 "verify" => {
-                    if verify(&g, &ssp, caches) {
+                    if verify(&g, &ssp, caches, threads) {
                         ExitCode::SUCCESS
                     } else {
                         ExitCode::FAILURE
@@ -240,7 +249,7 @@ fn main() -> ExitCode {
             let g = generate_or_exit(&ssp, &args);
             println!("{}", g.report);
             println!("{}", render_table(&g.cache, &TableOptions::default()));
-            if verify(&g, &ssp, caches) {
+            if verify(&g, &ssp, caches, threads) {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::FAILURE

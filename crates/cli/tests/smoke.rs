@@ -38,6 +38,21 @@ fn verify_msi_passes_at_two_caches() {
 }
 
 #[test]
+fn verify_reports_identical_counts_for_any_thread_count() {
+    let single = protogen(&["verify", "msi", "--caches", "2", "--threads", "1"]);
+    let quad = protogen(&["verify", "msi", "--caches", "2", "--threads", "4"]);
+    assert!(single.status.success() && quad.status.success());
+    let s = String::from_utf8_lossy(&single.stdout);
+    let q = String::from_utf8_lossy(&quad.stdout);
+    assert!(s.contains("on 1 thread"), "{s}");
+    assert!(q.contains("on 4 threads"), "{q}");
+    // Everything up to the timing field must agree: "<name>: PASSED — N
+    // states, M transitions".
+    let prefix = |out: &str| out.split(" transitions").next().unwrap_or_default().to_string();
+    assert_eq!(prefix(&s), prefix(&q), "single:\n{s}\nquad:\n{q}");
+}
+
+#[test]
 fn table_renders_generated_controller() {
     let out = protogen(&["table", "msi"]);
     assert!(out.status.success());

@@ -1,19 +1,33 @@
-//! Explicit-state reachability exploration with invariant checking.
+//! Parallel explicit-state reachability exploration with invariant
+//! checking.
+//!
+//! The explorer is a level-synchronized, sharded-frontier BFS: `threads`
+//! workers each own one shard of the visited set (a state belongs to the
+//! shard `fingerprint % threads`, see [`crate::store`]), and every BFS
+//! level runs in three barrier-separated phases — expand, dedup, decide
+//! (see [`crate::frontier`]). The design is deterministic by construction:
+//! states, transitions, the chosen violation, and the counterexample trace
+//! are identical for every thread count and every run. DESIGN.md §3
+//! documents the algorithm and the fingerprint collision-risk arithmetic.
 
-use crate::system::{permutations, SysState};
-use protogen_runtime::{apply, select_arc, MachineCtx, Msg, NodeId};
+use crate::frontier::{Candidate, Coordinator, Decision, Inbox, Outboxes, VioCand};
+use crate::store::{Gid, ShardStore, StateRec, STEP_NONE};
+use crate::system::{invert, permutations, SysState};
+use protogen_runtime::{apply, select_arc_indexed, FsmIndex, MachineCtx, Msg, NodeId};
 use protogen_spec::{Access, Event, Fsm, Perm};
-use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::sync::atomic::Ordering::Relaxed;
 use std::time::Instant;
 
 /// Model-checker configuration.
 #[derive(Debug, Clone)]
 pub struct McConfig {
     /// Number of caches (the paper verifies with 3, the most Murϕ could
-    /// handle without exhausting memory).
+    /// handle without exhausting memory; the sharded explorer is built to
+    /// go past that).
     pub n_caches: usize,
-    /// Abort exploration after this many states.
+    /// Abort exploration after this many states (checked at BFS-level
+    /// granularity, so the final count may overshoot by one level).
     pub max_states: usize,
     /// Store values cycle through `0..value_domain` (small domain, the
     /// standard bounding discipline).
@@ -30,6 +44,11 @@ pub struct McConfig {
     pub check_data_value: bool,
     /// Canonicalize states under cache-id permutation (Murϕ scalarsets).
     pub symmetry: bool,
+    /// Worker threads (= visited-set shards). `0` — the default — means
+    /// "use [`std::thread::available_parallelism`]"; values are clamped
+    /// to [`crate::MAX_SHARDS`]. Results are identical for every thread
+    /// count.
+    pub threads: usize,
 }
 
 impl Default for McConfig {
@@ -43,6 +62,7 @@ impl Default for McConfig {
             check_swmr: true,
             check_data_value: true,
             symmetry: true,
+            threads: 0,
         }
     }
 }
@@ -52,10 +72,26 @@ impl McConfig {
     pub fn with_caches(n: usize) -> Self {
         McConfig { n_caches: n, ..McConfig::default() }
     }
+
+    /// Configuration with `n` caches explored by `threads` workers.
+    pub fn with_caches_and_threads(n: usize, threads: usize) -> Self {
+        McConfig { n_caches: n, threads, ..McConfig::default() }
+    }
+
+    /// The worker count actually used: `threads` resolved against the
+    /// machine and clamped to `1..=MAX_SHARDS`.
+    pub fn effective_threads(&self) -> usize {
+        let t = if self.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.threads
+        };
+        t.clamp(1, crate::store::MAX_SHARDS)
+    }
 }
 
 /// One scheduling decision of the explored system.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Step {
     /// Deliver the message at position `idx` of channel `src → dst`.
     Deliver {
@@ -73,6 +109,32 @@ pub enum Step {
         /// The access.
         access: Access,
     },
+}
+
+/// Packs a step into 32 bits, preserving [`Step`]'s derived ordering:
+/// deliveries sort before accesses, deliveries by `(src, dst, idx)`,
+/// accesses by `(cache, access)` — the same order [`ModelChecker::steps`]
+/// generates them in.
+pub(crate) fn pack_step(step: Step) -> u32 {
+    match step {
+        Step::Deliver { src, dst, idx } => ((src as u32) << 16) | ((dst as u32) << 8) | idx as u32,
+        Step::IssueAccess { cache, access } => {
+            (1 << 24) | ((cache as u32) << 8) | access.index() as u32
+        }
+    }
+}
+
+/// Inverse of [`pack_step`]. Must not be called on [`STEP_NONE`].
+pub(crate) fn unpack_step(packed: u32) -> Step {
+    debug_assert_ne!(packed, STEP_NONE);
+    if packed & (1 << 24) == 0 {
+        Step::Deliver { src: (packed >> 16) as u8, dst: (packed >> 8) as u8, idx: packed as u8 }
+    } else {
+        Step::IssueAccess {
+            cache: (packed >> 8) as u8,
+            access: Access::ALL[(packed & 0xff) as usize],
+        }
+    }
 }
 
 impl fmt::Display for Step {
@@ -102,6 +164,24 @@ pub enum ViolationKind {
     Exec(String),
 }
 
+/// Deterministic ordering key over violation kinds (rank, detail) so the
+/// end-of-level minimum-selection never depends on discovery order.
+fn kind_key(kind: &ViolationKind) -> (u8, &str) {
+    match kind {
+        ViolationKind::Swmr(d) => (0, d),
+        ViolationKind::DataValue(d) => (1, d),
+        ViolationKind::Deadlock => (2, ""),
+        ViolationKind::UnexpectedMessage(d) => (3, d),
+        ViolationKind::ChannelOverflow(d) => (4, d),
+        ViolationKind::Exec(d) => (5, d),
+    }
+}
+
+fn vio_key(v: &VioCand) -> (u64, u32, u8, &str) {
+    let (rank, detail) = kind_key(&v.kind);
+    (v.parent_fp, v.step, rank, detail)
+}
+
 impl fmt::Display for ViolationKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -116,7 +196,9 @@ impl fmt::Display for ViolationKind {
 }
 
 /// A violation with its counterexample trace (one line per step from the
-/// initial state).
+/// initial state). With symmetry reduction on, the trace walks canonical
+/// representatives, so cache ids may be permuted between consecutive lines
+/// — the standard scalarset-counterexample caveat.
 #[derive(Debug, Clone)]
 pub struct Violation {
     /// What went wrong.
@@ -132,13 +214,18 @@ pub struct CheckResult {
     pub states: usize,
     /// Transitions fired.
     pub transitions: usize,
-    /// The first violation found, if any.
+    /// The deterministically chosen first violation, if any.
     pub violation: Option<Violation>,
     /// Whether exploration stopped at `max_states` before exhausting the
     /// space.
     pub hit_state_limit: bool,
     /// Wall-clock seconds spent exploring.
     pub seconds: f64,
+    /// Peak bytes held by the sharded visited set (fingerprint maps plus
+    /// packed parent-pointer records).
+    pub store_bytes: usize,
+    /// Worker threads used.
+    pub threads: usize,
 }
 
 impl CheckResult {
@@ -151,114 +238,382 @@ impl CheckResult {
 /// The model checker: explores every reachable state of N caches + the
 /// directory running the generated FSMs, checking SWMR, the data-value
 /// invariant, deadlock freedom, and protocol completeness.
+///
+/// Exploration is multi-threaded (see [`McConfig::threads`]) but the
+/// result is thread-count- and interleaving-independent.
 #[derive(Debug)]
 pub struct ModelChecker<'a> {
     cache_fsm: &'a Fsm,
     dir_fsm: &'a Fsm,
     cfg: McConfig,
     perms: Vec<Vec<u8>>,
+    invs: Vec<Vec<u8>>,
+    cache_idx: FsmIndex,
+    dir_idx: FsmIndex,
 }
 
 impl<'a> ModelChecker<'a> {
     /// Creates a checker for the given controllers.
     pub fn new(cache_fsm: &'a Fsm, dir_fsm: &'a Fsm, cfg: McConfig) -> Self {
-        let perms = permutations(cfg.n_caches);
-        ModelChecker { cache_fsm, dir_fsm, cfg, perms }
+        let perms = if cfg.symmetry {
+            permutations(cfg.n_caches)
+        } else {
+            vec![(0..cfg.n_caches as u8).collect()]
+        };
+        let invs = perms.iter().map(|p| invert(p)).collect();
+        let cache_idx = FsmIndex::new(cache_fsm);
+        let dir_idx = FsmIndex::new(dir_fsm);
+        ModelChecker { cache_fsm, dir_fsm, cfg, perms, invs, cache_idx, dir_idx }
     }
 
     /// Runs breadth-first exploration until exhaustion, a violation, or the
     /// state limit.
     pub fn run(&self) -> CheckResult {
         let start = Instant::now();
-        let initial = SysState::initial(self.cfg.n_caches);
-        let mut visited: HashMap<Vec<u8>, u32> = HashMap::new();
-        let mut parents: Vec<(u32, Option<Step>)> = Vec::new();
-        let mut queue: VecDeque<(SysState, u32)> = VecDeque::new();
-        let mut transitions = 0usize;
+        let threads = self.cfg.effective_threads();
 
-        visited.insert(self.encode(&initial), 0);
-        parents.push((0, None));
-        queue.push_back((initial, 0));
+        let initial = self.canonical_rep(SysState::initial(self.cfg.n_caches));
+        let (fp0, _) = self.canonical_fp(&initial);
+        let owner0 = (fp0 % threads as u64) as usize;
 
-        while let Some((state, id)) = queue.pop_front() {
-            let mut any_delivery = false;
+        let mut inits: Vec<(ShardStore, Vec<(SysState, u32)>)> =
+            (0..threads).map(|_| (ShardStore::new(), Vec::new())).collect();
+        inits[owner0].0.map.insert(fp0, 0);
+        inits[owner0].0.recs.push(StateRec {
+            fp: fp0,
+            parent_fp: fp0,
+            parent: Gid::pack(owner0, 0),
+            step: STEP_NONE,
+            depth: 0,
+        });
+        inits[owner0].1.push((initial, 0));
 
-            for step in self.steps(&state) {
-                match self.successor(&state, step) {
-                    Err(kind) => {
-                        let v =
-                            Violation { kind, trace: self.build_trace(&parents, id, Some(step)) };
-                        return self.finish(start, visited.len(), transitions, Some(v), false);
-                    }
-                    Ok(None) => {}
-                    Ok(Some(next)) => {
-                        if matches!(step, Step::Deliver { .. }) {
-                            any_delivery = true;
-                        }
-                        transitions += 1;
-                        if let Some(kind) = self.check_state(&next) {
-                            let v = Violation {
-                                kind,
-                                trace: self.build_trace(&parents, id, Some(step)),
-                            };
-                            return self.finish(start, visited.len(), transitions, Some(v), false);
-                        }
-                        let enc = self.encode(&next);
-                        if let std::collections::hash_map::Entry::Vacant(e) = visited.entry(enc) {
-                            let nid = parents.len() as u32;
-                            e.insert(nid);
-                            parents.push((id, Some(step)));
-                            queue.push_back((next, nid));
-                            if visited.len() >= self.cfg.max_states {
-                                return self.finish(start, visited.len(), transitions, None, true);
-                            }
-                        }
-                    }
-                }
-            }
+        let inboxes: Vec<Inbox> = (0..threads).map(|_| Inbox::default()).collect();
+        let coord = Coordinator::new(threads);
+        coord.total_states.store(1, Relaxed);
 
-            // Deadlock: pending work with no deliverable message. New
-            // accesses can only add transactions, never unblock existing
-            // ones, so they do not count as progress.
-            if !any_delivery && (state.messages_in_flight() > 0 || state.has_pending_access()) {
-                let v = Violation {
-                    kind: ViolationKind::Deadlock,
-                    trace: self.build_trace(&parents, id, None),
-                };
-                return self.finish(start, visited.len(), transitions, Some(v), false);
-            }
+        let stores: Vec<ShardStore> = std::thread::scope(|s| {
+            let handles: Vec<_> = inits
+                .into_iter()
+                .enumerate()
+                .map(|(t, (store, frontier))| {
+                    let inboxes = &inboxes;
+                    let coord = &coord;
+                    s.spawn(move || self.worker(t, threads, store, frontier, inboxes, coord))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+
+        // A worker phase panicked: all workers drained cleanly through the
+        // barriers; surface the original panic here.
+        if let Some(payload) = coord.panic.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            std::panic::resume_unwind(payload);
         }
-        self.finish(start, visited.len(), transitions, None, false)
-    }
 
-    fn finish(
-        &self,
-        start: Instant,
-        states: usize,
-        transitions: usize,
-        violation: Option<Violation>,
-        hit_limit: bool,
-    ) -> CheckResult {
+        let states = stores.iter().map(|s| s.recs.len()).sum();
+        let transitions = coord.transitions.load(Relaxed);
+        let store_bytes = stores.iter().map(|s| s.bytes()).sum();
+        let (violation, hit_limit) = match coord.decision.into_inner().unwrap() {
+            Decision::Stop { violation, hit_limit } => {
+                let v = violation.map(|v| Violation {
+                    kind: v.kind.clone(),
+                    trace: self.build_trace(&stores, &v),
+                });
+                (v, hit_limit)
+            }
+            Decision::Continue => (None, false),
+        };
+
         CheckResult {
             states,
             transitions,
             violation,
             hit_state_limit: hit_limit,
             seconds: start.elapsed().as_secs_f64(),
+            store_bytes,
+            threads,
         }
     }
 
-    fn encode(&self, s: &SysState) -> Vec<u8> {
-        if self.cfg.symmetry {
-            s.canonical_encoding(&self.perms)
+    /// One worker: owns shard `t` of the visited set and processes BFS
+    /// levels in lock-step with the other workers.
+    ///
+    /// Each phase body runs under `catch_unwind`: a panicking worker
+    /// records its payload on the coordinator and keeps rendezvousing at
+    /// the barriers doing no work, so the fleet drains and the panic is
+    /// re-raised on the calling thread instead of deadlocking the level
+    /// barrier (std's `Barrier` has no poisoning).
+    fn worker(
+        &self,
+        t: usize,
+        n_shards: usize,
+        mut store: ShardStore,
+        mut frontier: Vec<(SysState, u32)>,
+        inboxes: &[Inbox],
+        coord: &Coordinator,
+    ) -> ShardStore {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let mut out = Outboxes::new(n_shards);
+        let mut steps_buf: Vec<Step> = Vec::new();
+        let mut depth: u32 = 0;
+        loop {
+            // Phase A — expand this shard's frontier, routing successors to
+            // their owning shards and buffering violations locally.
+            let mut violations: Vec<VioCand> = Vec::new();
+            if !coord.aborted.load(Relaxed) {
+                let phase = catch_unwind(AssertUnwindSafe(|| {
+                    self.expand_phase(
+                        t,
+                        n_shards,
+                        &store,
+                        &mut frontier,
+                        &mut out,
+                        &mut steps_buf,
+                        inboxes,
+                        coord,
+                    )
+                }));
+                match phase {
+                    Ok(v) => violations = v,
+                    Err(payload) => coord.record_panic(payload),
+                }
+            }
+            coord.barrier.wait();
+
+            // Phase B — drain this shard's inbox into its store and merge
+            // this worker's level results into the aggregate.
+            if !coord.aborted.load(Relaxed) {
+                let phase = catch_unwind(AssertUnwindSafe(|| {
+                    self.dedup_phase(
+                        t,
+                        depth,
+                        &mut store,
+                        &mut frontier,
+                        violations,
+                        inboxes,
+                        coord,
+                    )
+                }));
+                if let Err(payload) = phase {
+                    coord.record_panic(payload);
+                }
+            }
+            coord.barrier.wait();
+
+            // Phase C — worker 0 publishes the level decision.
+            if t == 0 {
+                let dec = if coord.aborted.load(Relaxed) {
+                    Decision::Stop { violation: None, hit_limit: false }
+                } else {
+                    match catch_unwind(AssertUnwindSafe(|| self.decide(coord))) {
+                        Ok(dec) => dec,
+                        Err(payload) => {
+                            coord.record_panic(payload);
+                            Decision::Stop { violation: None, hit_limit: false }
+                        }
+                    }
+                };
+                *coord.decision.lock().unwrap() = dec;
+            }
+            coord.barrier.wait();
+            if matches!(*coord.decision.lock().unwrap(), Decision::Stop { .. }) {
+                return store;
+            }
+            depth += 1;
+        }
+    }
+
+    /// Expand phase: generates every successor of this shard's frontier,
+    /// routes candidates to their owning shards, and returns the
+    /// violations discovered.
+    #[allow(clippy::too_many_arguments)]
+    fn expand_phase(
+        &self,
+        t: usize,
+        n_shards: usize,
+        store: &ShardStore,
+        frontier: &mut Vec<(SysState, u32)>,
+        out: &mut Outboxes,
+        steps_buf: &mut Vec<Step>,
+        inboxes: &[Inbox],
+        coord: &Coordinator,
+    ) -> Vec<VioCand> {
+        let mut violations: Vec<VioCand> = Vec::new();
+        let mut local_transitions = 0usize;
+        for (state, lid) in frontier.drain(..) {
+            let gid = Gid::pack(t, lid as usize);
+            let my_fp = store.recs[lid as usize].fp;
+            let mut any_delivery = false;
+            self.steps_into(&state, steps_buf);
+            for &step in steps_buf.iter() {
+                match self.successor(&state, step) {
+                    Err(kind) => violations.push(VioCand {
+                        parent: gid,
+                        parent_fp: my_fp,
+                        step: pack_step(step),
+                        kind,
+                    }),
+                    Ok(None) => {}
+                    Ok(Some(next)) => {
+                        if matches!(step, Step::Deliver { .. }) {
+                            any_delivery = true;
+                        }
+                        local_transitions += 1;
+                        if let Some(kind) = self.check_state(&next) {
+                            violations.push(VioCand {
+                                parent: gid,
+                                parent_fp: my_fp,
+                                step: pack_step(step),
+                                kind,
+                            });
+                        } else {
+                            let (fp, perm_idx) = self.canonical_fp(&next);
+                            let owner = (fp % n_shards as u64) as usize;
+                            out.push(
+                                owner,
+                                Candidate {
+                                    state: next,
+                                    perm_idx,
+                                    fp,
+                                    parent: gid,
+                                    parent_fp: my_fp,
+                                    step: pack_step(step),
+                                },
+                                inboxes,
+                            );
+                        }
+                    }
+                }
+            }
+            // Deadlock: pending work with no deliverable message. New
+            // accesses can only add transactions, never unblock existing
+            // ones, so they do not count as progress.
+            if !any_delivery && (state.messages_in_flight() > 0 || state.has_pending_access()) {
+                violations.push(VioCand {
+                    parent: gid,
+                    parent_fp: my_fp,
+                    step: STEP_NONE,
+                    kind: ViolationKind::Deadlock,
+                });
+            }
+        }
+        out.flush_all(inboxes);
+        coord.transitions.fetch_add(local_transitions, Relaxed);
+        violations
+    }
+
+    /// Dedup phase: drains this shard's inbox — deduplicating by
+    /// fingerprint, appending packed records for new states, resolving
+    /// same-level parent races by minimum `(parent_fp, step)` — and merges
+    /// this worker's level results into the aggregate.
+    #[allow(clippy::too_many_arguments)]
+    fn dedup_phase(
+        &self,
+        t: usize,
+        depth: u32,
+        store: &mut ShardStore,
+        frontier: &mut Vec<(SysState, u32)>,
+        mut violations: Vec<VioCand>,
+        inboxes: &[Inbox],
+        coord: &Coordinator,
+    ) {
+        let mut new_count = 0usize;
+        for c in inboxes[t].drain() {
+            if let Some(&lid) = store.map.get(&c.fp) {
+                let rec = &mut store.recs[lid as usize];
+                if rec.depth == depth + 1 && (c.parent_fp, c.step) < (rec.parent_fp, rec.step) {
+                    rec.parent_fp = c.parent_fp;
+                    rec.parent = c.parent;
+                    rec.step = c.step;
+                }
+            } else {
+                let lid = store.recs.len() as u32;
+                store.map.insert(c.fp, lid);
+                store.recs.push(StateRec {
+                    fp: c.fp,
+                    parent_fp: c.parent_fp,
+                    parent: c.parent,
+                    step: c.step,
+                    depth: depth + 1,
+                });
+                let rep = self.canonicalize(c.state, c.perm_idx);
+                frontier.push((rep, lid));
+                new_count += 1;
+            }
+        }
+        coord.total_states.fetch_add(new_count, Relaxed);
+        let mut agg = coord.agg.lock().unwrap();
+        agg.new_states += new_count;
+        agg.violations.append(&mut violations);
+    }
+
+    /// Decide phase (worker 0 only): selects the minimum-key violation of
+    /// the level, or stops on exhaustion / the state budget.
+    fn decide(&self, coord: &Coordinator) -> Decision {
+        let mut agg = coord.agg.lock().unwrap();
+        let mut vios = std::mem::take(&mut agg.violations);
+        let new_states = std::mem::take(&mut agg.new_states);
+        drop(agg);
+        if !vios.is_empty() {
+            vios.sort_by(|a, b| vio_key(a).cmp(&vio_key(b)));
+            Decision::Stop { violation: Some(vios.remove(0)), hit_limit: false }
+        } else if new_states == 0 {
+            Decision::Stop { violation: None, hit_limit: false }
+        } else if coord.total_states.load(Relaxed) >= self.cfg.max_states {
+            Decision::Stop { violation: None, hit_limit: true }
         } else {
-            s.encode()
+            Decision::Continue
         }
     }
 
-    /// All candidate steps from `state`.
-    fn steps(&self, state: &SysState) -> Vec<Step> {
+    /// The canonical fingerprint of `s` and the index of the permutation
+    /// achieving it: the minimum, over all cache-id permutations, of the
+    /// 64-bit fingerprint of the permuted encoding (ties broken by
+    /// permutation index). Permutation-invariant, so it identifies the
+    /// whole symmetry orbit.
+    fn canonical_fp(&self, s: &SysState) -> (u64, u32) {
+        let mut best_fp = u64::MAX;
+        let mut best_idx = 0u32;
+        for (i, (p, inv)) in self.perms.iter().zip(&self.invs).enumerate() {
+            let mut h = crate::store::Fingerprinter::new();
+            s.encode_permuted_to(p, inv, &mut h);
+            let fp = h.finish();
+            if fp < best_fp {
+                best_fp = fp;
+                best_idx = i as u32;
+            }
+        }
+        (best_fp, best_idx)
+    }
+
+    /// Applies the canonicalizing permutation chosen by [`Self::canonical_fp`].
+    fn canonicalize(&self, s: SysState, perm_idx: u32) -> SysState {
+        if perm_idx == 0 {
+            s // perms[0] is the identity
+        } else {
+            s.permuted(&self.perms[perm_idx as usize])
+        }
+    }
+
+    fn canonical_rep(&self, s: SysState) -> SysState {
+        let (_, idx) = self.canonical_fp(&s);
+        self.canonicalize(s, idx)
+    }
+
+    /// All candidate steps from `state`, in canonical order: deliveries
+    /// first, sorted by `(src, dst, idx)`, then accesses sorted by
+    /// `(cache, access)`. The order is a pure function of `state` — never
+    /// of thread interleaving — which keeps counterexample traces
+    /// byte-identical run to run.
+    pub fn steps(&self, state: &SysState) -> Vec<Step> {
         let mut out = Vec::new();
+        self.steps_into(state, &mut out);
+        out
+    }
+
+    fn steps_into(&self, state: &SysState, out: &mut Vec<Step>) {
+        out.clear();
         let n = state.n_caches() + 1;
         for src in 0..n {
             for dst in 0..n {
@@ -266,10 +621,9 @@ impl<'a> ModelChecker<'a> {
                 if q.is_empty() {
                     continue;
                 }
-                let idxs: Vec<u8> =
-                    if self.cfg.ordered { vec![0] } else { (0..q.len() as u8).collect() };
-                for idx in idxs {
-                    out.push(Step::Deliver { src: src as u8, dst: dst as u8, idx });
+                let last = if self.cfg.ordered { 1 } else { q.len() };
+                for idx in 0..last {
+                    out.push(Step::Deliver { src: src as u8, dst: dst as u8, idx: idx as u8 });
                 }
             }
         }
@@ -278,7 +632,6 @@ impl<'a> ModelChecker<'a> {
                 out.push(Step::IssueAccess { cache: cache as u8, access });
             }
         }
-        out
     }
 
     /// Computes the successor for `step`, or `Ok(None)` when the step is
@@ -301,10 +654,26 @@ impl<'a> ModelChecker<'a> {
         let is_dir = dst as usize == state.n_caches();
         let event = Event::Msg(msg.mtype);
         let arc = if is_dir {
-            select_arc(self.dir_fsm, state.dir.state, event, Some(&msg), None, Some(&state.dir))
+            select_arc_indexed(
+                self.dir_fsm,
+                &self.dir_idx,
+                state.dir.state,
+                event,
+                Some(&msg),
+                None,
+                Some(&state.dir),
+            )
         } else {
             let block = &state.caches[dst as usize];
-            select_arc(self.cache_fsm, block.state, event, Some(&msg), Some(block), None)
+            select_arc_indexed(
+                self.cache_fsm,
+                &self.cache_idx,
+                block.state,
+                event,
+                Some(&msg),
+                Some(block),
+                None,
+            )
         };
         let Some(arc) = arc else {
             let holder = if is_dir {
@@ -364,8 +733,15 @@ impl<'a> ModelChecker<'a> {
         access: Access,
     ) -> Result<Option<SysState>, ViolationKind> {
         let block = &state.caches[cache as usize];
-        let arc =
-            select_arc(self.cache_fsm, block.state, Event::Access(access), None, Some(block), None);
+        let arc = select_arc_indexed(
+            self.cache_fsm,
+            &self.cache_idx,
+            block.state,
+            Event::Access(access),
+            None,
+            Some(block),
+            None,
+        );
         let Some(arc) = arc else { return Ok(None) };
         if arc.kind == protogen_spec::ArcKind::Stall {
             return Ok(None);
@@ -464,35 +840,32 @@ impl<'a> ModelChecker<'a> {
         None
     }
 
-    /// Rebuilds the step list to `id` (plus `last`) and renders it by
-    /// replaying from the initial state.
-    fn build_trace(
-        &self,
-        parents: &[(u32, Option<Step>)],
-        id: u32,
-        last: Option<Step>,
-    ) -> Vec<String> {
+    /// Rebuilds the step chain to the violation by walking the packed
+    /// parent-pointer records across shards, then renders it by replaying
+    /// from the initial state through canonical representatives.
+    fn build_trace(&self, stores: &[ShardStore], v: &VioCand) -> Vec<String> {
         let mut steps = Vec::new();
-        let mut cur = id;
-        while cur != 0 {
-            let (p, s) = parents[cur as usize];
-            if let Some(s) = s {
-                steps.push(s);
+        let mut cur = v.parent;
+        loop {
+            let rec = stores[cur.shard()].recs[cur.local()];
+            if rec.depth == 0 {
+                break;
             }
-            cur = p;
+            steps.push(unpack_step(rec.step));
+            cur = rec.parent;
         }
         steps.reverse();
-        if let Some(s) = last {
-            steps.push(s);
+        if v.step != STEP_NONE {
+            steps.push(unpack_step(v.step));
         }
         let mut lines = Vec::new();
-        let mut state = SysState::initial(self.cfg.n_caches);
+        let mut state = self.canonical_rep(SysState::initial(self.cfg.n_caches));
         for step in steps {
             let desc = self.describe(&state, step);
             match self.successor(&state, step) {
                 Ok(Some(next)) => {
                     lines.push(desc);
-                    state = next;
+                    state = self.canonical_rep(next);
                 }
                 Ok(None) => lines.push(format!("{desc} (not enabled?)")),
                 Err(kind) => {
@@ -526,5 +899,110 @@ impl<'a> ModelChecker<'a> {
                 )
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_packing_round_trips_and_preserves_order() {
+        let steps = [
+            Step::Deliver { src: 0, dst: 1, idx: 0 },
+            Step::Deliver { src: 0, dst: 2, idx: 1 },
+            Step::Deliver { src: 3, dst: 0, idx: 0 },
+            Step::IssueAccess { cache: 0, access: Access::Load },
+            Step::IssueAccess { cache: 0, access: Access::Replacement },
+            Step::IssueAccess { cache: 2, access: Access::Store },
+        ];
+        for w in steps.windows(2) {
+            assert!(w[0] < w[1], "{:?} !< {:?}", w[0], w[1]);
+            assert!(pack_step(w[0]) < pack_step(w[1]), "packed order broken at {:?}", w[0]);
+        }
+        for s in steps {
+            assert_eq!(unpack_step(pack_step(s)), s);
+            assert_ne!(pack_step(s), STEP_NONE);
+        }
+    }
+
+    #[test]
+    fn effective_threads_resolves_and_clamps() {
+        let mut cfg = McConfig::with_caches(2);
+        cfg.threads = 0;
+        assert!(cfg.effective_threads() >= 1);
+        cfg.threads = 1_000;
+        assert_eq!(cfg.effective_threads(), crate::store::MAX_SHARDS);
+        cfg.threads = 3;
+        assert_eq!(cfg.effective_threads(), 3);
+    }
+
+    #[test]
+    fn worker_panic_propagates_instead_of_hanging() {
+        use protogen_spec::{
+            Arc, ArcKind, ArcNote, FsmState, FsmStateId, FsmStateKind, MachineKind, StableId,
+        };
+        let state = |name: &str| FsmState {
+            name: name.into(),
+            kind: FsmStateKind::Stable(StableId(0)),
+            state_sets: vec![],
+            perm: Perm::None,
+            data_valid: false,
+            merged_names: vec![],
+        };
+        // A deliberately corrupt FSM: the Load arc targets a state id that
+        // does not exist, so applying it panics inside a worker.
+        let cache = Fsm {
+            protocol: "broken".into(),
+            machine: MachineKind::Cache,
+            messages: vec![],
+            states: vec![state("I")],
+            arcs: vec![Arc {
+                from: FsmStateId(0),
+                event: Event::Access(Access::Load),
+                guards: vec![],
+                actions: vec![],
+                to: FsmStateId(99),
+                kind: ArcKind::Normal,
+                note: ArcNote::Ssp,
+            }],
+        };
+        let dir = Fsm {
+            protocol: "broken".into(),
+            machine: MachineKind::Directory,
+            messages: vec![],
+            states: vec![state("D")],
+            arcs: vec![],
+        };
+        let mut cfg = McConfig::with_caches(2);
+        cfg.threads = 4;
+        let mc = ModelChecker::new(&cache, &dir, cfg);
+        // The fleet must drain through the level barriers and re-raise the
+        // worker's panic on this thread — a deadlocked Barrier would hang
+        // the test instead.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| mc.run()));
+        assert!(result.is_err(), "corrupt arc target must panic, not pass");
+    }
+
+    #[test]
+    fn state_limit_stops_exploration_deterministically() {
+        let ssp = protogen_protocols::msi();
+        let g = protogen_core::generate(&ssp, &protogen_core::GenConfig::stalling()).unwrap();
+        let run = |threads: usize| {
+            let mut cfg = McConfig::with_caches(2);
+            cfg.max_states = 100;
+            cfg.threads = threads;
+            ModelChecker::new(&g.cache, &g.directory, cfg).run()
+        };
+        let (r1, r4) = (run(1), run(4));
+        assert!(r1.hit_state_limit && !r1.passed());
+        // The budget is enforced at level granularity, so the count may
+        // overshoot by one level but must still be reached…
+        assert!(r1.states >= 100, "stopped below the budget: {}", r1.states);
+        // …and be identical at any thread count.
+        assert_eq!(r1.states, r4.states);
+        assert_eq!(r1.transitions, r4.transitions);
+        assert_eq!(r1.hit_state_limit, r4.hit_state_limit);
+        assert!(r1.store_bytes > 0);
     }
 }

@@ -1,0 +1,211 @@
+//! Work distribution for the parallel explorer: candidate routing between
+//! shards and the level-synchronization coordinator.
+//!
+//! Exploration proceeds in BFS levels with three phases per level —
+//! *expand* (every worker expands its own frontier, routing successor
+//! candidates to the owning shard's inbox in batches), *dedup* (every
+//! worker drains its own inbox into its shard store), and *decide* (worker
+//! 0 aggregates violations and counts, then all workers read the shared
+//! decision). A barrier separates the phases, which is what makes the
+//! result — states, transitions, violation choice, counterexample trace —
+//! independent of thread count and interleaving.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize};
+use std::sync::{Barrier, Mutex};
+
+use crate::explore::ViolationKind;
+use crate::store::Gid;
+use crate::system::SysState;
+
+/// A successor state en route to its owning shard. The state is carried in
+/// raw (as-computed) form together with the index of the permutation that
+/// canonicalizes it, so the owning shard materializes the canonical
+/// representative only for states that turn out to be new.
+#[derive(Debug)]
+pub(crate) struct Candidate {
+    /// The raw successor state.
+    pub state: SysState,
+    /// Index into the permutation table of the canonicalizing permutation.
+    pub perm_idx: u32,
+    /// Canonical fingerprint (identical for every member of the orbit).
+    pub fp: u64,
+    /// Global id of the expanded parent.
+    pub parent: Gid,
+    /// The parent's fingerprint (deterministic parent-selection key).
+    pub parent_fp: u64,
+    /// Packed step that produced this successor.
+    pub step: u32,
+}
+
+/// A violation discovered during expansion, waiting for the end-of-level
+/// deterministic minimum-selection.
+#[derive(Debug)]
+pub(crate) struct VioCand {
+    /// Global id of the state being expanded when the violation fired.
+    pub parent: Gid,
+    /// That state's fingerprint (primary selection key).
+    pub parent_fp: u64,
+    /// Packed final step ([`crate::store::STEP_NONE`] for deadlocks).
+    pub step: u32,
+    /// What went wrong.
+    pub kind: ViolationKind,
+}
+
+/// One shard's inbox of candidates, filled by every worker during the
+/// expand phase and drained exclusively by the owner during dedup.
+#[derive(Debug, Default)]
+pub(crate) struct Inbox {
+    queue: Mutex<Vec<Candidate>>,
+}
+
+impl Inbox {
+    /// Appends a batch, emptying `batch` for reuse.
+    pub fn push_batch(&self, batch: &mut Vec<Candidate>) {
+        let mut q = self.queue.lock().unwrap();
+        q.append(batch);
+    }
+
+    /// Takes everything currently queued.
+    pub fn drain(&self) -> Vec<Candidate> {
+        std::mem::take(&mut self.queue.lock().unwrap())
+    }
+}
+
+/// How many candidates a worker buffers per destination shard before
+/// taking that shard's inbox lock.
+const BATCH: usize = 256;
+
+/// Per-worker outboxes, one buffer per destination shard, flushed in
+/// batches to amortize inbox locking.
+#[derive(Debug)]
+pub(crate) struct Outboxes {
+    bufs: Vec<Vec<Candidate>>,
+}
+
+impl Outboxes {
+    pub fn new(n_shards: usize) -> Self {
+        Outboxes { bufs: (0..n_shards).map(|_| Vec::with_capacity(BATCH)).collect() }
+    }
+
+    /// Queues `cand` for `shard`, flushing that buffer if it is full.
+    pub fn push(&mut self, shard: usize, cand: Candidate, inboxes: &[Inbox]) {
+        let buf = &mut self.bufs[shard];
+        buf.push(cand);
+        if buf.len() >= BATCH {
+            inboxes[shard].push_batch(buf);
+        }
+    }
+
+    /// Flushes every non-empty buffer (end of the expand phase).
+    pub fn flush_all(&mut self, inboxes: &[Inbox]) {
+        for (shard, buf) in self.bufs.iter_mut().enumerate() {
+            if !buf.is_empty() {
+                inboxes[shard].push_batch(buf);
+            }
+        }
+    }
+}
+
+/// End-of-level aggregation, merged under one lock by every worker.
+#[derive(Debug, Default)]
+pub(crate) struct LevelAgg {
+    /// States newly inserted this level, summed over shards.
+    pub new_states: usize,
+    /// Violations discovered this level, across all workers.
+    pub violations: Vec<VioCand>,
+}
+
+/// What the whole fleet does after the current level.
+#[derive(Debug, Default)]
+pub(crate) enum Decision {
+    /// Explore the next level.
+    #[default]
+    Continue,
+    /// Stop: either a violation was selected, the space is exhausted, or
+    /// the state budget is spent.
+    Stop {
+        /// The deterministically chosen violation, if any.
+        violation: Option<VioCand>,
+        /// Whether `max_states` was exceeded.
+        hit_limit: bool,
+    },
+}
+
+/// Shared coordination state for one exploration run. (No `Debug`: the
+/// captured panic payload is an opaque `Box<dyn Any>`.)
+pub(crate) struct Coordinator {
+    /// Phase separator; one slot per worker.
+    pub barrier: Barrier,
+    /// Total states inserted across shards (read for the budget check).
+    pub total_states: AtomicUsize,
+    /// Total transitions fired across workers.
+    pub transitions: AtomicUsize,
+    /// Per-level merge target.
+    pub agg: Mutex<LevelAgg>,
+    /// Decision published by worker 0 each level.
+    pub decision: Mutex<Decision>,
+    /// Set when any worker's phase panicked: every worker keeps hitting
+    /// the barriers but skips real work, so the fleet drains instead of
+    /// deadlocking on the [`Barrier`] (std barriers have no poisoning).
+    pub aborted: AtomicBool,
+    /// The first captured panic payload, re-raised by the main thread.
+    pub panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Coordinator {
+    pub fn new(n_workers: usize) -> Self {
+        Coordinator {
+            barrier: Barrier::new(n_workers),
+            total_states: AtomicUsize::new(0),
+            transitions: AtomicUsize::new(0),
+            agg: Mutex::new(LevelAgg::default()),
+            decision: Mutex::new(Decision::Continue),
+            aborted: AtomicBool::new(false),
+            panic: Mutex::new(None),
+        }
+    }
+
+    /// Records a worker-phase panic (first one wins) and flips the abort
+    /// flag so every worker exits at the next decision point.
+    pub fn record_panic(&self, payload: Box<dyn std::any::Any + Send>) {
+        let mut slot = self.panic.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+        self.aborted.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::STEP_NONE;
+
+    fn cand(fp: u64) -> Candidate {
+        Candidate {
+            state: SysState::initial(1),
+            perm_idx: 0,
+            fp,
+            parent: Gid::pack(0, 0),
+            parent_fp: 0,
+            step: STEP_NONE,
+        }
+    }
+
+    #[test]
+    fn outboxes_flush_on_batch_boundary_and_on_demand() {
+        let inboxes = vec![Inbox::default(), Inbox::default()];
+        let mut out = Outboxes::new(2);
+        for i in 0..BATCH {
+            out.push(1, cand(i as u64), &inboxes);
+        }
+        // A full batch flushed itself.
+        assert_eq!(inboxes[1].drain().len(), BATCH);
+        out.push(0, cand(9), &inboxes);
+        assert!(inboxes[0].drain().is_empty());
+        out.flush_all(&inboxes);
+        assert_eq!(inboxes[0].drain().len(), 1);
+        // Drain empties the queue.
+        assert!(inboxes[0].drain().is_empty());
+    }
+}

@@ -8,6 +8,13 @@
 //! evaluation on every reachable state, Murϕ-style symmetry reduction over
 //! cache identities, and counterexample traces.
 //!
+//! Exploration is a multi-threaded, level-synchronized, sharded-frontier
+//! BFS ([`McConfig::threads`] workers, each owning one fingerprint-keyed
+//! shard of the visited set) whose results — states, transitions, the
+//! chosen violation, and the counterexample trace — are identical for
+//! every thread count and run. See DESIGN.md §3 for the algorithm and the
+//! fingerprint collision-risk arithmetic.
+//!
 //! Checked properties:
 //!
 //! * **SWMR** — at any time a block has one writer or any number of
@@ -38,7 +45,10 @@
 #![warn(missing_docs)]
 
 mod explore;
+mod frontier;
+mod store;
 mod system;
 
 pub use explore::{CheckResult, McConfig, ModelChecker, Step, Violation, ViolationKind};
-pub use system::{permutations, SysState};
+pub use store::{fingerprint_bytes, Fingerprinter, FpPassthroughHasher, MAX_SHARDS};
+pub use system::{invert, permutations, EncodeSink, SysState};

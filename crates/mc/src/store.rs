@@ -1,0 +1,267 @@
+//! The sharded visited-state store: 64-bit fingerprints, packed
+//! parent-pointer records, and the per-shard hash map that deduplicates
+//! them.
+//!
+//! Instead of keying the visited set by an owned byte encoding of each
+//! state (the seed design: an owned `Vec<u8>` of ~100–250 bytes per state
+//! plus `HashMap` overhead), each state is reduced to a 64-bit fingerprint
+//! of its canonical encoding, and the only per-state storage is one packed
+//! [`StateRec`] (32 bytes) plus a `u64 → u32` map entry. States are
+//! partitioned across shards by `fingerprint % n_shards`, so a given state
+//! is only ever inserted, deduplicated, or parent-updated by its owning
+//! shard — no locking on the store itself.
+//!
+//! Fingerprinting is lossy by construction (hash compaction, as in Murϕ's
+//! `-b` mode): two distinct states may collide and be treated as one, in
+//! which case part of the state space is silently pruned. DESIGN.md §3
+//! carries the collision-risk arithmetic; at the default 20 M-state budget
+//! the expected number of colliding pairs is ≈ 1.1 × 10⁻⁵.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use crate::system::EncodeSink;
+
+/// Upper bound on worker threads / shards (the global-id packing gives a
+/// shard 5 bits).
+pub const MAX_SHARDS: usize = 32;
+
+const LOCAL_BITS: u32 = 27;
+const LOCAL_MASK: u32 = (1 << LOCAL_BITS) - 1;
+
+/// A packed global state id: 5 bits of owning shard, 27 bits of index into
+/// that shard's record vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Gid(u32);
+
+impl Gid {
+    pub(crate) fn pack(shard: usize, local: usize) -> Gid {
+        debug_assert!(shard < MAX_SHARDS);
+        assert!(local <= LOCAL_MASK as usize, "shard exceeded 2^27 states; raise the shard count");
+        Gid(((shard as u32) << LOCAL_BITS) | local as u32)
+    }
+
+    pub(crate) fn shard(self) -> usize {
+        (self.0 >> LOCAL_BITS) as usize
+    }
+
+    pub(crate) fn local(self) -> usize {
+        (self.0 & LOCAL_MASK) as usize
+    }
+}
+
+/// Sentinel for "no step" in a packed step slot (the root record, and
+/// deadlock violations which have no final step).
+pub(crate) const STEP_NONE: u32 = u32::MAX;
+
+/// One visited state, packed. The state itself is *not* stored — only its
+/// fingerprint and the (parent, step) edge used for counterexample-trace
+/// reconstruction. `parent_fp` is kept so that when the same state is
+/// reached from several parents within one BFS level, the surviving edge
+/// is the minimum of `(parent_fp, step)` — a thread-interleaving-independent
+/// choice that keeps traces byte-identical run to run.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StateRec {
+    /// This state's canonical fingerprint.
+    pub fp: u64,
+    /// Fingerprint of the parent state (tie-break key for same-level
+    /// parent races).
+    pub parent_fp: u64,
+    /// The parent's global id; self-referential for the root.
+    pub parent: Gid,
+    /// Packed step taken from the parent ([`STEP_NONE`] for the root).
+    pub step: u32,
+    /// BFS depth (the root is 0). A state's depth is its true BFS
+    /// distance: level synchronization guarantees first insertion happens
+    /// at the minimal level.
+    pub depth: u32,
+}
+
+/// Pass-through hasher for fingerprint keys: the fingerprint is already a
+/// well-mixed 64-bit hash, so re-hashing it would be pure waste.
+#[derive(Debug, Default, Clone)]
+pub struct FpPassthroughHasher(u64);
+
+impl Hasher for FpPassthroughHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("fingerprint maps only hash u64 keys");
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        self.0 = x;
+    }
+}
+
+type FpBuild = BuildHasherDefault<FpPassthroughHasher>;
+
+/// `fingerprint → shard-local record index`.
+pub(crate) type FpMap = HashMap<u64, u32, FpBuild>;
+
+/// One shard of the visited set: the fingerprint map plus the packed
+/// record vector it indexes. Owned exclusively by one worker thread.
+#[derive(Debug, Default)]
+pub(crate) struct ShardStore {
+    pub map: FpMap,
+    pub recs: Vec<StateRec>,
+}
+
+impl ShardStore {
+    pub(crate) fn new() -> Self {
+        ShardStore::default()
+    }
+
+    /// Estimated bytes held by this shard's visited set (map entries are
+    /// counted at key+value+control width, records at their packed size).
+    pub(crate) fn bytes(&self) -> usize {
+        self.map.capacity() * (std::mem::size_of::<(u64, u32)>() + 1)
+            + self.recs.capacity() * std::mem::size_of::<StateRec>()
+    }
+}
+
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The splitmix64 finalizer: a full-avalanche bijection on `u64`.
+fn mix(mut z: u64) -> u64 {
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Streaming 64-bit state fingerprinter.
+///
+/// Bytes are packed little-endian into 8-byte chunks; each chunk passes
+/// through the splitmix64 finalizer chained with the running accumulator,
+/// so every input byte avalanches across all 64 output bits. The final
+/// digest also absorbs the stream length, separating prefixes. The seed is
+/// fixed — fingerprints (and therefore exploration results) are identical
+/// run to run.
+#[derive(Debug)]
+pub struct Fingerprinter {
+    h: u64,
+    buf: u64,
+    buf_len: u32,
+    len: u64,
+}
+
+impl Default for Fingerprinter {
+    fn default() -> Self {
+        Fingerprinter::new()
+    }
+}
+
+impl Fingerprinter {
+    /// A fresh hasher (fixed seed).
+    pub fn new() -> Self {
+        Fingerprinter { h: GOLDEN, buf: 0, buf_len: 0, len: 0 }
+    }
+
+    fn absorb(&mut self, chunk: u64) {
+        self.h = mix(self.h ^ chunk).wrapping_add(GOLDEN);
+    }
+
+    /// The 64-bit digest of everything written so far.
+    pub fn finish(mut self) -> u64 {
+        if self.buf_len > 0 {
+            let chunk = self.buf;
+            self.absorb(chunk);
+        }
+        mix(self.h ^ self.len)
+    }
+}
+
+impl EncodeSink for Fingerprinter {
+    fn put(&mut self, byte: u8) {
+        self.buf |= (byte as u64) << (8 * self.buf_len);
+        self.buf_len += 1;
+        self.len += 1;
+        if self.buf_len == 8 {
+            let chunk = self.buf;
+            self.absorb(chunk);
+            self.buf = 0;
+            self.buf_len = 0;
+        }
+    }
+}
+
+/// Fingerprints a byte slice in one call (tests and non-streaming users).
+pub fn fingerprint_bytes(bytes: &[u8]) -> u64 {
+    let mut f = Fingerprinter::new();
+    f.put_slice(bytes);
+    f.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gid_packs_and_unpacks() {
+        let g = Gid::pack(31, 0x7FF_FFFF);
+        assert_eq!(g.shard(), 31);
+        assert_eq!(g.local(), 0x7FF_FFFF);
+        let g = Gid::pack(0, 0);
+        assert_eq!(g.shard(), 0);
+        assert_eq!(g.local(), 0);
+    }
+
+    #[test]
+    fn fingerprint_is_chunking_independent() {
+        // The digest must depend only on the byte stream, not on how it
+        // was fed in.
+        let data: Vec<u8> = (0u8..=200).collect();
+        let whole = fingerprint_bytes(&data);
+        let mut f = Fingerprinter::new();
+        for chunk in data.chunks(3) {
+            f.put_slice(chunk);
+        }
+        assert_eq!(whole, f.finish());
+    }
+
+    #[test]
+    fn fingerprint_separates_prefixes_and_permutations() {
+        assert_ne!(fingerprint_bytes(b"ab"), fingerprint_bytes(b"abc"));
+        assert_ne!(fingerprint_bytes(b"abc"), fingerprint_bytes(b"acb"));
+        assert_ne!(fingerprint_bytes(b""), fingerprint_bytes(b"\0"));
+        assert_ne!(fingerprint_bytes(b"\0"), fingerprint_bytes(b"\0\0"));
+    }
+
+    #[test]
+    fn fingerprint_has_no_collisions_over_systematic_corpus() {
+        // 256 × 257 ≈ 66k near-identical short strings (the adversarial
+        // case for weak multiply-only hashes): all distinct digests.
+        let mut seen = std::collections::HashSet::new();
+        for a in 0u16..=255 {
+            for b in 0u16..=256 {
+                let mut v = vec![0u8; 12];
+                v[3] = a as u8;
+                if b <= 255 {
+                    v[9] = b as u8;
+                } else {
+                    v.push(0);
+                }
+                assert!(seen.insert(fingerprint_bytes(&v)), "collision at ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_store_reports_bytes() {
+        let mut s = ShardStore::new();
+        assert_eq!(s.bytes(), 0);
+        s.map.insert(7, 0);
+        s.recs.push(StateRec {
+            fp: 7,
+            parent_fp: 7,
+            parent: Gid::pack(0, 0),
+            step: STEP_NONE,
+            depth: 0,
+        });
+        assert!(s.bytes() >= std::mem::size_of::<StateRec>());
+    }
+}

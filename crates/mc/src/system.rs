@@ -3,6 +3,40 @@
 use protogen_runtime::{CacheBlock, DirEntry, Msg, NodeId, Val};
 use protogen_spec::Access;
 
+/// A byte sink for state encoding: either a plain buffer or a streaming
+/// fingerprint hasher, so symmetry canonicalization never has to
+/// materialize permuted states or intermediate byte vectors.
+pub trait EncodeSink {
+    /// Consumes one byte.
+    fn put(&mut self, byte: u8);
+
+    /// Consumes a run of bytes.
+    fn put_slice(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.put(b);
+        }
+    }
+}
+
+impl EncodeSink for Vec<u8> {
+    fn put(&mut self, byte: u8) {
+        self.push(byte);
+    }
+
+    fn put_slice(&mut self, bytes: &[u8]) {
+        self.extend_from_slice(bytes);
+    }
+}
+
+/// The inverse of a permutation over `0..n`: `invert(p)[p[i]] == i`.
+pub fn invert(perm: &[u8]) -> Vec<u8> {
+    let mut inv = vec![0u8; perm.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        inv[p as usize] = i as u8;
+    }
+    inv
+}
+
 /// A complete system configuration (one explored state).
 ///
 /// Channels are one FIFO per ordered `(src, dst)` pair carrying every
@@ -66,62 +100,110 @@ impl SysState {
 
     /// A compact, canonical byte encoding for hashing and deduplication.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(64);
-        for c in &self.caches {
-            out.extend_from_slice(&(c.state.0).to_le_bytes());
-            out.push(c.data.map_or(0xff, |v| v));
-            out.push(c.acks_received);
-            out.push(c.acks_expected.map_or(0xff, |v| v));
-            out.push(match c.pending {
+        let ident: Vec<u8> = (0..self.n_caches() as u8).collect();
+        let mut out = Vec::with_capacity(96);
+        self.encode_permuted_to(&ident, &ident, &mut out);
+        out
+    }
+
+    /// Streams the byte encoding of `self.permuted(perm)` into `sink`
+    /// without materializing the permuted state — the model checker's
+    /// canonicalization hot path. `inv` must be the inverse permutation of
+    /// `perm` (see [`invert`]); the bytes produced are exactly
+    /// `self.permuted(perm).encode()`.
+    ///
+    /// The layout is fixed-width per field — u16 state ids, one byte per
+    /// scalar with `0xff` as the `None` sentinel — with explicit length
+    /// prefixes for the (bounded) chain-slot and channel-queue sequences,
+    /// so the encoding is injective and a 64-bit fingerprint of it can
+    /// stand in for the full state.
+    pub fn encode_permuted_to<S: EncodeSink>(&self, perm: &[u8], inv: &[u8], sink: &mut S) {
+        let n = self.n_caches();
+        debug_assert_eq!(perm.len(), n);
+        debug_assert_eq!(inv.len(), n);
+        let map = |id: NodeId| -> u8 {
+            if id.as_usize() < n {
+                perm[id.as_usize()]
+            } else {
+                id.0
+            }
+        };
+        for &src_cache in inv.iter() {
+            let c = &self.caches[src_cache as usize];
+            let state = u16::try_from(c.state.0).expect("state id exceeds u16");
+            sink.put_slice(&state.to_le_bytes());
+            sink.put(c.data.map_or(0xff, |v| v));
+            sink.put(c.acks_received);
+            sink.put(c.acks_expected.map_or(0xff, |v| v));
+            sink.put(match c.pending {
                 None => 0xff,
                 Some(Access::Load) => 0,
                 Some(Access::Store) => 1,
                 Some(Access::Replacement) => 2,
             });
-            out.push(c.chain_slots.len() as u8);
-            for (n, a) in &c.chain_slots {
-                out.push(n.0);
-                out.push(*a);
+            sink.put(c.chain_slots.len() as u8);
+            for (node, a) in &c.chain_slots {
+                sink.put(map(*node));
+                sink.put(*a);
             }
         }
-        out.extend_from_slice(&(self.dir.state.0).to_le_bytes());
-        out.push(self.dir.owner.map_or(0xff, |n| n.0));
-        out.push(self.dir.sharers);
-        out.push(self.dir.data);
-        out.push(self.dir.chain_slots.len() as u8);
-        for (n, a) in &self.dir.chain_slots {
-            out.push(n.0);
-            out.push(*a);
+        let dstate = u16::try_from(self.dir.state.0).expect("state id exceeds u16");
+        sink.put_slice(&dstate.to_le_bytes());
+        sink.put(self.dir.owner.map_or(0xff, &map));
+        let mut sharers = 0u8;
+        for (i, &p) in perm.iter().enumerate() {
+            if self.dir.sharers & (1 << i) != 0 {
+                sharers |= 1 << p;
+            }
         }
-        for row in &self.channels {
-            for q in row.iter() {
-                out.push(q.len() as u8);
+        sink.put(sharers);
+        sink.put(self.dir.data);
+        sink.put(self.dir.chain_slots.len() as u8);
+        for (node, a) in &self.dir.chain_slots {
+            sink.put(map(*node));
+            sink.put(*a);
+        }
+        let total = n + 1;
+        let src_of = |x: usize| if x < n { inv[x] as usize } else { x };
+        for s2 in 0..total {
+            let s = src_of(s2);
+            for d2 in 0..total {
+                let d = src_of(d2);
+                let q = &self.channels[s][d];
+                sink.put(q.len() as u8);
                 for m in q {
-                    out.extend_from_slice(&m.mtype.0.to_le_bytes());
-                    out.push(m.src.0);
-                    out.push(m.dst.0);
-                    out.push(m.req.0);
-                    out.push(m.ack_count.map_or(0xff, |v| v));
-                    out.push(m.data.map_or(0xff, |v| v));
+                    sink.put_slice(&m.mtype.0.to_le_bytes());
+                    sink.put(map(m.src));
+                    sink.put(map(m.dst));
+                    sink.put(map(m.req));
+                    sink.put(m.ack_count.map_or(0xff, |v| v));
+                    sink.put(m.data.map_or(0xff, |v| v));
                 }
             }
         }
-        out.push(self.ghost);
-        out
+        sink.put(self.ghost);
     }
 
-    /// The canonical encoding under cache-identity symmetry: the
-    /// lexicographically least encoding over all permutations of cache ids
-    /// (the Murϕ scalarset reduction).
+    /// The canonical encoding under cache-identity symmetry (the Murϕ
+    /// scalarset reduction): the encoding of the orbit representative the
+    /// model checker itself selects — the permutation minimizing the
+    /// 64-bit fingerprint of the permuted encoding, ties broken by
+    /// permutation index. Using the same representative here keeps every
+    /// notion of "canonical" in this crate interchangeable.
     pub fn canonical_encoding(&self, perms: &[Vec<u8>]) -> Vec<u8> {
-        let mut best: Option<Vec<u8>> = None;
+        let mut best: Option<(u64, Vec<u8>)> = None;
         for p in perms {
-            let enc = self.permuted(p).encode();
-            if best.as_ref().is_none_or(|b| enc < *b) {
-                best = Some(enc);
+            let inv = invert(p);
+            let mut h = crate::store::Fingerprinter::new();
+            self.encode_permuted_to(p, &inv, &mut h);
+            let fp = h.finish();
+            if best.as_ref().is_none_or(|(b, _)| fp < *b) {
+                let mut enc = Vec::with_capacity(96);
+                self.encode_permuted_to(p, &inv, &mut enc);
+                best = Some((fp, enc));
             }
         }
-        best.unwrap_or_else(|| self.encode())
+        best.map(|(_, enc)| enc).unwrap_or_else(|| self.encode())
     }
 
     /// Applies a cache-id permutation: cache `i` becomes cache `perm[i]`.
@@ -226,6 +308,53 @@ mod tests {
         });
         assert_ne!(a.encode(), b.encode());
         assert_eq!(a.canonical_encoding(&perms), b.canonical_encoding(&perms));
+    }
+
+    #[test]
+    fn streamed_permuted_encoding_matches_materialized() {
+        // A state exercising every encoded field: messages in flight,
+        // chain slots, owner, sharers, pending accesses.
+        let mut s = SysState::initial(3);
+        s.dir.add_sharer(NodeId(1));
+        s.dir.owner = Some(NodeId(2));
+        s.dir.chain_slots.push((NodeId(0), 2));
+        s.caches[0].data = Some(1);
+        s.caches[0].pending = Some(Access::Store);
+        s.caches[1].chain_slots.push((NodeId(2), 1));
+        s.caches[2].acks_expected = Some(2);
+        s.ghost = 1;
+        s.send(Msg {
+            mtype: MsgId(4),
+            src: NodeId(0),
+            dst: NodeId(3),
+            req: NodeId(0),
+            ack_count: Some(1),
+            data: Some(1),
+        });
+        s.send(Msg {
+            mtype: MsgId(2),
+            src: NodeId(3),
+            dst: NodeId(2),
+            req: NodeId(1),
+            ack_count: None,
+            data: None,
+        });
+        for p in permutations(3) {
+            let inv = invert(&p);
+            let mut streamed = Vec::new();
+            s.encode_permuted_to(&p, &inv, &mut streamed);
+            assert_eq!(streamed, s.permuted(&p).encode(), "perm {p:?}");
+        }
+    }
+
+    #[test]
+    fn invert_round_trips() {
+        for p in permutations(4) {
+            let inv = invert(&p);
+            for i in 0..4u8 {
+                assert_eq!(inv[p[i as usize] as usize], i);
+            }
+        }
     }
 
     #[test]

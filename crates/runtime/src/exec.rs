@@ -90,6 +90,26 @@ pub fn select_arc<'f>(
         .find(|a| a.guards.iter().all(|g| eval_guard(*g, fsm, msg, cache, dir)))
 }
 
+/// [`select_arc`] through a prebuilt [`crate::FsmIndex`]: same first-match
+/// semantics, but only the candidate arcs for `(state, event)` are
+/// examined instead of the whole arc list. This is the model checker's hot
+/// path; `index` must have been built from this `fsm`.
+pub fn select_arc_indexed<'f>(
+    fsm: &'f Fsm,
+    index: &crate::FsmIndex,
+    state: FsmStateId,
+    event: Event,
+    msg: Option<&Msg>,
+    cache: Option<&CacheBlock>,
+    dir: Option<&DirEntry>,
+) -> Option<&'f Arc> {
+    index
+        .candidates(state, event)
+        .iter()
+        .map(|&i| &fsm.arcs[i as usize])
+        .find(|a| a.guards.iter().all(|g| eval_guard(*g, fsm, msg, cache, dir)))
+}
+
 fn eval_guard(
     g: Guard,
     fsm: &Fsm,

@@ -23,9 +23,11 @@
 #![warn(missing_docs)]
 
 mod exec;
+mod index;
 mod msg;
 mod state;
 
-pub use exec::{apply, select_arc, ApplyOutcome, ExecError, MachineCtx};
+pub use exec::{apply, select_arc, select_arc_indexed, ApplyOutcome, ExecError, MachineCtx};
+pub use index::FsmIndex;
 pub use msg::{Msg, NodeId, Val};
 pub use state::{CacheBlock, DirEntry};

@@ -129,3 +129,108 @@ fn tso_cc_relaxation_is_load_bearing() {
         "TSO-CC passed full SWMR + data-value checks; the conformance relaxation is stale"
     );
 }
+
+/// The sharded explorer is thread-count-invariant: for every bundled
+/// protocol (both generator configurations) at 2 caches, a 1-worker run
+/// and a 4-worker run report identical `states`/`transitions` counts and
+/// the same outcome — including the TSO-CC negative control, where both
+/// must select the *same* violation kind.
+#[test]
+fn parallel_and_single_threaded_runs_agree() {
+    for ssp in protogen::protocols::all() {
+        for cfg in [GenConfig::stalling(), GenConfig::non_stalling()] {
+            let g = generate(&ssp, &cfg).unwrap();
+            let run = |threads: usize| {
+                let mut mc = mc_config_for(&ssp);
+                mc.threads = threads;
+                ModelChecker::new(&g.cache, &g.directory, mc).run()
+            };
+            let (r1, r4) = (run(1), run(4));
+            let label = format!("{} ({})", ssp.name, config_label(&cfg));
+            assert_eq!(r1.states, r4.states, "{label}: states diverge across thread counts");
+            assert_eq!(r1.transitions, r4.transitions, "{label}: transitions diverge");
+            assert_eq!(
+                r1.violation.as_ref().map(|v| &v.kind),
+                r4.violation.as_ref().map(|v| &v.kind),
+                "{label}: violation kind diverges"
+            );
+            assert_eq!(r1.hit_state_limit, r4.hit_state_limit, "{label}: limit flag diverges");
+        }
+    }
+    // The negative control: TSO-CC under the *full* invariant set fails
+    // identically at any thread count.
+    let ssp = protogen::protocols::tso_cc();
+    let g = generate(&ssp, &GenConfig::non_stalling()).unwrap();
+    let run = |threads: usize| {
+        let mut mc = McConfig::with_caches(2);
+        mc.threads = threads;
+        ModelChecker::new(&g.cache, &g.directory, mc).run()
+    };
+    let (r1, r4) = (run(1), run(4));
+    let v1 = r1.violation.expect("TSO-CC control must fail");
+    let v4 = r4.violation.expect("TSO-CC control must fail");
+    assert_eq!(v1.kind, v4.kind, "negative control selects different violations");
+    assert_eq!(r1.states, r4.states, "negative control: states diverge");
+    assert_eq!(r1.transitions, r4.transitions, "negative control: transitions diverge");
+}
+
+/// Counterexample traces are byte-identical run to run at any thread
+/// count: the end-of-level minimum-selection of violations and the
+/// deterministic parent-edge resolution make the trace a pure function of
+/// the protocol, not of scheduling.
+#[test]
+fn counterexample_traces_are_deterministic() {
+    let ssp = protogen::protocols::tso_cc();
+    let g = generate(&ssp, &GenConfig::non_stalling()).unwrap();
+    let run = |threads: usize| {
+        let mut mc = McConfig::with_caches(2);
+        mc.threads = threads;
+        ModelChecker::new(&g.cache, &g.directory, mc).run().violation.expect("control fails")
+    };
+    let reference = run(4);
+    for attempt in 0..3 {
+        let v = run(4);
+        assert_eq!(v.kind, reference.kind, "violation kind drifted on attempt {attempt}");
+        assert_eq!(v.trace, reference.trace, "trace bytes drifted on attempt {attempt}");
+    }
+    let single = run(1);
+    assert_eq!(single.kind, reference.kind, "violation kind differs at 1 thread");
+    assert_eq!(single.trace, reference.trace, "trace bytes differ at 1 thread");
+    assert!(!reference.trace.is_empty(), "violation carries no trace");
+}
+
+/// `ModelChecker::steps` enumerates scheduling decisions in a canonical
+/// order — deliveries by `(src, dst, idx)` before accesses by `(cache,
+/// access)` — that depends only on the state, never on thread
+/// interleaving.
+#[test]
+fn step_enumeration_order_is_canonical() {
+    use protogen::mc::Step;
+    let ssp = protogen::protocols::msi();
+    let g = generate(&ssp, &GenConfig::non_stalling()).unwrap();
+    let mc = ModelChecker::new(&g.cache, &g.directory, McConfig::with_caches(3));
+    let mut state = protogen::mc::SysState::initial(3);
+    // Seed a few in-flight messages out of enumeration order.
+    for (src, dst) in [(2u8, 3u8), (0, 3), (3, 1)] {
+        state.send(protogen::runtime::Msg {
+            mtype: protogen::spec::MsgId(0),
+            src: protogen::runtime::NodeId(src),
+            dst: protogen::runtime::NodeId(dst),
+            req: protogen::runtime::NodeId(src),
+            ack_count: None,
+            data: None,
+        });
+    }
+    let steps = mc.steps(&state);
+    assert_eq!(steps, mc.steps(&state), "steps() is not stable");
+    let mut sorted = steps.clone();
+    sorted.sort();
+    assert_eq!(steps, sorted, "steps() is not in canonical sorted order");
+    let first_access = steps.iter().position(|s| matches!(s, Step::IssueAccess { .. }));
+    let last_delivery = steps.iter().rposition(|s| matches!(s, Step::Deliver { .. }));
+    if let (Some(a), Some(d)) = (first_access, last_delivery) {
+        assert!(d < a, "a delivery was enumerated after an access");
+    }
+    // 3 deliveries + 3 caches × 3 accesses.
+    assert_eq!(steps.len(), 3 + 9);
+}
