@@ -4,19 +4,26 @@
 //! and 4 worker threads, reports states/second and peak visited-set
 //! bytes, and writes the results to `BENCH_mc.json` at the workspace root
 //! — the artifact the `bench-nightly` CI workflow uploads and gates on.
+//! Serialization and baseline checking go through `protogen_bench`'s
+//! shared report writer (the same one `sim_scaling` uses).
 //!
 //! Environment knobs (all off by default so plain `cargo bench` never
 //! fails on a laptop):
 //!
 //! * `MC_ENFORCE_BASELINE=1` — exit non-zero if 4-thread states/sec fall
-//!   more than 20 % below the committed `BENCH_mc_baseline.json`.
+//!   more than 20 % below the committed `BENCH_mc_baseline.json` (or the
+//!   baseline is unreadable/stale; `MC_BASELINE` overrides the path).
 //! * `MC_ENFORCE_SCALING=1` — exit non-zero unless 4 threads deliver more
 //!   than 1.8× the 1-thread states/sec (only meaningful on a machine with
 //!   4+ cores; the nightly CI runner qualifies).
 
+use protogen_bench::{
+    cores_available, enforce_baseline, env_on, workspace_root, write_report, BaselineCheck, Json,
+    Tolerance,
+};
 use protogen_core::{generate, GenConfig};
 use protogen_mc::{McConfig, ModelChecker};
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 
 const THREAD_POINTS: [usize; 3] = [1, 2, 4];
 /// Best-of-N to damp scheduler noise without statistical machinery.
@@ -27,10 +34,6 @@ struct Point {
     seconds: f64,
     states_per_sec: f64,
     peak_store_bytes: usize,
-}
-
-fn workspace_root() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("workspace root")
 }
 
 fn main() {
@@ -78,69 +81,49 @@ fn main() {
     };
     let speedup = rate(4) / rate(1);
     let peak = points.iter().map(|p| p.peak_store_bytes).max().unwrap();
-    println!("speedup 4t/1t: {speedup:.2}×  (cores available: {})", available());
+    println!("speedup 4t/1t: {speedup:.2}×  (cores available: {})", cores_available());
 
-    let json = render_json(states, &points, speedup, peak);
-    let out_path = workspace_root().join("BENCH_mc.json");
-    std::fs::write(&out_path, &json).expect("write BENCH_mc.json");
-    println!("wrote {}", out_path.display());
+    let mut doc = Json::obj([
+        ("workload", Json::Str("MESI non-stalling, 3 caches".into())),
+        ("states", Json::U64(states as u64)),
+        ("cores_available", Json::U64(cores_available() as u64)),
+        (
+            "points",
+            Json::Arr(
+                points
+                    .iter()
+                    .map(|p| {
+                        Json::obj([
+                            ("threads", Json::U64(p.threads as u64)),
+                            ("seconds", Json::F64(p.seconds)),
+                            ("states_per_sec", Json::F64(p.states_per_sec)),
+                            ("peak_store_bytes", Json::U64(p.peak_store_bytes as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    for p in &points {
+        doc.push(&format!("states_per_sec_{}t", p.threads), Json::F64(p.states_per_sec));
+    }
+    doc.push("speedup_4t", Json::F64(speedup));
+    doc.push("peak_store_bytes", Json::U64(peak as u64));
+    write_report("BENCH_mc.json", &doc);
 
     let mut failed = false;
     if env_on("MC_ENFORCE_BASELINE") {
         let baseline_path = std::env::var("MC_BASELINE")
             .map(PathBuf::from)
             .unwrap_or_else(|_| workspace_root().join("BENCH_mc_baseline.json"));
-        match std::fs::read_to_string(&baseline_path) {
-            Ok(text) => match extract_number(&text, "states_per_sec_4t") {
-                Some(base) => {
-                    // A baseline from a different core count gates nothing
-                    // useful (a 1-core-measured floor is far below any
-                    // multi-core run), so an incomparable baseline is a
-                    // hard failure — the freshly written BENCH_mc.json is
-                    // still uploaded by CI, ready to be committed as the
-                    // new baseline.
-                    if let Some(cores) = extract_number(&text, "cores_available") {
-                        if cores as usize != available() {
-                            eprintln!(
-                                "STALE BASELINE: measured on {} core(s) but this machine \
-                                 has {} — the regression floor is not comparable. \
-                                 Refresh {} from this run's BENCH_mc.json.",
-                                cores,
-                                available(),
-                                baseline_path.display()
-                            );
-                            failed = true;
-                        }
-                    }
-                    let floor = base * 0.8;
-                    if rate(4) < floor {
-                        eprintln!(
-                            "REGRESSION: 4-thread states/sec {:.0} < 80% of baseline {:.0} \
-                             (floor {:.0})",
-                            rate(4),
-                            base,
-                            floor
-                        );
-                        failed = true;
-                    } else {
-                        println!(
-                            "baseline check OK: {:.0} states/sec vs baseline {:.0} (floor {:.0})",
-                            rate(4),
-                            base,
-                            floor
-                        );
-                    }
-                }
-                None => {
-                    eprintln!("baseline {} lacks states_per_sec_4t", baseline_path.display());
-                    failed = true;
-                }
-            },
-            Err(e) => {
-                eprintln!("cannot read baseline {}: {e}", baseline_path.display());
-                failed = true;
-            }
-        }
+        failed |= enforce_baseline(
+            &baseline_path,
+            &[BaselineCheck {
+                key: "states_per_sec_4t",
+                current: rate(4),
+                tolerance: Tolerance::FloorPct(20.0),
+            }],
+        );
     }
     if env_on("MC_ENFORCE_SCALING") {
         if speedup > 1.8 {
@@ -153,51 +136,4 @@ fn main() {
     if failed {
         std::process::exit(1);
     }
-}
-
-fn available() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-}
-
-fn env_on(name: &str) -> bool {
-    std::env::var(name).map(|v| v == "1" || v.eq_ignore_ascii_case("true")).unwrap_or(false)
-}
-
-fn render_json(states: usize, points: &[Point], speedup: f64, peak: usize) -> String {
-    let mut s = String::from("{\n");
-    s.push_str("  \"workload\": \"MESI non-stalling, 3 caches\",\n");
-    s.push_str(&format!("  \"states\": {states},\n"));
-    s.push_str(&format!("  \"cores_available\": {},\n", available()));
-    s.push_str("  \"points\": [\n");
-    for (i, p) in points.iter().enumerate() {
-        s.push_str(&format!(
-            "    {{\"threads\": {}, \"seconds\": {:.4}, \"states_per_sec\": {:.0}, \
-             \"peak_store_bytes\": {}}}{}\n",
-            p.threads,
-            p.seconds,
-            p.states_per_sec,
-            p.peak_store_bytes,
-            if i + 1 < points.len() { "," } else { "" }
-        ));
-    }
-    s.push_str("  ],\n");
-    for p in points {
-        s.push_str(&format!("  \"states_per_sec_{}t\": {:.0},\n", p.threads, p.states_per_sec));
-    }
-    s.push_str(&format!("  \"speedup_4t\": {speedup:.3},\n"));
-    s.push_str(&format!("  \"peak_store_bytes\": {peak}\n"));
-    s.push_str("}\n");
-    s
-}
-
-/// Minimal flat-JSON number lookup (`"key": 123.4`) — enough for the
-/// baseline file, which this harness itself writes.
-fn extract_number(json: &str, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\"");
-    let at = json.find(&needle)? + needle.len();
-    let rest = json[at..].trim_start().strip_prefix(':')?.trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
 }

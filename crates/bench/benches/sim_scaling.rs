@@ -1,0 +1,158 @@
+//! Thread-scaling and behaviour-regression benchmark for the simulation
+//! subsystem.
+//!
+//! Runs the default sweep grid — `{MSI, MESI} × {stalling, non-stalling}
+//! × {uniform, zipfian, producer-consumer, false-sharing} × {2, 4 caches}
+//! × {ordered, unordered}` — at 1, 2, and 4 sweep workers, asserts the
+//! merged report is **byte-identical at every thread count** (the sweep's
+//! determinism contract), and writes `BENCH_sim.json` at the workspace
+//! root for the nightly CI gate.
+//!
+//! Gated metrics:
+//!
+//! * `sim_cycles_per_sec_4t` / `cells_per_sec_4t` — simulator throughput
+//!   (floor: −20 % vs `BENCH_sim_baseline.json`);
+//! * `mean_p95_latency` — the mean simulated p95 miss latency across
+//!   cells. This is a *behavioural* metric: it is seed-deterministic, so
+//!   any drift beyond ±20 % means the protocols, workloads, or engine
+//!   semantics changed, not the hardware.
+//!
+//! Environment knobs (off by default): `SIM_ENFORCE_BASELINE=1` enables
+//! the gate; `SIM_BASELINE` overrides the baseline path.
+
+use protogen_bench::{
+    cores_available, enforce_baseline, env_on, workspace_root, write_report, BaselineCheck, Json,
+    Tolerance,
+};
+use protogen_sim::{run_sweep, SweepConfig, SweepReport};
+use std::path::PathBuf;
+use std::time::Instant;
+
+const THREAD_POINTS: [usize; 3] = [1, 2, 4];
+/// Best-of-N to damp scheduler noise without statistical machinery.
+const REPS: usize = 2;
+
+struct Point {
+    threads: usize,
+    seconds: f64,
+    cells_per_sec: f64,
+    sim_cycles_per_sec: f64,
+}
+
+fn total_sim_cycles(report: &SweepReport) -> u64 {
+    report.cells.iter().map(|c| c.stats.cycles).sum()
+}
+
+fn main() {
+    let base = SweepConfig { accesses_per_core: 300, ..SweepConfig::default() };
+    let n_cells = base.cells().len();
+    println!("=== sim_scaling: default sweep grid, {n_cells} cells, 300 accesses/core ===");
+    println!("{:>7} {:>9} {:>13} {:>17}", "threads", "seconds", "cells/sec", "sim cycles/sec");
+
+    let mut reference: Option<(String, SweepReport)> = None;
+    let mut points: Vec<Point> = Vec::new();
+    for &threads in &THREAD_POINTS {
+        let mut best: Option<Point> = None;
+        for _ in 0..REPS {
+            let cfg = SweepConfig { threads, ..base.clone() };
+            let start = Instant::now();
+            let report = run_sweep(&cfg).expect("sweep completes");
+            let seconds = start.elapsed().as_secs_f64();
+            let rendered = report.to_json().render();
+            match &reference {
+                None => reference = Some((rendered, report)),
+                Some((r, _)) => assert_eq!(
+                    r, &rendered,
+                    "sweep JSON must be byte-identical at every thread count"
+                ),
+            }
+            let cycles = total_sim_cycles(&reference.as_ref().unwrap().1);
+            let p = Point {
+                threads,
+                seconds,
+                cells_per_sec: n_cells as f64 / seconds,
+                sim_cycles_per_sec: cycles as f64 / seconds,
+            };
+            if best.as_ref().is_none_or(|b| p.cells_per_sec > b.cells_per_sec) {
+                best = Some(p);
+            }
+        }
+        let p = best.unwrap();
+        println!(
+            "{:>7} {:>9.3} {:>13.1} {:>17.0}",
+            p.threads, p.seconds, p.cells_per_sec, p.sim_cycles_per_sec
+        );
+        points.push(p);
+    }
+
+    let (_, report) = reference.expect("at least one run");
+    let mean = |f: &dyn Fn(&protogen_sim::CellResult) -> f64| {
+        report.cells.iter().map(f).sum::<f64>() / report.cells.len() as f64
+    };
+    let mean_p95 = mean(&|c| c.stats.p95_latency as f64);
+    let mean_msgs_per_miss = mean(&|c| c.stats.msgs_per_miss);
+    let rate = |threads: usize| {
+        points.iter().find(|p| p.threads == threads).map(|p| p.sim_cycles_per_sec).unwrap()
+    };
+    let speedup = rate(4) / rate(1);
+    println!(
+        "mean p95 latency {mean_p95:.1} cycles, {mean_msgs_per_miss:.2} msgs/miss, \
+         speedup 4t/1t {speedup:.2}× (cores available: {})",
+        cores_available()
+    );
+
+    let mut doc = Json::obj([
+        ("workload", Json::Str(format!("default sweep grid, {n_cells} cells, 300 accesses/core"))),
+        ("cells", Json::U64(n_cells as u64)),
+        ("cores_available", Json::U64(cores_available() as u64)),
+        ("total_sim_cycles", Json::U64(total_sim_cycles(&report))),
+        ("mean_p95_latency", Json::F64(mean_p95)),
+        ("mean_msgs_per_miss", Json::F64(mean_msgs_per_miss)),
+        (
+            "points",
+            Json::Arr(
+                points
+                    .iter()
+                    .map(|p| {
+                        Json::obj([
+                            ("threads", Json::U64(p.threads as u64)),
+                            ("seconds", Json::F64(p.seconds)),
+                            ("cells_per_sec", Json::F64(p.cells_per_sec)),
+                            ("sim_cycles_per_sec", Json::F64(p.sim_cycles_per_sec)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    for p in &points {
+        doc.push(&format!("sim_cycles_per_sec_{}t", p.threads), Json::F64(p.sim_cycles_per_sec));
+        doc.push(&format!("cells_per_sec_{}t", p.threads), Json::F64(p.cells_per_sec));
+    }
+    doc.push("speedup_4t", Json::F64(speedup));
+    write_report("BENCH_sim.json", &doc);
+
+    if env_on("SIM_ENFORCE_BASELINE") {
+        let baseline_path = std::env::var("SIM_BASELINE")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| workspace_root().join("BENCH_sim_baseline.json"));
+        let failed = enforce_baseline(
+            &baseline_path,
+            &[
+                BaselineCheck {
+                    key: "sim_cycles_per_sec_4t",
+                    current: rate(4),
+                    tolerance: Tolerance::FloorPct(20.0),
+                },
+                BaselineCheck {
+                    key: "mean_p95_latency",
+                    current: mean_p95,
+                    tolerance: Tolerance::WithinPct(20.0),
+                },
+            ],
+        );
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}

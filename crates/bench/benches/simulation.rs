@@ -17,7 +17,12 @@ fn contention_sweep(c: &mut Criterion) {
     println!("\n=== E10: stalling vs non-stalling MSI, 4 cores, contended block ===");
     println!("{:>8} {:>14} {:>14} {:>9}", "store %", "stalling cyc", "non-stall cyc", "speedup");
     for store_pct in [0u8, 25, 50, 75, 100] {
-        let cfg = SimConfig { workload: Workload::Mixed { store_pct }, ..SimConfig::default() };
+        // n_addrs = 1: every access races on the same block.
+        let cfg = SimConfig {
+            workload: Workload::Uniform { store_pct },
+            n_addrs: 1,
+            ..SimConfig::default()
+        };
         let a = simulate(&st.cache, &st.directory, &cfg).unwrap();
         let b = simulate(&ns.cache, &ns.directory, &cfg).unwrap();
         println!(
@@ -32,7 +37,8 @@ fn contention_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulate_msi");
     group.sample_size(20);
     let cfg = SimConfig {
-        workload: Workload::Mixed { store_pct: 50 },
+        workload: Workload::Uniform { store_pct: 50 },
+        n_addrs: 1,
         accesses_per_core: 100,
         ..SimConfig::default()
     };

@@ -1,5 +1,193 @@
-//! Benchmark-only crate; see the `benches/` directory. Each bench harness
-//! regenerates one of the paper's tables or figures (DESIGN.md, §5) and
-//! then measures the machinery behind it; `mc_scaling` additionally
-//! records the model checker's thread-scaling in `BENCH_mc.json` for the
-//! nightly CI regression gate.
+//! Shared infrastructure for the bench harnesses in `benches/`, plus the
+//! harness index.
+//!
+//! Each bench regenerates one of the paper's tables or figures (DESIGN.md
+//! §5) and then measures the machinery behind it. `mc_scaling` and
+//! `sim_scaling` additionally write machine-readable reports
+//! (`BENCH_mc.json`, `BENCH_sim.json`) for the nightly CI regression
+//! gates; both go through this crate's one report writer and baseline
+//! checker rather than hand-rolling their serialization.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use protogen_sim::Json;
+use std::path::{Path, PathBuf};
+
+/// The workspace root (two levels above this crate's manifest).
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("workspace root")
+}
+
+/// Whether an environment toggle is set (`1` or `true`).
+pub fn env_on(name: &str) -> bool {
+    std::env::var(name).map(|v| v == "1" || v.eq_ignore_ascii_case("true")).unwrap_or(false)
+}
+
+/// Available hardware parallelism (1 when unknown).
+pub fn cores_available() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Writes a report document to `<workspace root>/<filename>` and returns
+/// the path written.
+///
+/// # Panics
+///
+/// Panics when the file cannot be written — a bench without its report is
+/// a CI artifact silently missing.
+pub fn write_report(filename: &str, doc: &Json) -> PathBuf {
+    let path = workspace_root().join(filename);
+    std::fs::write(&path, doc.render()).unwrap_or_else(|e| panic!("write {filename}: {e}"));
+    println!("wrote {}", path.display());
+    path
+}
+
+/// Minimal flat-JSON number lookup (`"key": 123.4`) — enough for the
+/// baseline files, which [`write_report`] itself produces.
+pub fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// How a measured value may legally relate to its baseline.
+#[derive(Debug, Clone, Copy)]
+pub enum Tolerance {
+    /// Throughput-style: the value must stay above `100 - pct`% of the
+    /// baseline (higher is better, only regressions fail).
+    FloorPct(f64),
+    /// Latency/behaviour-style: the value must stay within ±`pct`% of the
+    /// baseline (drift in either direction is a change worth flagging).
+    WithinPct(f64),
+}
+
+/// One measured value to gate against the committed baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct BaselineCheck<'a> {
+    /// The flat JSON key in both the report and the baseline.
+    pub key: &'a str,
+    /// This run's value.
+    pub current: f64,
+    /// The allowed relation to the baseline value.
+    pub tolerance: Tolerance,
+}
+
+/// Gates this run against a committed baseline file, mirroring the model
+/// checker's nightly discipline:
+///
+/// * a missing/unreadable baseline or key is a **failure** (a gate that
+///   silently skips gates nothing);
+/// * a baseline measured on a different core count is a **failure** (an
+///   incomparable floor gates nothing useful — refresh the baseline from
+///   this run's uploaded report);
+/// * each [`BaselineCheck`] is then enforced per its [`Tolerance`].
+///
+/// Prints one line per check and returns `true` when anything failed.
+pub fn enforce_baseline(baseline_path: &Path, checks: &[BaselineCheck]) -> bool {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read baseline {}: {e}", baseline_path.display());
+            return true;
+        }
+    };
+    let mut failed = false;
+    if let Some(cores) = extract_number(&text, "cores_available") {
+        if cores as usize != cores_available() {
+            eprintln!(
+                "STALE BASELINE: measured on {} core(s) but this machine has {} — the \
+                 regression floor is not comparable. Refresh {} from this run's report.",
+                cores,
+                cores_available(),
+                baseline_path.display()
+            );
+            failed = true;
+        }
+    }
+    for check in checks {
+        let Some(base) = extract_number(&text, check.key) else {
+            eprintln!("baseline {} lacks {}", baseline_path.display(), check.key);
+            failed = true;
+            continue;
+        };
+        let ok = match check.tolerance {
+            Tolerance::FloorPct(pct) => check.current >= base * (1.0 - pct / 100.0),
+            Tolerance::WithinPct(pct) => (check.current - base).abs() <= base * (pct / 100.0),
+        };
+        if ok {
+            println!(
+                "baseline check OK: {} = {:.2} vs baseline {:.2} ({:?})",
+                check.key, check.current, base, check.tolerance
+            );
+        } else {
+            eprintln!(
+                "REGRESSION: {} = {:.2} vs baseline {:.2} violates {:?}",
+                check.key, check.current, base, check.tolerance
+            );
+            failed = true;
+        }
+    }
+    failed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extract_number_reads_flat_keys() {
+        let json = "{\n  \"a\": 12.5,\n  \"b_4t\": 300,\n  \"s\": \"text\"\n}";
+        assert_eq!(extract_number(json, "a"), Some(12.5));
+        assert_eq!(extract_number(json, "b_4t"), Some(300.0));
+        assert_eq!(extract_number(json, "missing"), None);
+        assert_eq!(extract_number(json, "s"), None);
+    }
+
+    #[test]
+    fn enforce_baseline_fails_on_missing_file_and_missing_keys() {
+        let dir = std::env::temp_dir().join("protogen-bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("nonexistent-baseline.json");
+        let _ = std::fs::remove_file(&path);
+        assert!(enforce_baseline(
+            &path,
+            &[BaselineCheck { key: "x", current: 1.0, tolerance: Tolerance::FloorPct(20.0) }]
+        ));
+        // Present file, absent key: also a failure.
+        std::fs::write(&path, "{\n  \"y\": 1\n}\n").unwrap();
+        assert!(enforce_baseline(
+            &path,
+            &[BaselineCheck { key: "x", current: 1.0, tolerance: Tolerance::FloorPct(20.0) }]
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn tolerances_gate_in_the_right_directions() {
+        let dir = std::env::temp_dir().join("protogen-bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.json");
+        std::fs::write(
+            &path,
+            format!("{{\n  \"cores_available\": {},\n  \"rate\": 100\n}}\n", cores_available()),
+        )
+        .unwrap();
+        let gate = |current: f64, tolerance: Tolerance| {
+            enforce_baseline(&path, &[BaselineCheck { key: "rate", current, tolerance }])
+        };
+        // Floor: improvements always pass, 20% drops fail.
+        assert!(!gate(130.0, Tolerance::FloorPct(20.0)));
+        assert!(!gate(81.0, Tolerance::FloorPct(20.0)));
+        assert!(gate(79.0, Tolerance::FloorPct(20.0)));
+        // Within: drift in either direction fails.
+        assert!(!gate(110.0, Tolerance::WithinPct(20.0)));
+        assert!(gate(130.0, Tolerance::WithinPct(20.0)));
+        assert!(gate(70.0, Tolerance::WithinPct(20.0)));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -5,13 +5,24 @@
 //! protogen verify  <protocol> [--stalling] [--caches N] [--threads N]
 //! protogen dot     <protocol> [--stalling] [--machine cache|dir]
 //! protogen murphi  <protocol> [--stalling] [--caches N]
-//! protogen simulate <protocol> [--stalling] [--stores PCT] [--cores N]
+//! protogen sim     <protocol> [--stalling] [--caches N] [--addrs N] [--accesses N]
+//!                  [--workload W] [--store-pct P] [--trace FILE]
+//!                  [--network ordered|unordered] [--latency DIST] [--cap N]
+//!                  [--seed N] [--json]
+//! protogen sweep   [--protocols a,b] [--caches 2,4] [--accesses N] [--seed N]
+//!                  [--threads N] [--list] [--out DIR] [--json]
 //! protogen stats   [--stalling]
 //! protogen compile <file.pgen> [--stalling] [--caches N] [--threads N]
 //! ```
 //!
-//! `--threads` sets the model checker's worker count (default: all
-//! available cores); results are identical for every thread count.
+//! `--threads` sets the worker count (default: all available cores);
+//! verification and sweep results are identical for every thread count.
+//!
+//! `sim` workloads: uniform, zipfian, producer-consumer, migratory,
+//! false-sharing, private — or `--trace file.trc` to replay a trace.
+//! Latency distributions: `fixed:N`, `uniform:LO:HI`, `geometric:BASE:PCT`.
+//! `simulate` is kept as a legacy alias for `sim` (`--stores`/`--cores`
+//! map to `--store-pct`/`--caches`).
 //!
 //! `<protocol>` is one of: msi, mesi, mosi, msi-upgrade, msi-unordered,
 //! tso-cc.
@@ -19,7 +30,9 @@
 use protogen_backend::{render_table, to_dot, to_murphi, TableOptions};
 use protogen_core::{generate, GenConfig, Generated};
 use protogen_mc::{McConfig, ModelChecker};
-use protogen_sim::{simulate, SimConfig, Workload};
+use protogen_sim::{
+    parse_trace, run_sweep, simulate, Json, LatencyDist, NetModel, SimConfig, SweepConfig, Workload,
+};
 use protogen_spec::Ssp;
 use std::process::ExitCode;
 
@@ -35,8 +48,25 @@ impl Args {
         let mut it = std::env::args().skip(1).peekable();
         while let Some(a) = it.next() {
             if let Some(f) = a.strip_prefix("--") {
-                let needs_value =
-                    matches!(f, "machine" | "caches" | "stores" | "cores" | "threads");
+                let needs_value = matches!(
+                    f,
+                    "machine"
+                        | "caches"
+                        | "stores"
+                        | "cores"
+                        | "threads"
+                        | "addrs"
+                        | "accesses"
+                        | "workload"
+                        | "store-pct"
+                        | "trace"
+                        | "network"
+                        | "latency"
+                        | "cap"
+                        | "seed"
+                        | "protocols"
+                        | "out"
+                );
                 if needs_value {
                     let v = it.next().unwrap_or_default();
                     flags.push(format!("{f}={v}"));
@@ -60,15 +90,7 @@ impl Args {
 }
 
 fn protocol(name: &str) -> Option<Ssp> {
-    Some(match name {
-        "msi" => protogen_protocols::msi(),
-        "mesi" => protogen_protocols::mesi(),
-        "mosi" => protogen_protocols::mosi(),
-        "msi-upgrade" => protogen_protocols::msi_upgrade(),
-        "msi-unordered" => protogen_protocols::msi_unordered(),
-        "tso-cc" => protogen_protocols::tso_cc(),
-        _ => return None,
-    })
+    protogen_protocols::by_name(name)
 }
 
 fn gen_config(args: &Args) -> GenConfig {
@@ -117,10 +139,210 @@ fn verify(g: &Generated, ssp: &Ssp, n: usize, threads: usize) -> bool {
     r.passed()
 }
 
+/// Builds a [`SimConfig`] from CLI flags, warning (and clamping to FIFO
+/// delivery) when an ordered-network protocol is pointed at an unordered
+/// interconnect. `legacy` is the `simulate` alias, whose historical
+/// contract is one contended block, not the default working set.
+fn sim_config(ssp: &Ssp, args: &Args, legacy: bool) -> Result<SimConfig, String> {
+    let mut cfg = SimConfig::default();
+    if legacy {
+        cfg.n_addrs = 1;
+    }
+    // `--cores`/`--stores` are the legacy `simulate` spellings.
+    if let Some(v) = args.value("caches").or_else(|| args.value("cores")) {
+        cfg.n_caches = v.parse().map_err(|_| format!("bad --caches `{v}`"))?;
+    }
+    if let Some(v) = args.value("addrs") {
+        cfg.n_addrs = v.parse().map_err(|_| format!("bad --addrs `{v}`"))?;
+    }
+    if let Some(v) = args.value("accesses") {
+        cfg.accesses_per_core = v.parse().map_err(|_| format!("bad --accesses `{v}`"))?;
+    }
+    if let Some(v) = args.value("seed") {
+        cfg.seed = v.parse().map_err(|_| format!("bad --seed `{v}`"))?;
+    }
+    let store_pct = args
+        .value("store-pct")
+        .or_else(|| args.value("stores"))
+        .map(|v| v.parse().map_err(|_| format!("bad --store-pct `{v}`")))
+        .transpose()?
+        .unwrap_or(50);
+    cfg.workload = if let Some(path) = args.value("trace") {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        Workload::Trace(parse_trace(&src).map_err(|e| e.to_string())?)
+    } else {
+        Workload::parse(args.value("workload").unwrap_or("uniform"), store_pct)?
+    };
+    match args.value("network") {
+        None | Some("ordered") => {}
+        Some("unordered") => {
+            // An unordered request implies jittered hops (the sweep's
+            // unordered point) unless --latency overrides below.
+            cfg.network.latency = LatencyDist::Uniform { lo: 4, hi: 16 };
+            if ssp.network_ordered {
+                eprintln!(
+                    "note: {} is generated for ordered networks; applying latency jitter \
+                     with per-block FIFO delivery instead of reordering",
+                    ssp.name
+                );
+            } else {
+                cfg.network.model = NetModel::Unordered;
+            }
+        }
+        Some(other) => return Err(format!("bad --network `{other}` (ordered or unordered)")),
+    }
+    if let Some(v) = args.value("latency") {
+        cfg.network.latency = LatencyDist::parse(v)?;
+    }
+    if let Some(v) = args.value("cap") {
+        cfg.network.capacity = v.parse().map_err(|_| format!("bad --cap `{v}`"))?;
+    }
+    Ok(cfg)
+}
+
+fn sim(ssp: &Ssp, g: &Generated, args: &Args, legacy: bool) -> ExitCode {
+    let cfg = match sim_config(ssp, args, legacy) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    match simulate(&g.cache, &g.directory, &cfg) {
+        Ok(r) => {
+            if args.flag("json") {
+                let doc = Json::obj([
+                    ("protocol", Json::Str(ssp.name.clone())),
+                    (
+                        "config",
+                        Json::Str(
+                            if args.flag("stalling") { "stalling" } else { "non-stalling" }.into(),
+                        ),
+                    ),
+                    ("workload", Json::Str(cfg.workload.label())),
+                    ("caches", Json::U64(cfg.n_caches as u64)),
+                    ("seed", Json::U64(cfg.seed)),
+                    ("stats", r.to_json()),
+                ]);
+                print!("{}", doc.render());
+            } else {
+                println!(
+                    "{}: {} accesses ({} hits, {} misses) in {} cycles under {}",
+                    ssp.name, r.completed, r.hits, r.misses, r.cycles, cfg.workload
+                );
+                println!(
+                    "  miss latency p50/p95/p99/max: {}/{}/{}/{} (avg {:.1})",
+                    r.p50_latency, r.p95_latency, r.p99_latency, r.max_latency, r.avg_miss_latency
+                );
+                println!(
+                    "  {} messages ({:.1}/miss), {} stall-cycles, {} backpressure-cycles, \
+                     dir occupancy {:.1}%",
+                    r.messages,
+                    r.msgs_per_miss,
+                    r.stall_cycles,
+                    r.backpressure_cycles,
+                    r.dir_occupancy * 100.0
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("simulation failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn sweep(args: &Args, threads: usize) -> ExitCode {
+    let mut cfg = SweepConfig { threads, ..SweepConfig::default() };
+    if let Some(list) = args.value("protocols") {
+        cfg.protocols = list.split(',').map(str::to_string).collect();
+    }
+    if let Some(list) = args.value("caches") {
+        match list.split(',').map(str::parse).collect::<Result<Vec<usize>, _>>() {
+            Ok(counts) if !counts.is_empty() => cfg.cache_counts = counts,
+            _ => {
+                eprintln!("bad --caches `{list}` (comma-separated counts)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(v) = args.value("accesses") {
+        match v.parse() {
+            Ok(n) => cfg.accesses_per_core = n,
+            Err(_) => {
+                eprintln!("bad --accesses `{v}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(v) = args.value("seed") {
+        match v.parse() {
+            Ok(n) => cfg.seed = n,
+            Err(_) => {
+                eprintln!("bad --seed `{v}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if args.flag("list") {
+        print!("{}", cfg.listing());
+        return ExitCode::SUCCESS;
+    }
+    let report = match run_sweep(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(dir) = args.value("out") {
+        let dir = std::path::Path::new(dir);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        // One diffable JSON per config cell, plus the merged report.
+        for cell in &report.cells {
+            let path = dir.join(format!("{}.json", cell.cell.label()));
+            if let Err(e) = std::fs::write(&path, cell.to_json().render()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        let path = dir.join("sweep.json");
+        if let Err(e) = std::fs::write(&path, report.to_json().render()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {} cell files + sweep.json to {}", report.cells.len(), dir.display());
+    }
+    if args.flag("json") {
+        print!("{}", report.to_json().render());
+    } else if args.value("out").is_none() {
+        println!(
+            "{:<44} {:>9} {:>6} {:>6} {:>6} {:>8}",
+            "cell", "cycles", "p50", "p95", "stalls", "msgs"
+        );
+        for c in &report.cells {
+            println!(
+                "{:<44} {:>9} {:>6} {:>6} {:>6} {:>8}",
+                c.cell.label(),
+                c.stats.cycles,
+                c.stats.p50_latency,
+                c.stats.p95_latency,
+                c.stats.stall_cycles,
+                c.stats.messages
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = Args::parse();
     let Some(cmd) = args.positional.first().map(String::as_str) else {
-        eprintln!("usage: protogen <table|verify|dot|murphi|simulate|stats|compile> …");
+        eprintln!("usage: protogen <table|verify|dot|murphi|sim|sweep|simulate|stats|compile> …");
         return ExitCode::from(2);
     };
     let caches: usize = args.value("caches").and_then(|v| v.parse().ok()).unwrap_or(2);
@@ -154,7 +376,8 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        "table" | "verify" | "dot" | "murphi" | "simulate" => {
+        "sweep" => sweep(&args, threads),
+        "table" | "verify" | "dot" | "murphi" | "sim" | "simulate" => {
             let Some(name) = args.positional.get(1) else {
                 eprintln!("usage: protogen {cmd} <protocol> [flags]");
                 return ExitCode::from(2);
@@ -194,37 +417,7 @@ fn main() -> ExitCode {
                         ExitCode::FAILURE
                     }
                 }
-                _ => {
-                    let cfg = SimConfig {
-                        n_caches: args.value("cores").and_then(|v| v.parse().ok()).unwrap_or(4),
-                        workload: Workload::Mixed {
-                            store_pct: args
-                                .value("stores")
-                                .and_then(|v| v.parse().ok())
-                                .unwrap_or(50),
-                        },
-                        ..SimConfig::default()
-                    };
-                    match simulate(&g.cache, &g.directory, &cfg) {
-                        Ok(r) => {
-                            println!(
-                                "{}: {} accesses in {} cycles, avg miss latency {:.1}, \
-                                 {} stall-cycles, {} messages",
-                                ssp.name,
-                                r.completed,
-                                r.cycles,
-                                r.avg_miss_latency,
-                                r.stall_cycles,
-                                r.messages
-                            );
-                            ExitCode::SUCCESS
-                        }
-                        Err(e) => {
-                            eprintln!("simulation failed: {e}");
-                            ExitCode::FAILURE
-                        }
-                    }
-                }
+                _ => sim(&ssp, &g, &args, cmd == "simulate"),
             }
         }
         "compile" => {

@@ -17,7 +17,8 @@ fn no_arguments_prints_usage_and_fails() {
     assert_eq!(out.status.code(), Some(2));
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("usage:"), "{err}");
-    for cmd in ["table", "verify", "dot", "murphi", "simulate", "stats", "compile"] {
+    for cmd in ["table", "verify", "dot", "murphi", "sim", "sweep", "simulate", "stats", "compile"]
+    {
         assert!(err.contains(cmd), "usage line missing `{cmd}`: {err}");
     }
 }
@@ -84,6 +85,85 @@ fn compile_rejects_missing_file() {
     let out = protogen(&["compile", "/nonexistent/file.pgen"]);
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn sim_json_is_deterministic_for_a_fixed_seed() {
+    let args = ["sim", "msi", "--caches", "2", "--seed", "7", "--accesses", "40", "--json"];
+    let a = protogen(&args);
+    let b = protogen(&args);
+    assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
+    assert_eq!(a.stdout, b.stdout, "same seed must yield byte-identical JSON");
+    let text = String::from_utf8_lossy(&a.stdout);
+    for key in ["\"protocol\": \"MSI\"", "\"p95_latency\"", "\"dir_occupancy\""] {
+        assert!(text.contains(key), "missing {key}: {text}");
+    }
+}
+
+#[test]
+fn sim_accepts_workload_network_and_trace_flags() {
+    let out = protogen(&["sim", "mesi", "--workload", "producer-consumer", "--caches", "3"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("producer-consumer"));
+
+    // An ordered-network protocol on an unordered interconnect is clamped
+    // to FIFO delivery with a note, not an error.
+    let out = protogen(&["sim", "msi", "--network", "unordered", "--latency", "uniform:4:16"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("ordered networks"));
+
+    let out = protogen(&["sim", "msi", "--workload", "nonesuch"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown workload"));
+
+    let dir = std::env::temp_dir().join("protogen-smoke-trace");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("t.trc");
+    std::fs::write(&trace, "# two cores ping-pong\n0 st 0\n1 ld 0\n0 st 0\n1 ld 0\n").unwrap();
+    let out = protogen(&["sim", "msi", "--caches", "2", "--trace", trace.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("4 accesses"));
+}
+
+#[test]
+fn sweep_list_prints_grid_without_running() {
+    let out = protogen(&["sweep", "--list"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("64 cells"), "{stdout}");
+    assert!(stdout.contains("msi.stall.uniform-50.c2.ordered"), "{stdout}");
+    assert!(stdout.contains("mesi.non-stall.false-sharing.c4.unordered"), "{stdout}");
+}
+
+#[test]
+fn sweep_out_writes_one_json_per_cell() {
+    let dir = std::env::temp_dir().join("protogen-smoke-sweep");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = protogen(&[
+        "sweep",
+        "--protocols",
+        "msi",
+        "--caches",
+        "2",
+        "--accesses",
+        "20",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // 1 protocol × 2 configs × 4 workloads × 1 cache count × 2 networks.
+    let mut cells: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    cells.sort();
+    assert_eq!(cells.len(), 17, "16 cells + sweep.json: {cells:?}");
+    assert!(cells.contains(&"sweep.json".to_string()));
+    assert!(cells.contains(&"msi.non-stall.uniform-50.c2.ordered.json".to_string()));
+    let cell_text =
+        std::fs::read_to_string(dir.join("msi.non-stall.uniform-50.c2.ordered.json")).unwrap();
+    assert!(cell_text.contains("\"stats\""), "{cell_text}");
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]

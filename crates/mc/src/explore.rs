@@ -13,7 +13,9 @@
 use crate::frontier::{Candidate, Coordinator, Decision, Inbox, Outboxes, VioCand};
 use crate::store::{Gid, ShardStore, StateRec, STEP_NONE};
 use crate::system::{invert, permutations, SysState};
-use protogen_runtime::{apply, select_arc_indexed, FsmIndex, MachineCtx, Msg, NodeId};
+use protogen_runtime::{
+    apply, select_arc_indexed, FsmIndex, MachineCtx, MachineTag, Msg, NodeId, PairSet,
+};
 use protogen_spec::{Access, Event, Fsm, Perm};
 use std::fmt;
 use std::sync::atomic::Ordering::Relaxed;
@@ -49,6 +51,10 @@ pub struct McConfig {
     /// to [`crate::MAX_SHARDS`]. Results are identical for every thread
     /// count.
     pub threads: usize,
+    /// Record every `(machine, state, event)` dispatch attempted during
+    /// exploration into [`CheckResult::coverage`]. Off by default: the
+    /// simulator-conformance tests are the only consumer.
+    pub collect_pair_coverage: bool,
 }
 
 impl Default for McConfig {
@@ -63,6 +69,7 @@ impl Default for McConfig {
             check_data_value: true,
             symmetry: true,
             threads: 0,
+            collect_pair_coverage: false,
         }
     }
 }
@@ -226,6 +233,9 @@ pub struct CheckResult {
     pub store_bytes: usize,
     /// Worker threads used.
     pub threads: usize,
+    /// Every `(machine, state, event)` dispatch attempted, when
+    /// [`McConfig::collect_pair_coverage`] was set.
+    pub coverage: Option<PairSet>,
 }
 
 impl CheckResult {
@@ -325,6 +335,10 @@ impl<'a> ModelChecker<'a> {
             Decision::Continue => (None, false),
         };
 
+        let coverage = self
+            .cfg
+            .collect_pair_coverage
+            .then(|| std::mem::take(&mut *coord.coverage.lock().unwrap()));
         CheckResult {
             states,
             transitions,
@@ -333,6 +347,7 @@ impl<'a> ModelChecker<'a> {
             seconds: start.elapsed().as_secs_f64(),
             store_bytes,
             threads,
+            coverage,
         }
     }
 
@@ -441,13 +456,14 @@ impl<'a> ModelChecker<'a> {
     ) -> Vec<VioCand> {
         let mut violations: Vec<VioCand> = Vec::new();
         let mut local_transitions = 0usize;
+        let mut cov = self.cfg.collect_pair_coverage.then(PairSet::new);
         for (state, lid) in frontier.drain(..) {
             let gid = Gid::pack(t, lid as usize);
             let my_fp = store.recs[lid as usize].fp;
             let mut any_delivery = false;
             self.steps_into(&state, steps_buf);
             for &step in steps_buf.iter() {
-                match self.successor(&state, step) {
+                match self.successor_observed(&state, step, cov.as_mut()) {
                     Err(kind) => violations.push(VioCand {
                         parent: gid,
                         parent_fp: my_fp,
@@ -500,6 +516,9 @@ impl<'a> ModelChecker<'a> {
         }
         out.flush_all(inboxes);
         coord.transitions.fetch_add(local_transitions, Relaxed);
+        if let Some(c) = cov.filter(|c| !c.is_empty()) {
+            coord.coverage.lock().unwrap().extend(c);
+        }
         violations
     }
 
@@ -632,6 +651,44 @@ impl<'a> ModelChecker<'a> {
                 out.push(Step::IssueAccess { cache: cache as u8, access });
             }
         }
+    }
+
+    /// [`Self::successor`] plus pair-coverage recording: notes which
+    /// `(machine, state, event)` pair the step dispatches on before
+    /// computing the successor. Pairs are permutation-invariant (all
+    /// caches run the same FSM and message types survive renaming), so
+    /// recording them on canonical representatives covers every orbit
+    /// member.
+    fn successor_observed(
+        &self,
+        state: &SysState,
+        step: Step,
+        cov: Option<&mut PairSet>,
+    ) -> Result<Option<SysState>, ViolationKind> {
+        if let Some(cov) = cov {
+            match step {
+                Step::Deliver { src, dst, idx } => {
+                    let msg = state.channels[src as usize][dst as usize][idx as usize];
+                    if dst as usize == state.n_caches() {
+                        cov.insert((MachineTag::Directory, state.dir.state, Event::Msg(msg.mtype)));
+                    } else {
+                        cov.insert((
+                            MachineTag::Cache,
+                            state.caches[dst as usize].state,
+                            Event::Msg(msg.mtype),
+                        ));
+                    }
+                }
+                Step::IssueAccess { cache, access } => {
+                    cov.insert((
+                        MachineTag::Cache,
+                        state.caches[cache as usize].state,
+                        Event::Access(access),
+                    ));
+                }
+            }
+        }
+        self.successor(state, step)
     }
 
     /// Computes the successor for `step`, or `Ok(None)` when the step is

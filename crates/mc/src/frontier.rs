@@ -16,6 +16,7 @@ use std::sync::{Barrier, Mutex};
 use crate::explore::ViolationKind;
 use crate::store::Gid;
 use crate::system::SysState;
+use protogen_runtime::PairSet;
 
 /// A successor state en route to its owning shard. The state is carried in
 /// raw (as-computed) form together with the index of the permutation that
@@ -142,6 +143,11 @@ pub(crate) struct Coordinator {
     pub transitions: AtomicUsize,
     /// Per-level merge target.
     pub agg: Mutex<LevelAgg>,
+    /// Union of `(machine, state, event)` dispatches, merged by every
+    /// worker at the end of its expand phase (only populated when
+    /// [`crate::McConfig::collect_pair_coverage`] is set). A `BTreeSet`,
+    /// so the union is identical for every merge order.
+    pub coverage: Mutex<PairSet>,
     /// Decision published by worker 0 each level.
     pub decision: Mutex<Decision>,
     /// Set when any worker's phase panicked: every worker keeps hitting
@@ -159,6 +165,7 @@ impl Coordinator {
             total_states: AtomicUsize::new(0),
             transitions: AtomicUsize::new(0),
             agg: Mutex::new(LevelAgg::default()),
+            coverage: Mutex::new(PairSet::new()),
             decision: Mutex::new(Decision::Continue),
             aborted: AtomicBool::new(false),
             panic: Mutex::new(None),

@@ -28,6 +28,7 @@ mod mosi;
 mod msi;
 mod msi_unordered;
 mod msi_upgrade;
+mod sanity;
 mod tso_cc;
 
 pub use mesi::mesi;
@@ -35,6 +36,7 @@ pub use mosi::mosi;
 pub use msi::msi;
 pub use msi_unordered::msi_unordered;
 pub use msi_upgrade::msi_upgrade;
+pub use sanity::{sim_sanity, SimSanity};
 pub use tso_cc::tso_cc;
 
 use protogen_spec::Ssp;
@@ -42,6 +44,22 @@ use protogen_spec::Ssp;
 /// All built-in protocols, for sweeps and benchmarks.
 pub fn all() -> Vec<Ssp> {
     vec![msi(), mesi(), mosi(), msi_upgrade(), msi_unordered(), tso_cc()]
+}
+
+/// The CLI names of the built-in protocols, in [`all`]'s order.
+pub const NAMES: [&str; 6] = ["msi", "mesi", "mosi", "msi-upgrade", "msi-unordered", "tso-cc"];
+
+/// Looks a protocol up by its CLI name (see [`NAMES`]).
+pub fn by_name(name: &str) -> Option<Ssp> {
+    Some(match name {
+        "msi" => msi(),
+        "mesi" => mesi(),
+        "mosi" => mosi(),
+        "msi-upgrade" => msi_upgrade(),
+        "msi-unordered" => msi_unordered(),
+        "tso-cc" => tso_cc(),
+        _ => return None,
+    })
 }
 
 #[cfg(test)]

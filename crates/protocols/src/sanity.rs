@@ -1,0 +1,63 @@
+//! Per-protocol workload sanity envelopes for the simulator.
+//!
+//! Each built-in protocol declares what its generated controllers must
+//! exhibit under the standard synthetic workloads — protocol-architecture
+//! facts (does an exclusive-clean state exist? is the consistency model
+//! strict?), not tuning numbers. `crates/sim/tests/sanity.rs` runs every
+//! protocol against these envelopes.
+
+/// What simulating a protocol must (and must not) show per workload.
+#[derive(Debug, Clone, Copy)]
+pub struct SimSanity {
+    /// Under the `private` workload (disjoint per-core working sets) no
+    /// controller may ever stall: there are no racing transactions.
+    pub private_stall_free: bool,
+    /// Coherence transactions (misses) per core under the `private`
+    /// workload's load-then-store pattern: protocols with an
+    /// exclusive-clean state (MESI's E) upgrade the first store silently
+    /// and take 1; pure invalidation protocols pay a second transaction
+    /// for the upgrade and take 2. `None` for relaxed protocols whose
+    /// miss pattern is not pinned down by the architecture (TSO-CC's
+    /// self-invalidation).
+    pub private_misses_per_core: Option<usize>,
+    /// Every miss costs at least this many messages (request + response
+    /// is the absolute floor for a directory protocol).
+    pub min_msgs_per_miss: f64,
+}
+
+/// The sanity envelope for a protocol, keyed by CLI name (see
+/// [`crate::NAMES`]).
+pub fn sim_sanity(name: &str) -> Option<SimSanity> {
+    Some(match name {
+        "msi" | "mosi" | "msi-upgrade" | "msi-unordered" => SimSanity {
+            private_stall_free: true,
+            private_misses_per_core: Some(2),
+            min_msgs_per_miss: 2.0,
+        },
+        "mesi" => SimSanity {
+            private_stall_free: true,
+            // E absorbs the store upgrade: only the initial read misses.
+            private_misses_per_core: Some(1),
+            min_msgs_per_miss: 2.0,
+        },
+        "tso-cc" => SimSanity {
+            private_stall_free: true,
+            private_misses_per_core: None,
+            min_msgs_per_miss: 2.0,
+        },
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_builtin_protocol_has_an_envelope() {
+        for name in crate::NAMES {
+            assert!(sim_sanity(name).is_some(), "{name} lacks a sanity envelope");
+        }
+        assert!(sim_sanity("nonesuch").is_none());
+    }
+}

@@ -22,11 +22,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod coverage;
 mod exec;
 mod index;
 mod msg;
 mod state;
 
+pub use coverage::{MachineTag, PairSet, StateEventPair};
 pub use exec::{apply, select_arc, select_arc_indexed, ApplyOutcome, ExecError, MachineCtx};
 pub use index::FsmIndex;
 pub use msg::{Msg, NodeId, Val};

@@ -1,18 +1,31 @@
-//! Discrete-event performance simulation of generated protocols.
+//! Workload-driven performance simulation of generated protocols.
 //!
 //! The ProtoGen paper motivates non-stalling protocols by performance:
 //! stalling "will delay the start of the coherence permission epoch" and
-//! "block incoming coherence messages" (§V-D2). This crate runs the
-//! *generated* controllers — the same FSMs the model checker verified —
-//! over a latency-modelled interconnect with synthetic sharing workloads,
-//! so the stalling-vs-non-stalling comparison (experiment E10 in
-//! DESIGN.md) is measured, not asserted.
+//! "block incoming coherence messages" (§V-D2), and §VII evaluates the
+//! generated concurrent protocols under load. This crate measures that
+//! claim instead of asserting it: the *generated* controllers — the same
+//! FSMs the model checker verified, executed through the same
+//! `protogen-runtime` semantics — run over modelled interconnects under
+//! synthetic and trace-driven workloads.
 //!
-//! The system simulates one contended cache block (coherence is specified
-//! and generated per block), N cores issuing accesses with a configurable
-//! think time, per-`(src,dst)` ordered channels with a fixed hop latency,
-//! and controllers that process at most one message per cycle. A stalled
-//! message blocks its channel; other channels continue.
+//! The subsystem:
+//!
+//! * [`NetworkConfig`] — pluggable interconnects: ordered point-to-point
+//!   or unordered delivery, fixed / uniform / geometric hop latencies,
+//!   and bounded buffers with backpressure;
+//! * [`Workload`] — synthetic sharing patterns (uniform-random, Zipfian
+//!   hot-set, producer–consumer, migratory, false-sharing ping-pong,
+//!   private) plus a replayable `.trc` text trace format;
+//! * [`simulate`] — the discrete-event engine: N cores over `n_addrs`
+//!   independent blocks, at most one delivery per node per cycle, stalls
+//!   blocking a block's channel lane;
+//! * [`SimResult`] — latency percentiles, hit/miss/stall counts,
+//!   directory occupancy, messages per transaction, rendered through a
+//!   deterministic JSON writer ([`Json`]);
+//! * [`run_sweep`] — a multi-threaded driver fanning the
+//!   `protocol × stalling × workload × cache-count × network` grid across
+//!   workers with byte-identical results at any thread count.
 //!
 //! # Example
 //!
@@ -29,295 +42,61 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use protogen_runtime::{
-    apply, select_arc, CacheBlock, DirEntry, ExecError, MachineCtx, Msg, NodeId,
-};
-use protogen_spec::{Access, ArcKind, Event, Fsm};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::collections::VecDeque;
+mod config;
+mod engine;
+mod network;
+mod stats;
+mod sweep;
+mod workload;
 
-/// Synthetic sharing patterns over the contended block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Workload {
-    /// Every core reads and writes with the given store percentage —
-    /// maximal racing, the situation §V-D2's transient states exist for.
-    Mixed {
-        /// Percentage of accesses that are stores (0–100).
-        store_pct: u8,
+pub use config::{LatencyDist, NetModel, NetworkConfig, SimConfig};
+pub use engine::simulate;
+pub use stats::{Histogram, Json, SimResult};
+pub use sweep::{run_sweep, CellResult, NetPoint, SweepCell, SweepConfig, SweepReport};
+pub use workload::{parse_trace, render_trace, Op, TraceOp, Workload};
+
+use protogen_runtime::ExecError;
+use std::error::Error;
+use std::fmt;
+
+/// Why a simulation could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The generated FSM misbehaved (a generator bug; the model checker
+    /// rules this out for verified protocols).
+    Exec(ExecError),
+    /// A controller received a message it has no transition for — usually
+    /// an ordered-network protocol run over a reordering interconnect.
+    UnexpectedMessage(String),
+    /// The cycle safety limit elapsed without completing the workload.
+    Livelock {
+        /// The configured limit that was exceeded.
+        cycles: u64,
     },
-    /// Core 0 writes, every other core reads (producer/consumer).
-    ProducerConsumer,
-    /// Cores alternate reading and writing (migratory sharing).
-    Migratory,
-    /// Only core 0 touches the block (no contention baseline).
-    Private,
+    /// The workload or configuration is invalid for the simulated system.
+    Workload(String),
 }
 
-/// Simulation parameters.
-#[derive(Debug, Clone)]
-pub struct SimConfig {
-    /// Number of caches.
-    pub n_caches: usize,
-    /// Network latency in cycles for every hop.
-    pub net_latency: u64,
-    /// Cycles a core waits between completing one access and issuing the
-    /// next.
-    pub think_time: u64,
-    /// Accesses each core performs.
-    pub accesses_per_core: usize,
-    /// The sharing pattern.
-    pub workload: Workload,
-    /// RNG seed (simulations are deterministic given a seed).
-    pub seed: u64,
-    /// Safety limit on simulated cycles.
-    pub max_cycles: u64,
-}
-
-impl Default for SimConfig {
-    fn default() -> Self {
-        SimConfig {
-            n_caches: 4,
-            net_latency: 8,
-            think_time: 2,
-            accesses_per_core: 200,
-            workload: Workload::Mixed { store_pct: 50 },
-            seed: 0xC0FFEE,
-            max_cycles: 50_000_000,
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Exec(e) => write!(f, "execution error: {e}"),
+            SimError::UnexpectedMessage(d) => {
+                write!(f, "unexpected message: {d} (protocol/network mismatch?)")
+            }
+            SimError::Livelock { cycles } => {
+                write!(f, "simulation exceeded {cycles} cycles (livelock?)")
+            }
+            SimError::Workload(d) => write!(f, "invalid workload: {d}"),
         }
     }
 }
 
-/// Aggregated measurements.
-#[derive(Debug, Clone, Default)]
-pub struct SimResult {
-    /// Accesses completed (hits + transaction completions).
-    pub completed: usize,
-    /// Total simulated cycles.
-    pub cycles: u64,
-    /// Mean cycles from issue to completion over *miss* transactions.
-    pub avg_miss_latency: f64,
-    /// Number of cycles any controller spent with a stalled message at a
-    /// channel head (the paper's stalling cost).
-    pub stall_cycles: u64,
-    /// Coherence messages delivered.
-    pub messages: u64,
-}
+impl Error for SimError {}
 
-struct Channel {
-    queue: VecDeque<(u64, Msg)>, // (deliverable-at, message)
-}
-
-/// Runs the simulation.
-///
-/// # Errors
-///
-/// Returns an [`ExecError`] if the generated FSM misbehaves (which the
-/// model checker rules out for verified protocols) or if `max_cycles`
-/// elapses without completing the workload.
-pub fn simulate(cache_fsm: &Fsm, dir_fsm: &Fsm, cfg: &SimConfig) -> Result<SimResult, ExecError> {
-    let n = cfg.n_caches;
-    let dir_id = NodeId(n as u8);
-    let total = n + 1;
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-
-    let mut caches: Vec<CacheBlock> = vec![CacheBlock::new(); n];
-    let mut dir = DirEntry::new(0);
-    let mut chans: Vec<Vec<Channel>> = (0..total)
-        .map(|_| (0..total).map(|_| Channel { queue: VecDeque::new() }).collect())
-        .collect();
-
-    let mut remaining: Vec<usize> = vec![cfg.accesses_per_core; n];
-    if cfg.workload == Workload::Private {
-        for r in remaining.iter_mut().skip(1) {
-            *r = 0;
-        }
-    }
-    let mut next_issue: Vec<u64> = vec![0; n];
-    let mut issue_time: Vec<Option<u64>> = vec![None; n];
-    let mut result = SimResult::default();
-    let mut miss_latency_sum: u64 = 0;
-    let mut misses: usize = 0;
-
-    let mut t: u64 = 0;
-    while remaining.iter().any(|&r| r > 0)
-        || caches.iter().any(|c| c.pending.is_some())
-        || chans.iter().flatten().any(|c| !c.queue.is_empty())
-    {
-        if t > cfg.max_cycles {
-            return Err(ExecError::MissingMsg(format!(
-                "simulation exceeded {} cycles (livelock?)",
-                cfg.max_cycles
-            )));
-        }
-
-        // 1. Deliver at most one ripe message per destination.
-        for dst in 0..total {
-            let mut delivered = false;
-            let mut stalled_here = false;
-            for src in 0..total {
-                if delivered {
-                    break;
-                }
-                let Some(&(ready, msg)) = chans[src][dst].queue.front() else { continue };
-                if ready > t {
-                    continue;
-                }
-                let arc = if dst == n {
-                    select_arc(
-                        dir_fsm,
-                        dir.state,
-                        Event::Msg(msg.mtype),
-                        Some(&msg),
-                        None,
-                        Some(&dir),
-                    )
-                } else {
-                    select_arc(
-                        cache_fsm,
-                        caches[dst].state,
-                        Event::Msg(msg.mtype),
-                        Some(&msg),
-                        Some(&caches[dst]),
-                        None,
-                    )
-                };
-                let Some(arc) = arc else {
-                    return Err(ExecError::MissingMsg(format!(
-                        "unexpected {msg} at node {dst} (protocol incomplete)"
-                    )));
-                };
-                if arc.kind == ArcKind::Stall {
-                    stalled_here = true;
-                    continue; // blocks this channel; try other sources
-                }
-                chans[src][dst].queue.pop_front();
-                let outcome = if dst == n {
-                    apply(
-                        dir_fsm,
-                        arc,
-                        Some(&msg),
-                        MachineCtx::Dir { entry: &mut dir, self_id: dir_id },
-                        0,
-                    )?
-                } else {
-                    apply(
-                        cache_fsm,
-                        arc,
-                        Some(&msg),
-                        MachineCtx::Cache {
-                            block: &mut caches[dst],
-                            self_id: NodeId(dst as u8),
-                            dir_id,
-                        },
-                        0,
-                    )?
-                };
-                result.messages += 1;
-                delivered = true;
-                if outcome.performed.is_some() {
-                    if let Some(start) = issue_time[dst].take() {
-                        miss_latency_sum += t - start;
-                        misses += 1;
-                        result.completed += 1;
-                        next_issue[dst] = t + cfg.think_time;
-                    }
-                }
-                for m in outcome.outgoing {
-                    chans[m.src.as_usize()][m.dst.as_usize()]
-                        .queue
-                        .push_back((t + cfg.net_latency, m));
-                }
-            }
-            if stalled_here && !delivered {
-                result.stall_cycles += 1;
-            }
-        }
-
-        // 2. Cores issue accesses.
-        for c in 0..n {
-            if remaining[c] == 0 || caches[c].pending.is_some() || next_issue[c] > t {
-                continue;
-            }
-            let access =
-                pick_access(cfg.workload, c, &mut rng, cfg.accesses_per_core - remaining[c]);
-            let arc = select_arc(
-                cache_fsm,
-                caches[c].state,
-                Event::Access(access),
-                None,
-                Some(&caches[c]),
-                None,
-            );
-            let Some(arc) = arc else {
-                // The SSP defines no behaviour (replacement of an invalid
-                // block): trivially complete.
-                remaining[c] -= 1;
-                result.completed += 1;
-                next_issue[c] = t + cfg.think_time;
-                continue;
-            };
-            if arc.kind == ArcKind::Stall {
-                continue; // retry next cycle
-            }
-            let outcome = apply(
-                cache_fsm,
-                arc,
-                None,
-                MachineCtx::Cache { block: &mut caches[c], self_id: NodeId(c as u8), dir_id },
-                0,
-            )?;
-            remaining[c] -= 1;
-            if outcome.performed.is_some() {
-                result.completed += 1; // hit
-                next_issue[c] = t + cfg.think_time;
-            } else {
-                issue_time[c] = Some(t); // miss: a transaction is in flight
-            }
-            for m in outcome.outgoing {
-                chans[m.src.as_usize()][m.dst.as_usize()].queue.push_back((t + cfg.net_latency, m));
-            }
-        }
-
-        t += 1;
-    }
-
-    result.cycles = t;
-    result.avg_miss_latency =
-        if misses > 0 { miss_latency_sum as f64 / misses as f64 } else { 0.0 };
-    Ok(result)
-}
-
-fn pick_access(w: Workload, core: usize, rng: &mut StdRng, step: usize) -> Access {
-    match w {
-        Workload::Mixed { store_pct } => {
-            if rng.gen_range(0..100u8) < store_pct {
-                Access::Store
-            } else {
-                Access::Load
-            }
-        }
-        Workload::ProducerConsumer => {
-            if core == 0 {
-                Access::Store
-            } else {
-                Access::Load
-            }
-        }
-        Workload::Migratory => {
-            if step.is_multiple_of(2) {
-                Access::Load
-            } else {
-                Access::Store
-            }
-        }
-        Workload::Private => {
-            if step.is_multiple_of(4) {
-                Access::Store
-            } else {
-                Access::Load
-            }
-        }
+impl From<ExecError> for SimError {
+    fn from(e: ExecError) -> Self {
+        SimError::Exec(e)
     }
 }
 
@@ -334,18 +113,23 @@ mod tests {
 
     #[test]
     fn workload_completes_all_accesses() {
-        let r = run(GenConfig::non_stalling(), Workload::Mixed { store_pct: 50 });
+        let r = run(GenConfig::non_stalling(), Workload::Uniform { store_pct: 50 });
         assert_eq!(r.completed, 4 * 100);
+        assert_eq!(r.hits + r.misses, r.completed);
         assert!(r.cycles > 0);
         assert!(r.messages > 0);
+        assert!(r.p50_latency <= r.p95_latency && r.p95_latency <= r.p99_latency);
+        assert!(r.p99_latency <= r.max_latency);
+        assert!(r.msgs_per_miss >= 2.0, "a miss needs at least request + response");
+        assert!(r.dir_occupancy > 0.0 && r.dir_occupancy < 1.0);
     }
 
     #[test]
     fn nonstalling_never_loses_to_stalling_under_contention() {
         // The paper's performance claim (E10): under racing transactions
         // the non-stalling protocol finishes no later and stalls less.
-        let st = run(GenConfig::stalling(), Workload::Mixed { store_pct: 50 });
-        let ns = run(GenConfig::non_stalling(), Workload::Mixed { store_pct: 50 });
+        let st = run(GenConfig::stalling(), Workload::FalseSharing);
+        let ns = run(GenConfig::non_stalling(), Workload::FalseSharing);
         assert!(
             ns.cycles <= st.cycles,
             "non-stalling {} cycles vs stalling {}",
@@ -370,18 +154,74 @@ mod tests {
         let b = run(GenConfig::non_stalling(), Workload::Migratory);
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.messages, b.messages);
+        assert_eq!(a.to_json().render(), b.to_json().render());
     }
 
     #[test]
-    fn all_protocols_simulate_cleanly() {
+    fn all_protocols_simulate_cleanly_on_every_synthetic_workload() {
         for ssp in protogen_protocols::all() {
             for gc in [GenConfig::stalling(), GenConfig::non_stalling()] {
                 let g = generate(&ssp, &gc).unwrap();
-                let cfg = SimConfig { accesses_per_core: 40, n_caches: 3, ..SimConfig::default() };
-                let r = simulate(&g.cache, &g.directory, &cfg)
-                    .unwrap_or_else(|e| panic!("{} ({:?}): {e}", ssp.name, gc.concurrency));
-                assert_eq!(r.completed, 3 * 40, "{}", ssp.name);
+                for workload in Workload::synthetic() {
+                    let cfg = SimConfig {
+                        accesses_per_core: 30,
+                        n_caches: 3,
+                        n_addrs: 3,
+                        workload: workload.clone(),
+                        ..SimConfig::default()
+                    };
+                    let r = simulate(&g.cache, &g.directory, &cfg).unwrap_or_else(|e| {
+                        panic!("{} ({:?}, {workload}): {e}", ssp.name, gc.concurrency)
+                    });
+                    assert_eq!(r.completed, 3 * 30, "{} under {workload}", ssp.name);
+                }
             }
         }
+    }
+
+    #[test]
+    fn unordered_protocol_survives_a_reordering_network() {
+        let ssp = protogen_protocols::msi_unordered();
+        let g = generate(&ssp, &GenConfig::non_stalling()).unwrap();
+        let cfg = SimConfig {
+            accesses_per_core: 60,
+            network: NetworkConfig::unordered(LatencyDist::Uniform { lo: 2, hi: 24 }),
+            ..SimConfig::default()
+        };
+        let r = simulate(&g.cache, &g.directory, &cfg).unwrap();
+        assert_eq!(r.completed, 60 * 4);
+    }
+
+    #[test]
+    fn bounded_buffers_backpressure_but_complete() {
+        let g = generate(&protogen_protocols::msi(), &GenConfig::non_stalling()).unwrap();
+        let tight = SimConfig {
+            accesses_per_core: 80,
+            network: NetworkConfig { capacity: 1, ..NetworkConfig::default() },
+            workload: Workload::FalseSharing,
+            ..SimConfig::default()
+        };
+        let r = simulate(&g.cache, &g.directory, &tight).unwrap();
+        assert_eq!(r.completed, 80 * 4);
+        assert!(r.peak_channel_depth <= 1, "capacity bound violated: {}", r.peak_channel_depth);
+        assert!(r.backpressure_cycles > 0, "1-deep buffers under ping-pong must backpressure");
+        let loose = SimConfig { network: NetworkConfig::default(), ..tight };
+        let r2 = simulate(&g.cache, &g.directory, &loose).unwrap();
+        assert_eq!(r2.backpressure_cycles, 0, "unbounded buffers never backpressure");
+    }
+
+    #[test]
+    fn trace_replay_drives_the_engine() {
+        let g = generate(&protogen_protocols::msi(), &GenConfig::non_stalling()).unwrap();
+        let trace = "0 st 0\n1 ld 0\n0 st 1\n1 ld 1\n0 ev 0\n";
+        let ops = parse_trace(trace).unwrap();
+        let cfg = SimConfig {
+            n_caches: 2,
+            n_addrs: 2,
+            workload: Workload::Trace(ops.clone()),
+            ..SimConfig::default()
+        };
+        let r = simulate(&g.cache, &g.directory, &cfg).unwrap();
+        assert_eq!(r.completed, ops.len());
     }
 }

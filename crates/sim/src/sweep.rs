@@ -1,0 +1,364 @@
+//! Multi-threaded configuration sweeps over the
+//! `protocol × stalling × workload × cache-count × network` grid.
+//!
+//! Cells are sharded statically across workers (`cell.index % threads`,
+//! the same deterministic-by-construction discipline as the model
+//! checker's sharded explorer) and every cell derives its own RNG seed
+//! from the sweep seed and the cell index alone — never from thread
+//! identity or timing — so the merged report is **byte-identical for any
+//! thread count**. CI diffs the JSON to enforce exactly that.
+
+use crate::config::{LatencyDist, NetModel, NetworkConfig, SimConfig};
+use crate::engine::simulate;
+use crate::stats::Json;
+use crate::workload::Workload;
+use crate::{SimError, SimResult};
+use protogen_core::{generate, GenConfig};
+
+/// A named interconnect point of the sweep grid.
+#[derive(Debug, Clone)]
+pub struct NetPoint {
+    /// Grid-dimension name (`ordered`, `unordered`, …).
+    pub name: String,
+    /// The interconnect configuration behind the name.
+    pub config: NetworkConfig,
+}
+
+impl NetPoint {
+    /// The default ordered point: fixed 8-cycle hops.
+    pub fn ordered() -> NetPoint {
+        NetPoint { name: "ordered".into(), config: NetworkConfig::ordered(8) }
+    }
+
+    /// The default unordered point: uniform 4–16-cycle hops, so latency
+    /// jitter actually reorders.
+    pub fn unordered() -> NetPoint {
+        NetPoint {
+            name: "unordered".into(),
+            config: NetworkConfig::unordered(LatencyDist::Uniform { lo: 4, hi: 16 }),
+        }
+    }
+}
+
+/// The sweep grid and per-run parameters.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Protocol CLI names (see `protogen_protocols::NAMES`).
+    pub protocols: Vec<String>,
+    /// Generation configs: `true` = stalling, `false` = non-stalling.
+    pub stalling: Vec<bool>,
+    /// Workloads to run.
+    pub workloads: Vec<Workload>,
+    /// Cache counts.
+    pub cache_counts: Vec<usize>,
+    /// Interconnect points.
+    pub networks: Vec<NetPoint>,
+    /// Blocks in play per run.
+    pub n_addrs: usize,
+    /// Accesses each core performs per run.
+    pub accesses_per_core: usize,
+    /// Core think time between accesses.
+    pub think_time: u64,
+    /// Sweep seed; each cell derives its own from this and its index.
+    pub seed: u64,
+    /// Worker threads; `0` means all available cores. Results are
+    /// identical for every value.
+    pub threads: usize,
+    /// Per-run cycle safety limit.
+    pub max_cycles: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            protocols: vec!["msi".into(), "mesi".into()],
+            stalling: vec![true, false],
+            workloads: vec![
+                Workload::Uniform { store_pct: 50 },
+                Workload::Zipfian { store_pct: 50 },
+                Workload::ProducerConsumer,
+                Workload::FalseSharing,
+            ],
+            cache_counts: vec![2, 4],
+            networks: vec![NetPoint::ordered(), NetPoint::unordered()],
+            n_addrs: 4,
+            accesses_per_core: 200,
+            think_time: 2,
+            seed: 0xC0FFEE,
+            threads: 0,
+            max_cycles: 50_000_000,
+        }
+    }
+}
+
+/// One cell of the expanded grid.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Position in the deterministic grid order.
+    pub index: usize,
+    /// Protocol CLI name.
+    pub protocol: String,
+    /// Stalling (`true`) or non-stalling generation.
+    pub stalling: bool,
+    /// The workload.
+    pub workload: Workload,
+    /// Cache count.
+    pub n_caches: usize,
+    /// The interconnect point.
+    pub network: NetPoint,
+}
+
+impl SweepCell {
+    /// Stable cell name, also used for `--out` file names:
+    /// `msi.non-stall.uniform-50.c2.ordered`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}.{}.{}.c{}.{}",
+            self.protocol,
+            if self.stalling { "stall" } else { "non-stall" },
+            self.workload.label(),
+            self.n_caches,
+            self.network.name
+        )
+    }
+}
+
+impl SweepConfig {
+    /// Expands the grid in deterministic nested order (protocol outermost,
+    /// network innermost).
+    pub fn cells(&self) -> Vec<SweepCell> {
+        let mut out = Vec::new();
+        for protocol in &self.protocols {
+            for &stalling in &self.stalling {
+                for workload in &self.workloads {
+                    for &n_caches in &self.cache_counts {
+                        for network in &self.networks {
+                            out.push(SweepCell {
+                                index: out.len(),
+                                protocol: protocol.clone(),
+                                stalling,
+                                workload: workload.clone(),
+                                n_caches,
+                                network: network.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The worker count actually used.
+    pub fn effective_threads(&self) -> usize {
+        let t = if self.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.threads
+        };
+        t.clamp(1, self.cells().len().max(1))
+    }
+
+    /// Human-readable grid listing for `protogen sweep --list`: one line
+    /// per cell plus a dimension summary.
+    pub fn listing(&self) -> String {
+        let cells = self.cells();
+        let mut out = String::new();
+        for c in &cells {
+            out.push_str(&format!("{:>4}  {}\n", c.index, c.label()));
+        }
+        out.push_str(&format!(
+            "{} cells = {} protocols x {} configs x {} workloads x {} cache counts x {} networks \
+             ({} accesses/core each, seed {:#x})\n",
+            cells.len(),
+            self.protocols.len(),
+            self.stalling.len(),
+            self.workloads.len(),
+            self.cache_counts.len(),
+            self.networks.len(),
+            self.accesses_per_core,
+            self.seed,
+        ));
+        out
+    }
+}
+
+/// SplitMix64 — derives one cell's seed from the sweep seed and the cell
+/// index, so cell results are independent of thread assignment.
+fn cell_seed(sweep_seed: u64, index: usize) -> u64 {
+    let mut z = sweep_seed ^ (index as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// One completed cell.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// The cell that ran.
+    pub cell: SweepCell,
+    /// The derived per-cell seed.
+    pub seed: u64,
+    /// Whether the cell's unordered network was clamped to FIFO delivery
+    /// because the protocol was generated for ordered networks (latency
+    /// jitter still applies; reordering would feed the controllers
+    /// messages they provably cannot handle).
+    pub fifo_clamped: bool,
+    /// The measurements.
+    pub stats: SimResult,
+}
+
+impl CellResult {
+    /// The cell as an ordered JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("label", Json::Str(self.cell.label())),
+            ("protocol", Json::Str(self.cell.protocol.clone())),
+            (
+                "config",
+                Json::Str(if self.cell.stalling { "stalling" } else { "non-stalling" }.into()),
+            ),
+            ("workload", Json::Str(self.cell.workload.label())),
+            ("caches", Json::U64(self.cell.n_caches as u64)),
+            ("network", Json::Str(self.cell.network.name.clone())),
+            ("fifo_clamped", Json::Bool(self.fifo_clamped)),
+            ("seed", Json::U64(self.seed)),
+            ("stats", self.stats.to_json()),
+        ])
+    }
+}
+
+/// All cells of one sweep, in grid order.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Completed cells, ordered by [`SweepCell::index`].
+    pub cells: Vec<CellResult>,
+}
+
+impl SweepReport {
+    /// The whole sweep as one JSON document. Contains no wall-clock
+    /// timing, so the rendering is byte-identical for a fixed seed at any
+    /// thread count.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("cells", Json::U64(self.cells.len() as u64)),
+            ("results", Json::Arr(self.cells.iter().map(CellResult::to_json).collect())),
+        ])
+    }
+}
+
+/// Runs every cell of the grid across [`SweepConfig::effective_threads`]
+/// workers.
+///
+/// # Errors
+///
+/// The lowest-indexed failing cell's error (unknown protocol, generation
+/// failure, or simulation failure), independent of thread schedule.
+pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, SimError> {
+    let cells = cfg.cells();
+    if cells.is_empty() {
+        return Ok(SweepReport { cells: Vec::new() });
+    }
+    let threads = cfg.effective_threads();
+    let mut merged: Vec<Option<Result<CellResult, SimError>>> = Vec::new();
+    merged.resize_with(cells.len(), || None);
+
+    let worker_results: Vec<Vec<(usize, Result<CellResult, SimError>)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let my_cells: Vec<SweepCell> =
+                    cells.iter().filter(|c| c.index % threads == w).cloned().collect();
+                s.spawn(move || my_cells.into_iter().map(|c| (c.index, run_cell(cfg, c))).collect())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
+    });
+    for (idx, res) in worker_results.into_iter().flatten() {
+        merged[idx] = Some(res);
+    }
+
+    let mut out = Vec::with_capacity(merged.len());
+    for slot in merged {
+        out.push(slot.expect("every cell sharded to exactly one worker")?);
+    }
+    Ok(SweepReport { cells: out })
+}
+
+fn run_cell(cfg: &SweepConfig, cell: SweepCell) -> Result<CellResult, SimError> {
+    let ssp = protogen_protocols::by_name(&cell.protocol).ok_or_else(|| {
+        SimError::Workload(format!(
+            "unknown protocol `{}` (try {})",
+            cell.protocol,
+            protogen_protocols::NAMES.join(", ")
+        ))
+    })?;
+    let gen_cfg = if cell.stalling { GenConfig::stalling() } else { GenConfig::non_stalling() };
+    let g = generate(&ssp, &gen_cfg)
+        .map_err(|e| SimError::Workload(format!("{}: generation failed: {e}", cell.label())))?;
+    let mut network = cell.network.config;
+    let fifo_clamped = ssp.network_ordered && network.model == NetModel::Unordered;
+    if fifo_clamped {
+        network.model = NetModel::Ordered;
+    }
+    let seed = cell_seed(cfg.seed, cell.index);
+    let sim_cfg = SimConfig {
+        n_caches: cell.n_caches,
+        n_addrs: cfg.n_addrs,
+        think_time: cfg.think_time,
+        accesses_per_core: cfg.accesses_per_core,
+        workload: cell.workload.clone(),
+        network,
+        seed,
+        max_cycles: cfg.max_cycles,
+        collect_coverage: false,
+    };
+    let stats = simulate(&g.cache, &g.directory, &sim_cfg)
+        .map_err(|e| SimError::Workload(format!("{}: {e}", cell.label())))?;
+    Ok(CellResult { cell, seed, fifo_clamped, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_expands_in_deterministic_order() {
+        let cfg = SweepConfig::default();
+        let cells = cfg.cells();
+        assert_eq!(cells.len(), 2 * 2 * 4 * 2 * 2);
+        assert_eq!(cells[0].label(), "msi.stall.uniform-50.c2.ordered");
+        assert_eq!(cells.last().unwrap().label(), "mesi.non-stall.false-sharing.c4.unordered");
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+        let listing = cfg.listing();
+        assert!(listing.contains("64 cells"), "{listing}");
+        assert!(listing.contains("msi.stall.uniform-50.c2.ordered"), "{listing}");
+    }
+
+    #[test]
+    fn cell_seeds_depend_on_index_not_thread() {
+        assert_ne!(cell_seed(1, 0), cell_seed(1, 1));
+        assert_eq!(cell_seed(1, 5), cell_seed(1, 5));
+    }
+
+    #[test]
+    fn unknown_protocol_is_a_deterministic_error() {
+        let cfg = SweepConfig { protocols: vec!["nonesuch".into()], ..SweepConfig::default() };
+        let err = run_sweep(&cfg).unwrap_err();
+        assert!(err.to_string().contains("unknown protocol"), "{err}");
+    }
+
+    #[test]
+    fn small_sweep_is_thread_count_invariant() {
+        let base = SweepConfig {
+            workloads: vec![Workload::Uniform { store_pct: 50 }, Workload::ProducerConsumer],
+            cache_counts: vec![2],
+            accesses_per_core: 30,
+            ..SweepConfig::default()
+        };
+        let one = run_sweep(&SweepConfig { threads: 1, ..base.clone() }).unwrap();
+        let four = run_sweep(&SweepConfig { threads: 4, ..base }).unwrap();
+        assert_eq!(one.to_json().render(), four.to_json().render());
+    }
+}

@@ -1,0 +1,83 @@
+//! Every built-in protocol, simulated against its declared workload
+//! sanity envelope (`protogen_protocols::sim_sanity`).
+
+use protogen_core::{generate, GenConfig};
+use protogen_protocols::{by_name, sim_sanity, NAMES};
+use protogen_sim::{simulate, SimConfig, Workload};
+
+fn cfg(workload: Workload) -> SimConfig {
+    SimConfig {
+        n_caches: 2,
+        n_addrs: 2,
+        accesses_per_core: 40,
+        workload,
+        seed: 0xBADCAB,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn protocols_meet_their_private_workload_envelope() {
+    for name in NAMES {
+        let sanity = sim_sanity(name).unwrap();
+        let ssp = by_name(name).unwrap();
+        for gc in [GenConfig::stalling(), GenConfig::non_stalling()] {
+            let g = generate(&ssp, &gc).unwrap();
+            let r = simulate(&g.cache, &g.directory, &cfg(Workload::Private))
+                .unwrap_or_else(|e| panic!("{name} ({:?}): {e}", gc.concurrency));
+            assert_eq!(r.completed, 80, "{name}");
+            if sanity.private_stall_free {
+                assert_eq!(r.stall_cycles, 0, "{name} stalled on disjoint working sets");
+            }
+            if let Some(per_core) = sanity.private_misses_per_core {
+                assert_eq!(
+                    r.misses,
+                    2 * per_core,
+                    "{name} ({:?}): expected {per_core} misses/core",
+                    gc.concurrency
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn protocols_meet_the_messages_per_miss_floor_under_contention() {
+    for name in NAMES {
+        let sanity = sim_sanity(name).unwrap();
+        let ssp = by_name(name).unwrap();
+        for gc in [GenConfig::stalling(), GenConfig::non_stalling()] {
+            let g = generate(&ssp, &gc).unwrap();
+            let r = simulate(&g.cache, &g.directory, &cfg(Workload::Uniform { store_pct: 50 }))
+                .unwrap_or_else(|e| panic!("{name} ({:?}): {e}", gc.concurrency));
+            assert!(r.misses > 0, "{name}: a contended run must miss");
+            assert!(
+                r.msgs_per_miss >= sanity.min_msgs_per_miss,
+                "{name} ({:?}): {:.2} msgs/miss below floor {:.2}",
+                gc.concurrency,
+                r.msgs_per_miss,
+                sanity.min_msgs_per_miss
+            );
+        }
+    }
+}
+
+/// The architectural point of MESI's E state, measured: a private
+/// load-then-store working set upgrades silently under MESI but pays a
+/// second coherence transaction under MSI.
+#[test]
+fn mesi_exclusive_state_halves_private_misses_vs_msi() {
+    let run = |name: &str| {
+        let ssp = by_name(name).unwrap();
+        let g = generate(&ssp, &GenConfig::non_stalling()).unwrap();
+        simulate(&g.cache, &g.directory, &cfg(Workload::Private)).unwrap()
+    };
+    let msi = run("msi");
+    let mesi = run("mesi");
+    assert!(
+        mesi.misses < msi.misses,
+        "MESI ({}) should miss less than MSI ({}) on private data",
+        mesi.misses,
+        msi.misses
+    );
+}

@@ -26,7 +26,12 @@ fn main() {
         "speedup"
     );
     for store_pct in [0u8, 10, 25, 50, 75, 100] {
-        let cfg = SimConfig { workload: Workload::Mixed { store_pct }, ..SimConfig::default() };
+        // n_addrs = 1: every access races on the same block.
+        let cfg = SimConfig {
+            workload: Workload::Uniform { store_pct },
+            n_addrs: 1,
+            ..SimConfig::default()
+        };
         let a = simulate(&stalling.cache, &stalling.directory, &cfg).unwrap();
         let b = simulate(&non_stalling.cache, &non_stalling.directory, &cfg).unwrap();
         println!(
@@ -42,10 +47,11 @@ fn main() {
         );
     }
 
-    println!("\nsharing patterns (50%-store mixed shown above):");
+    println!("\nsharing patterns (50%-store uniform shown above):");
     for (name, w) in [
         ("producer-consumer", Workload::ProducerConsumer),
         ("migratory", Workload::Migratory),
+        ("false-sharing", Workload::FalseSharing),
         ("private", Workload::Private),
     ] {
         let cfg = SimConfig { workload: w, ..SimConfig::default() };

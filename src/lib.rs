@@ -12,7 +12,7 @@
 //! | [`gen`] | `protogen-core` | The ProtoGen generation algorithm |
 //! | [`runtime`] | `protogen-runtime` | Executable FSM semantics |
 //! | [`mc`] | `protogen-mc` | Explicit-state model checker (Murϕ substrate) |
-//! | [`sim`] | `protogen-sim` | Discrete-event performance simulator |
+//! | [`sim`] | `protogen-sim` | Simulation subsystem: networks, workloads, sweeps |
 //! | [`protocols`] | `protogen-protocols` | MSI, MESI, MOSI, Upgrade, unordered, TSO-CC |
 //! | [`backend`] | `protogen-backend` | Tables, DOT, Murϕ text, diffing |
 //!

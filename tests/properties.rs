@@ -3,8 +3,10 @@
 use proptest::prelude::*;
 use protogen::gen::{generate, minimize, preprocess, GenConfig};
 use protogen::mc::{permutations, SysState};
-use protogen::sim::{simulate, SimConfig, Workload};
+use protogen::sim::{simulate, NetworkConfig, SimConfig, Workload};
 use protogen_runtime::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn any_gen_config() -> impl Strategy<Value = GenConfig> {
     (any::<bool>(), any::<bool>(), any::<bool>(), 1usize..=4).prop_map(
@@ -24,6 +26,17 @@ fn any_gen_config() -> impl Strategy<Value = GenConfig> {
 
 fn protocol_index() -> impl Strategy<Value = usize> {
     0usize..protogen::protocols::all().len()
+}
+
+fn any_workload() -> impl Strategy<Value = Workload> {
+    (0usize..6, 0u8..=100).prop_map(|(kind, store_pct)| match kind {
+        0 => Workload::Uniform { store_pct },
+        1 => Workload::Zipfian { store_pct },
+        2 => Workload::ProducerConsumer,
+        3 => Workload::Migratory,
+        4 => Workload::FalseSharing,
+        _ => Workload::Private,
+    })
 }
 
 proptest! {
@@ -100,7 +113,7 @@ proptest! {
         pi in protocol_index(),
         stalling in any::<bool>(),
         seed in any::<u64>(),
-        store_pct in 0u8..=100,
+        workload in any_workload(),
         latency in 1u64..20,
     ) {
         let ssp = &protogen::protocols::all()[pi];
@@ -108,13 +121,48 @@ proptest! {
         let g = generate(ssp, &cfg).expect("generation succeeds");
         let sim_cfg = SimConfig {
             n_caches: 3,
+            n_addrs: 3,
             accesses_per_core: 30,
-            workload: Workload::Mixed { store_pct },
+            workload,
             seed,
-            net_latency: latency,
+            network: NetworkConfig::ordered(latency),
             ..SimConfig::default()
         };
         let r = simulate(&g.cache, &g.directory, &sim_cfg).expect("simulation completes");
         prop_assert_eq!(r.completed, 90);
+    }
+
+    /// Every synthetic workload generator emits only operations that are
+    /// valid for the configured system — addresses within `n_addrs`, one
+    /// schedule per core of exactly the requested length — and expansion
+    /// is a pure function of the seed.
+    #[test]
+    fn workload_generators_emit_only_valid_ops(
+        workload in any_workload(),
+        n_caches in 1usize..=8,
+        n_addrs in 1usize..=16,
+        accesses in 0usize..=60,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let schedules = workload
+            .schedules(n_caches, n_addrs, accesses, &mut rng)
+            .expect("synthetic workloads expand for any non-empty system");
+        prop_assert_eq!(schedules.len(), n_caches);
+        for ops in &schedules {
+            prop_assert_eq!(ops.len(), accesses);
+            for op in ops {
+                prop_assert!(
+                    (op.addr as usize) < n_addrs,
+                    "{} emitted address {} with n_addrs {}",
+                    workload.label(),
+                    op.addr,
+                    n_addrs
+                );
+            }
+        }
+        let mut rng2 = StdRng::seed_from_u64(seed);
+        let replay = workload.schedules(n_caches, n_addrs, accesses, &mut rng2).unwrap();
+        prop_assert_eq!(schedules, replay);
     }
 }
