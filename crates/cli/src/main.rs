@@ -11,6 +11,9 @@
 //!                  [--seed N] [--json]
 //! protogen sweep   [--protocols a,b] [--caches 2,4] [--accesses N] [--seed N]
 //!                  [--threads N] [--list] [--out DIR] [--json]
+//! protogen fuzz    [--seed N] [--mutants N] [--threads N] [--budget N]
+//!                  [--protocols a,b] [--out DIR] [--json]
+//! protogen fuzz    --replay FILE [--budget N]
 //! protogen stats   [--stalling]
 //! protogen compile <file.pgen> [--stalling] [--caches N] [--threads N]
 //! ```
@@ -66,6 +69,9 @@ impl Args {
                         | "seed"
                         | "protocols"
                         | "out"
+                        | "mutants"
+                        | "budget"
+                        | "replay"
                 );
                 if needs_value {
                     let v = it.next().unwrap_or_default();
@@ -339,10 +345,155 @@ fn sweep(args: &Args, threads: usize) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `protogen fuzz`: a seeded mutation campaign (or a single `--replay`).
+///
+/// Exit code 0 only when every negative control was caught *and* no
+/// unexpected outcome (generator/checker panic, exec violation) appeared.
+fn fuzz(args: &Args, threads: usize) -> ExitCode {
+    use protogen_fuzz::{run_fuzz, run_mutant, FuzzConfig, Script};
+    let mut cfg = FuzzConfig { threads, ..FuzzConfig::default() };
+    if let Some(v) = args.value("seed") {
+        match v.parse() {
+            Ok(n) => cfg.seed = n,
+            Err(_) => {
+                eprintln!("bad --seed `{v}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(v) = args.value("mutants") {
+        match v.parse() {
+            Ok(n) => cfg.mutants = n,
+            Err(_) => {
+                eprintln!("bad --mutants `{v}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(v) = args.value("budget") {
+        match v.parse() {
+            Ok(n) => cfg.budget = n,
+            Err(_) => {
+                eprintln!("bad --budget `{v}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(list) = args.value("protocols") {
+        cfg.protocols = list.split(',').map(str::to_string).collect();
+    }
+
+    // Single-reproducer replay: run one script back through the pipeline.
+    if let Some(path) = args.value("replay") {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let script = match Script::parse(&src) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        };
+        let Some(base) = protogen_protocols::by_name(&script.protocol) else {
+            eprintln!("unknown protocol `{}`", script.protocol);
+            return ExitCode::from(2);
+        };
+        let r = run_mutant(&base, &script.mutations, &script.gen_config(), cfg.budget, false);
+        println!("{}: {}", r.outcome.label(), r.outcome.detail());
+        for line in &r.trace {
+            println!("  {line}");
+        }
+        // A script whose site no longer applies did not reconstruct the
+        // mutant — that is a usage error, not "the bug is fixed".
+        return match r.outcome {
+            protogen_fuzz::Outcome::MutationInapplicable(_) => ExitCode::from(2),
+            o if o.is_unexpected() => ExitCode::FAILURE,
+            _ => ExitCode::SUCCESS,
+        };
+    }
+
+    // Mutant pipelines panic by design; compress each panic to one line
+    // so caught-and-classified mutants don't spray backtraces, while a
+    // panic that *escapes* the harness still leaves a trail to debug.
+    std::panic::set_hook(Box::new(|info| eprintln!("fuzz worker panic: {info}")));
+    let report = match run_fuzz(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = std::panic::take_hook();
+            eprintln!("fuzz failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let _ = std::panic::take_hook();
+
+    if let Some(dir) = args.value("out") {
+        let dir = std::path::Path::new(dir);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        let path = dir.join("fuzz.json");
+        if let Err(e) = std::fs::write(&path, report.to_json().render()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        for r in report.unexpected() {
+            let s = r.shrunk.as_ref().expect("unexpected records carry a shrunk case");
+            let path = dir.join(format!("repro-{}.mut", r.index));
+            if let Err(e) = std::fs::write(&path, &s.script) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        println!(
+            "wrote fuzz.json + {} reproducer script(s) to {}",
+            report.unexpected().len(),
+            dir.display()
+        );
+    }
+    if args.flag("json") {
+        print!("{}", report.to_json().render());
+    } else {
+        println!("fuzz: seed {}, {} mutants, budget {}", report.seed, cfg.mutants, report.budget);
+        for (label, count) in report.distribution() {
+            if count > 0 {
+                println!("  {label:<22} {count:>6}");
+            }
+        }
+        for c in &report.controls {
+            println!(
+                "control {:<38} {} ({})",
+                c.name,
+                if c.caught { "CAUGHT" } else { "MISSED" },
+                c.detail
+            );
+        }
+        for r in report.unexpected() {
+            let s = r.shrunk.as_ref().expect("unexpected records carry a shrunk case");
+            println!("unexpected mutant {}: {} — {}", r.index, r.outcome, r.detail);
+            for line in s.script.lines() {
+                println!("  {line}");
+            }
+        }
+    }
+    if report.all_controls_caught() && report.unexpected().is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args = Args::parse();
     let Some(cmd) = args.positional.first().map(String::as_str) else {
-        eprintln!("usage: protogen <table|verify|dot|murphi|sim|sweep|simulate|stats|compile> …");
+        eprintln!(
+            "usage: protogen <table|verify|dot|murphi|sim|sweep|fuzz|simulate|stats|compile> …"
+        );
         return ExitCode::from(2);
     };
     let caches: usize = args.value("caches").and_then(|v| v.parse().ok()).unwrap_or(2);
@@ -377,6 +528,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "sweep" => sweep(&args, threads),
+        "fuzz" => fuzz(&args, threads),
         "table" | "verify" | "dot" | "murphi" | "sim" | "simulate" => {
             let Some(name) = args.positional.get(1) else {
                 eprintln!("usage: protogen {cmd} <protocol> [flags]");

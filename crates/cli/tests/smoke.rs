@@ -17,7 +17,8 @@ fn no_arguments_prints_usage_and_fails() {
     assert_eq!(out.status.code(), Some(2));
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("usage:"), "{err}");
-    for cmd in ["table", "verify", "dot", "murphi", "sim", "sweep", "simulate", "stats", "compile"]
+    for cmd in
+        ["table", "verify", "dot", "murphi", "sim", "sweep", "fuzz", "simulate", "stats", "compile"]
     {
         assert!(err.contains(cmd), "usage line missing `{cmd}`: {err}");
     }
@@ -176,4 +177,66 @@ fn stats_covers_every_protocol_in_both_configs() {
     }
     assert!(stdout.contains("stalling") && stdout.contains("non-stalling"));
     assert!(!stdout.contains("error"), "{stdout}");
+}
+
+#[test]
+fn fuzz_smoke_catches_controls_and_is_thread_invariant() {
+    let run = |threads: &str| {
+        protogen(&[
+            "fuzz",
+            "--seed",
+            "5",
+            "--mutants",
+            "8",
+            "--threads",
+            threads,
+            "--protocols",
+            "msi",
+            "--json",
+        ])
+    };
+    let (one, four) = (run("1"), run("4"));
+    assert!(one.status.success(), "{}", String::from_utf8_lossy(&one.stderr));
+    assert_eq!(
+        String::from_utf8_lossy(&one.stdout),
+        String::from_utf8_lossy(&four.stdout),
+        "fuzz report differs across thread counts"
+    );
+    let text = String::from_utf8_lossy(&one.stdout);
+    assert!(text.contains("\"controls_caught\": true"), "{text}");
+    assert!(text.contains("\"unexpected\": []"), "{text}");
+    for control in [
+        "tso-cc-relaxation",
+        "msi-s-gains-write-permission",
+        "msi-dir-drops-s-getm",
+        "msi-store-completes-into-wrong-state",
+        "msi-inv-ack-never-sent",
+    ] {
+        assert!(text.contains(control), "control `{control}` missing:\n{text}");
+    }
+}
+
+#[test]
+fn fuzz_replay_runs_a_reproducer_script() {
+    let dir = std::env::temp_dir().join(format!("protogen-fuzz-replay-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let script = dir.join("flip-s.mut");
+    // The seeded negative control: S gains write permission → SWMR.
+    std::fs::write(&script, "protocol msi\nconfig non-stalling\nmutate flip-permission 1\n")
+        .unwrap();
+    let out = protogen(&["fuzz", "--replay", script.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("rejected-by-checker"), "{stdout}");
+    assert!(stdout.contains("SWMR"), "{stdout}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn fuzz_rejects_bad_flags_and_unknown_protocols() {
+    let out = protogen(&["fuzz", "--mutants", "three"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = protogen(&["fuzz", "--protocols", "nonesuch", "--mutants", "1"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown protocol"));
 }

@@ -103,6 +103,11 @@ pub struct GenConfig {
     /// responses can overtake forwards; on (default) keeps the paper's
     /// protocols complete.
     pub defensive_stable_handlers: bool,
+    /// Merge behaviourally identical transient states after generation
+    /// (the IMAS = SMAS merges of §VI-B). On by default; turning it off
+    /// must never change protocol behaviour — the minimize-equivalence
+    /// property test holds the generator to that.
+    pub minimize: bool,
 }
 
 impl Default for GenConfig {
@@ -114,6 +119,7 @@ impl Default for GenConfig {
             pending_limit: 3,
             dir_stale_put_cleanup: true,
             defensive_stable_handlers: true,
+            minimize: true,
         }
     }
 }
@@ -144,6 +150,7 @@ mod tests {
         assert_eq!(c.pending_limit, 3);
         assert!(c.dir_stale_put_cleanup);
         assert!(c.defensive_stable_handlers);
+        assert!(c.minimize);
     }
 
     #[test]

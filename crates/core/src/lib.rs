@@ -115,8 +115,10 @@ pub fn generate(ssp: &Ssp, config: &GenConfig) -> Result<Generated, GenError> {
     }
     warnings.extend(dir_warnings);
 
-    let (cache, cache_merges) = minimize(&cache_raw);
-    let (directory, dir_merges) = minimize(&dir_raw);
+    let (cache, cache_merges) =
+        if config.minimize { minimize(&cache_raw) } else { (cache_raw, Vec::new()) };
+    let (directory, dir_merges) =
+        if config.minimize { minimize(&dir_raw) } else { (dir_raw, Vec::new()) };
 
     let stats = |f: &Fsm| ControllerStats {
         stable_states: f.states.iter().filter(|s| s.is_stable()).count(),

@@ -1,0 +1,395 @@
+//! The mutation-operator catalog: small semantic perturbations of an
+//! [`Ssp`], addressed by `(operator, site)` pairs.
+//!
+//! Every operator enumerates its applicable *sites* on a given SSP in a
+//! deterministic order (declaration order of entries, actions, states) and
+//! applies by site index, so a mutant is fully described by its base
+//! protocol plus an ordered list of [`Mutation`]s — the replay-script
+//! representation the fuzzer emits for every unexpected outcome.
+//!
+//! Mutations operate on the *typed* representation: they can produce SSPs
+//! that fail validation (counted as `rejected-at-build`), SSPs the
+//! generator rejects, and — the interesting class — well-formed-looking
+//! protocols whose generated controllers the model checker must catch.
+
+use protogen_spec::{Action, Dst, Effect, MachineSsp, MsgClass, Perm, Ssp, WaitTo};
+use std::fmt;
+
+/// One mutation operator. See each variant for its site enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MutOp {
+    /// Remove the site-th directory entry (a lost reaction: the "architect
+    /// forgot a table cell" bug class).
+    DropDirReaction,
+    /// Duplicate the site-th directory entry (ambiguous double reactions).
+    DuplicateDirReaction,
+    /// Retarget the site-th transition target of the cache machine — the
+    /// `next` state of a local effect or the `Done` state of a wait arc —
+    /// to the following stable state (mod state count).
+    SwapTransitionTarget,
+    /// Rotate the site-th cache stable state's permission
+    /// (None → Read → ReadWrite → None).
+    FlipPermission,
+    /// Rotate the arcs of the site-th await point (across both machines'
+    /// transactions) left by one, perturbing guarded-arc precedence.
+    ReorderWaitArcs,
+    /// Remove the site-th data-free response send (an acknowledgment that
+    /// never gets sent: Inv-Ack, Put-Ack, …).
+    DropAck,
+    /// Rotate the destination of the site-th directory forward send
+    /// (Owner → Sharers∖Req → Req → Owner): invalidations sent to the
+    /// wrong caches, forwards that never reach the owner.
+    RetargetForward,
+}
+
+impl MutOp {
+    /// The whole catalog, in the order the fuzzer's operator picker
+    /// cycles through it.
+    pub const ALL: [MutOp; 7] = [
+        MutOp::DropDirReaction,
+        MutOp::DuplicateDirReaction,
+        MutOp::SwapTransitionTarget,
+        MutOp::FlipPermission,
+        MutOp::ReorderWaitArcs,
+        MutOp::DropAck,
+        MutOp::RetargetForward,
+    ];
+
+    /// Stable script name of the operator.
+    pub fn name(self) -> &'static str {
+        match self {
+            MutOp::DropDirReaction => "drop-dir-reaction",
+            MutOp::DuplicateDirReaction => "duplicate-dir-reaction",
+            MutOp::SwapTransitionTarget => "swap-transition-target",
+            MutOp::FlipPermission => "flip-permission",
+            MutOp::ReorderWaitArcs => "reorder-wait-arcs",
+            MutOp::DropAck => "drop-ack",
+            MutOp::RetargetForward => "retarget-forward",
+        }
+    }
+
+    /// Parses a script name back into the operator.
+    pub fn by_name(name: &str) -> Option<MutOp> {
+        MutOp::ALL.iter().copied().find(|op| op.name() == name)
+    }
+}
+
+impl fmt::Display for MutOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One applied mutation: an operator plus the index of the site it hits,
+/// in the operator's deterministic enumeration order *on the SSP it is
+/// applied to* (mutations in a list apply sequentially, each against the
+/// result of the previous one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mutation {
+    /// The operator.
+    pub op: MutOp,
+    /// Site index in the operator's enumeration.
+    pub site: usize,
+}
+
+impl fmt::Display for Mutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.op, self.site)
+    }
+}
+
+/// Why a mutation could not be applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inapplicable {
+    /// The mutation that failed.
+    pub mutation: Mutation,
+    /// Sites the operator actually had on this SSP.
+    pub available: usize,
+}
+
+impl fmt::Display for Inapplicable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mutation `{}` inapplicable: {} site(s) available", self.mutation, self.available)
+    }
+}
+
+impl std::error::Error for Inapplicable {}
+
+/// Visits every action list of a machine in declaration order: local
+/// effect actions, then issue request actions, then wait-arc actions,
+/// per entry.
+fn visit_action_lists(m: &mut MachineSsp, f: &mut impl FnMut(&mut Vec<Action>)) {
+    for e in &mut m.entries {
+        match &mut e.effect {
+            Effect::Local { actions, .. } => f(actions),
+            Effect::Issue { request, chain } => {
+                f(request);
+                for node in &mut chain.nodes {
+                    for arc in &mut node.arcs {
+                        f(&mut arc.actions);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Counts the sites `op` has on `ssp`.
+pub fn site_count(op: MutOp, ssp: &Ssp) -> usize {
+    // Counting shares the application walk: apply at an impossible site
+    // and read back how many sites the walk saw.
+    let mut probe = ssp.clone();
+    match apply(&mut probe, Mutation { op, site: usize::MAX }) {
+        Err(e) => e.available,
+        Ok(()) => unreachable!("usize::MAX site can never apply"),
+    }
+}
+
+/// Applies `mutation` to `ssp` in place.
+///
+/// # Errors
+///
+/// Returns [`Inapplicable`] (leaving `ssp` unchanged in every meaningful
+/// way) when the site index is out of range for this SSP.
+pub fn apply(ssp: &mut Ssp, mutation: Mutation) -> Result<(), Inapplicable> {
+    let site = mutation.site;
+    let fail = |available: usize| Inapplicable { mutation, available };
+    match mutation.op {
+        MutOp::DropDirReaction => {
+            let n = ssp.directory.entries.len();
+            if site >= n {
+                return Err(fail(n));
+            }
+            ssp.directory.entries.remove(site);
+        }
+        MutOp::DuplicateDirReaction => {
+            let n = ssp.directory.entries.len();
+            if site >= n {
+                return Err(fail(n));
+            }
+            let dup = ssp.directory.entries[site].clone();
+            ssp.directory.entries.insert(site + 1, dup);
+        }
+        MutOp::SwapTransitionTarget => {
+            let n_states = ssp.cache.states.len();
+            let mut seen = 0usize;
+            let mut done = false;
+            if n_states >= 2 {
+                for e in &mut ssp.cache.entries {
+                    match &mut e.effect {
+                        Effect::Local { next: Some(next), .. } => {
+                            if seen == site {
+                                next.0 = ((next.as_usize() + 1) % n_states) as u16;
+                                done = true;
+                                break;
+                            }
+                            seen += 1;
+                        }
+                        Effect::Local { next: None, .. } => {}
+                        Effect::Issue { chain, .. } => {
+                            'chain: for node in &mut chain.nodes {
+                                for arc in &mut node.arcs {
+                                    if let WaitTo::Done(s) = &mut arc.to {
+                                        if seen == site {
+                                            s.0 = ((s.as_usize() + 1) % n_states) as u16;
+                                            done = true;
+                                            break 'chain;
+                                        }
+                                        seen += 1;
+                                    }
+                                }
+                            }
+                            if done {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            if !done {
+                return Err(fail(seen));
+            }
+        }
+        MutOp::FlipPermission => {
+            let n = ssp.cache.states.len();
+            if site >= n {
+                return Err(fail(n));
+            }
+            let s = &mut ssp.cache.states[site];
+            s.perm = match s.perm {
+                Perm::None => Perm::Read,
+                Perm::Read => Perm::ReadWrite,
+                Perm::ReadWrite => Perm::None,
+            };
+        }
+        MutOp::ReorderWaitArcs => {
+            let mut seen = 0usize;
+            let mut done = false;
+            'machines: for m in [&mut ssp.cache, &mut ssp.directory] {
+                for e in &mut m.entries {
+                    if let Effect::Issue { chain, .. } = &mut e.effect {
+                        for node in &mut chain.nodes {
+                            if node.arcs.len() < 2 {
+                                continue;
+                            }
+                            if seen == site {
+                                node.arcs.rotate_left(1);
+                                done = true;
+                                break 'machines;
+                            }
+                            seen += 1;
+                        }
+                    }
+                }
+            }
+            if !done {
+                return Err(fail(seen));
+            }
+        }
+        MutOp::DropAck => {
+            // Data-free response sends, across both machines in order.
+            let ack_ids: Vec<u16> = ssp
+                .messages
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.class == MsgClass::Response && !d.carries_data)
+                .map(|(i, _)| i as u16)
+                .collect();
+            let mut seen = 0usize;
+            let mut done = false;
+            for m in [&mut ssp.cache, &mut ssp.directory] {
+                if done {
+                    break;
+                }
+                visit_action_lists(m, &mut |actions| {
+                    if done {
+                        return;
+                    }
+                    let mut i = 0;
+                    while i < actions.len() {
+                        if let Action::Send(sp) = &actions[i] {
+                            if ack_ids.contains(&sp.msg.0) {
+                                if seen == site {
+                                    actions.remove(i);
+                                    done = true;
+                                    return;
+                                }
+                                seen += 1;
+                            }
+                        }
+                        i += 1;
+                    }
+                });
+            }
+            if !done {
+                return Err(fail(seen));
+            }
+        }
+        MutOp::RetargetForward => {
+            // Directory-side sends of forward-class messages.
+            let fwd_ids: Vec<u16> = ssp
+                .messages
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.class == MsgClass::Forward)
+                .map(|(i, _)| i as u16)
+                .collect();
+            let mut seen = 0usize;
+            let mut done = false;
+            visit_action_lists(&mut ssp.directory, &mut |actions| {
+                if done {
+                    return;
+                }
+                for a in actions.iter_mut() {
+                    if let Action::Send(sp) = a {
+                        if fwd_ids.contains(&sp.msg.0) {
+                            if seen == site {
+                                sp.dst = match sp.dst {
+                                    Dst::Owner => Dst::SharersExceptReq,
+                                    Dst::SharersExceptReq => Dst::Req,
+                                    _ => Dst::Owner,
+                                };
+                                done = true;
+                                return;
+                            }
+                            seen += 1;
+                        }
+                    }
+                }
+            });
+            if !done {
+                return Err(fail(seen));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Applies a mutation list in order, against the evolving SSP.
+///
+/// # Errors
+///
+/// The first [`Inapplicable`] mutation aborts the whole list.
+pub fn apply_all(base: &Ssp, mutations: &[Mutation]) -> Result<Ssp, Inapplicable> {
+    let mut ssp = base.clone();
+    for &m in mutations {
+        apply(&mut ssp, m)?;
+    }
+    Ok(ssp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_operator_has_sites_on_msi() {
+        let ssp = protogen_protocols::msi();
+        for op in MutOp::ALL {
+            assert!(site_count(op, &ssp) > 0, "{op} has no sites on MSI");
+        }
+    }
+
+    #[test]
+    fn site_counts_match_application_range() {
+        let ssp = protogen_protocols::msi();
+        for op in MutOp::ALL {
+            let n = site_count(op, &ssp);
+            // Every in-range site applies; the first out-of-range one fails.
+            for site in 0..n {
+                let mut m = ssp.clone();
+                apply(&mut m, Mutation { op, site }).unwrap_or_else(|e| panic!("{op} {site}: {e}"));
+                assert_ne!(m, ssp, "{op} {site} was a no-op");
+            }
+            let mut m = ssp.clone();
+            let err = apply(&mut m, Mutation { op, site: n }).unwrap_err();
+            assert_eq!(err.available, n);
+        }
+    }
+
+    #[test]
+    fn drop_dir_reaction_removes_exactly_one_entry() {
+        let ssp = protogen_protocols::msi();
+        let mut m = ssp.clone();
+        apply(&mut m, Mutation { op: MutOp::DropDirReaction, site: 0 }).unwrap();
+        assert_eq!(m.directory.entries.len(), ssp.directory.entries.len() - 1);
+        assert_eq!(m.directory.entries[0], ssp.directory.entries[1]);
+    }
+
+    #[test]
+    fn flip_permission_rotates() {
+        let ssp = protogen_protocols::msi();
+        let s = ssp.cache.state_by_name("S").unwrap();
+        let mut m = ssp.clone();
+        apply(&mut m, Mutation { op: MutOp::FlipPermission, site: s.as_usize() }).unwrap();
+        assert_eq!(m.cache.states[s.as_usize()].perm, Perm::ReadWrite);
+    }
+
+    #[test]
+    fn operator_names_round_trip() {
+        for op in MutOp::ALL {
+            assert_eq!(MutOp::by_name(op.name()), Some(op));
+        }
+        assert_eq!(MutOp::by_name("nonesuch"), None);
+    }
+}

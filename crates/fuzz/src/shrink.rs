@@ -1,0 +1,78 @@
+//! Greedy counterexample shrinking: reduce a mutation list to a minimal
+//! set that still produces the same outcome class.
+//!
+//! The fuzzer applies 1–3 mutations per mutant, so the search space is
+//! tiny; a greedy delta-debugging loop (try dropping each mutation, keep
+//! the drop while the outcome label is preserved, repeat to fixpoint) is
+//! exact enough and deterministic.
+
+use crate::harness::{run_mutant, RunResult};
+use crate::mutate::Mutation;
+use protogen_core::GenConfig;
+use protogen_spec::Ssp;
+
+/// A shrunk reproducer: the minimal mutation list plus the rerun that
+/// confirms it still produces the target outcome.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// The minimal mutation list (never empty unless the base protocol
+    /// itself produces the outcome).
+    pub mutations: Vec<Mutation>,
+    /// The confirming run of the minimal list.
+    pub result: RunResult,
+}
+
+/// Shrinks `mutations` against `base`, preserving the outcome *label* of
+/// the original run (panic messages may differ between equivalent
+/// reproducers; the class is what matters).
+///
+/// Deterministic: the scan order is left to right, restarting after every
+/// successful removal, so the result depends only on the inputs.
+pub fn shrink(
+    base: &Ssp,
+    mutations: &[Mutation],
+    gen_cfg: &GenConfig,
+    budget: usize,
+    target_label: &str,
+) -> Shrunk {
+    let mut current: Vec<Mutation> = mutations.to_vec();
+    'outer: loop {
+        for i in 0..current.len() {
+            let mut candidate = current.clone();
+            candidate.remove(i);
+            let r = run_mutant(base, &candidate, gen_cfg, budget, false);
+            if r.outcome.label() == target_label {
+                current = candidate;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    let result = run_mutant(base, &current, gen_cfg, budget, false);
+    Shrunk { mutations: current, result }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mutate::{MutOp, Mutation};
+
+    #[test]
+    fn shrinking_drops_irrelevant_mutations() {
+        // A caught mutation (flip S to ReadWrite) padded with a harmless
+        // one (reorder wait arcs): shrinking must isolate the flip.
+        let base = protogen_protocols::msi();
+        let s = base.cache.state_by_name("S").unwrap();
+        let muts = vec![
+            Mutation { op: MutOp::ReorderWaitArcs, site: 0 },
+            Mutation { op: MutOp::FlipPermission, site: s.as_usize() },
+        ];
+        let cfg = GenConfig::non_stalling();
+        let full = run_mutant(&base, &muts, &cfg, 200_000, false);
+        assert_eq!(full.outcome.label(), "rejected-by-checker", "{:?}", full.outcome);
+        let shrunk = shrink(&base, &muts, &cfg, 200_000, full.outcome.label());
+        assert_eq!(shrunk.mutations.len(), 1, "{:?}", shrunk.mutations);
+        assert_eq!(shrunk.mutations[0].op, MutOp::FlipPermission);
+        assert_eq!(shrunk.result.outcome.label(), "rejected-by-checker");
+    }
+}

@@ -55,6 +55,15 @@ pub struct McConfig {
     /// exploration into [`CheckResult::coverage`]. Off by default: the
     /// simulator-conformance tests are the only consumer.
     pub collect_pair_coverage: bool,
+    /// Upper bound on the states one visited-set shard may hold. Defaults
+    /// to (and is clamped to) the packed-id hardware limit of 2²⁷
+    /// ([`crate::SHARD_CAPACITY`]); exceeding it stops exploration with a
+    /// structured [`ResourceLimit::ShardCapacity`] outcome and partial
+    /// stats instead of aborting the process. Lower it only to exercise
+    /// that path cheaply — unlike `max_states` (checked against the global
+    /// count), whether a *shard* fills up depends on how fingerprints
+    /// distribute over `threads` shards.
+    pub shard_capacity: usize,
 }
 
 impl Default for McConfig {
@@ -70,6 +79,7 @@ impl Default for McConfig {
             symmetry: true,
             threads: 0,
             collect_pair_coverage: false,
+            shard_capacity: crate::store::SHARD_CAPACITY,
         }
     }
 }
@@ -94,6 +104,45 @@ impl McConfig {
             self.threads
         };
         t.clamp(1, crate::store::MAX_SHARDS)
+    }
+
+    /// The per-shard state bound actually enforced: `shard_capacity`
+    /// clamped to the packed-id limit (a zero is treated as "no extra
+    /// bound").
+    pub fn effective_shard_capacity(&self) -> usize {
+        if self.shard_capacity == 0 {
+            crate::store::SHARD_CAPACITY
+        } else {
+            self.shard_capacity.min(crate::store::SHARD_CAPACITY)
+        }
+    }
+}
+
+/// Which resource bound stopped exploration before the state space was
+/// exhausted. The run's [`CheckResult`] still carries everything explored
+/// up to that point (partial stats), and [`CheckResult::passed`] is
+/// `false`: an incomplete exploration proves nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResourceLimit {
+    /// The global [`McConfig::max_states`] budget was spent.
+    StateBudget,
+    /// A visited-set shard reached [`McConfig::shard_capacity`] states (the
+    /// shard id is recorded; with several full shards in one level, the
+    /// smallest id wins deterministically).
+    ShardCapacity {
+        /// The first (lowest-id) shard that filled up.
+        shard: usize,
+    },
+}
+
+impl fmt::Display for ResourceLimit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceLimit::StateBudget => f.write_str("state budget exhausted"),
+            ResourceLimit::ShardCapacity { shard } => {
+                write!(f, "visited-set shard {shard} reached capacity")
+            }
+        }
     }
 }
 
@@ -167,7 +216,15 @@ pub enum ViolationKind {
     UnexpectedMessage(String),
     /// A channel exceeded its capacity bound.
     ChannelOverflow(String),
-    /// The runtime rejected an action (a generator bug).
+    /// The runtime refused an action that is impossible in the current
+    /// system state — a send addressed to an absent owner, data demanded
+    /// from an invalid copy. A protocol-correctness violation of the
+    /// *specification* (the checker catching a bad protocol), as opposed
+    /// to [`ViolationKind::Exec`].
+    IllegalAction(String),
+    /// The runtime rejected an action over the generated machine's own
+    /// structure (absent message context, bad deferred slot): a generator
+    /// bug.
     Exec(String),
 }
 
@@ -180,13 +237,25 @@ fn kind_key(kind: &ViolationKind) -> (u8, &str) {
         ViolationKind::Deadlock => (2, ""),
         ViolationKind::UnexpectedMessage(d) => (3, d),
         ViolationKind::ChannelOverflow(d) => (4, d),
-        ViolationKind::Exec(d) => (5, d),
+        ViolationKind::IllegalAction(d) => (5, d),
+        ViolationKind::Exec(d) => (6, d),
     }
 }
 
 fn vio_key(v: &VioCand) -> (u64, u32, u8, &str) {
     let (rank, detail) = kind_key(&v.kind);
     (v.parent_fp, v.step, rank, detail)
+}
+
+/// Classifies a runtime execution failure: state-level impossibilities
+/// are protocol violations the checker caught; structural ones are
+/// generator bugs.
+fn exec_violation(e: protogen_runtime::ExecError) -> ViolationKind {
+    if e.is_state_error() {
+        ViolationKind::IllegalAction(e.to_string())
+    } else {
+        ViolationKind::Exec(e.to_string())
+    }
 }
 
 impl fmt::Display for ViolationKind {
@@ -197,6 +266,7 @@ impl fmt::Display for ViolationKind {
             ViolationKind::Deadlock => f.write_str("deadlock"),
             ViolationKind::UnexpectedMessage(d) => write!(f, "unexpected message: {d}"),
             ViolationKind::ChannelOverflow(d) => write!(f, "channel overflow: {d}"),
+            ViolationKind::IllegalAction(d) => write!(f, "illegal action: {d}"),
             ViolationKind::Exec(d) => write!(f, "execution error: {d}"),
         }
     }
@@ -223,9 +293,12 @@ pub struct CheckResult {
     pub transitions: usize,
     /// The deterministically chosen first violation, if any.
     pub violation: Option<Violation>,
-    /// Whether exploration stopped at `max_states` before exhausting the
-    /// space.
+    /// Whether a resource bound stopped exploration before exhausting the
+    /// space (`limit` names which one).
     pub hit_state_limit: bool,
+    /// The resource bound that stopped exploration, when one did. The
+    /// stats above are the partial exploration up to that point.
+    pub limit: Option<ResourceLimit>,
     /// Wall-clock seconds spent exploring.
     pub seconds: f64,
     /// Peak bytes held by the sharded visited set (fingerprint maps plus
@@ -334,6 +407,16 @@ impl<'a> ModelChecker<'a> {
             }
             Decision::Continue => (None, false),
         };
+        let limit = if hit_limit {
+            let shard = coord.exhausted_shard.load(Relaxed);
+            if shard == usize::MAX {
+                Some(ResourceLimit::StateBudget)
+            } else {
+                Some(ResourceLimit::ShardCapacity { shard })
+            }
+        } else {
+            None
+        };
 
         let coverage = self
             .cfg
@@ -344,6 +427,7 @@ impl<'a> ModelChecker<'a> {
             transitions,
             violation,
             hit_state_limit: hit_limit,
+            limit,
             seconds: start.elapsed().as_secs_f64(),
             store_bytes,
             threads,
@@ -538,6 +622,7 @@ impl<'a> ModelChecker<'a> {
         coord: &Coordinator,
     ) {
         let mut new_count = 0usize;
+        let cap = self.cfg.effective_shard_capacity();
         for c in inboxes[t].drain() {
             if let Some(&lid) = store.map.get(&c.fp) {
                 let rec = &mut store.recs[lid as usize];
@@ -547,6 +632,14 @@ impl<'a> ModelChecker<'a> {
                     rec.step = c.step;
                 }
             } else {
+                if store.recs.len() >= cap {
+                    // The shard is full: drop the candidate and surface a
+                    // structured resource-exhaustion outcome instead of
+                    // overflowing the packed-id space (the seed design
+                    // `assert!`ed here, aborting the whole process).
+                    coord.exhausted_shard.fetch_min(t, Relaxed);
+                    continue;
+                }
                 let lid = store.recs.len() as u32;
                 store.map.insert(c.fp, lid);
                 store.recs.push(StateRec {
@@ -577,6 +670,11 @@ impl<'a> ModelChecker<'a> {
         if !vios.is_empty() {
             vios.sort_by(|a, b| vio_key(a).cmp(&vio_key(b)));
             Decision::Stop { violation: Some(vios.remove(0)), hit_limit: false }
+        } else if coord.exhausted_shard.load(Relaxed) != usize::MAX {
+            // A shard refused inserts this level: the frontier is
+            // incomplete, so "no new states" below would falsely read as
+            // exhaustion. Stop with the limit flag.
+            Decision::Stop { violation: None, hit_limit: true }
         } else if new_states == 0 {
             Decision::Stop { violation: None, hit_limit: false }
         } else if coord.total_states.load(Relaxed) >= self.cfg.max_states {
@@ -772,7 +870,7 @@ impl<'a> ModelChecker<'a> {
                 store_value,
             )
         }
-        .map_err(|e| ViolationKind::Exec(e.to_string()))?;
+        .map_err(exec_violation)?;
         if let Some((Access::Store, _)) = outcome.performed {
             next.ghost = store_value;
         }
@@ -822,7 +920,7 @@ impl<'a> ModelChecker<'a> {
             },
             store_value,
         )
-        .map_err(|e| ViolationKind::Exec(e.to_string()))?;
+        .map_err(exec_violation)?;
         match outcome.performed {
             Some((Access::Store, _)) => next.ghost = store_value,
             Some((Access::Load, Some(v))) if self.cfg.check_data_value && v != state.ghost => {
@@ -1053,6 +1151,7 @@ mod tests {
         };
         let (r1, r4) = (run(1), run(4));
         assert!(r1.hit_state_limit && !r1.passed());
+        assert_eq!(r1.limit, Some(ResourceLimit::StateBudget));
         // The budget is enforced at level granularity, so the count may
         // overshoot by one level but must still be reached…
         assert!(r1.states >= 100, "stopped below the budget: {}", r1.states);
@@ -1061,5 +1160,37 @@ mod tests {
         assert_eq!(r1.transitions, r4.transitions);
         assert_eq!(r1.hit_state_limit, r4.hit_state_limit);
         assert!(r1.store_bytes > 0);
+    }
+
+    #[test]
+    fn full_shard_reports_resource_exhaustion_instead_of_aborting() {
+        // The seed design `assert!`ed inside `Gid::pack` when a shard
+        // exceeded its packed-id capacity, killing the whole process
+        // mid-run. The overflow must now surface as a structured
+        // `ResourceLimit::ShardCapacity` outcome with partial stats.
+        let ssp = protogen_protocols::msi();
+        let g = protogen_core::generate(&ssp, &protogen_core::GenConfig::stalling()).unwrap();
+        let mut cfg = McConfig::with_caches(2);
+        cfg.threads = 1;
+        cfg.shard_capacity = 40;
+        let r = ModelChecker::new(&g.cache, &g.directory, cfg).run();
+        assert!(!r.passed(), "an incomplete exploration must not pass");
+        assert!(r.hit_state_limit);
+        assert_eq!(r.limit, Some(ResourceLimit::ShardCapacity { shard: 0 }));
+        assert_eq!(r.states, 40, "the shard stops growing exactly at capacity");
+        assert!(r.transitions > 0, "partial stats survive the early stop");
+        assert!(r.violation.is_none());
+    }
+
+    #[test]
+    fn shard_capacity_resolves_and_clamps() {
+        let mut cfg = McConfig::with_caches(2);
+        assert_eq!(cfg.effective_shard_capacity(), crate::store::SHARD_CAPACITY);
+        cfg.shard_capacity = 0;
+        assert_eq!(cfg.effective_shard_capacity(), crate::store::SHARD_CAPACITY);
+        cfg.shard_capacity = usize::MAX;
+        assert_eq!(cfg.effective_shard_capacity(), crate::store::SHARD_CAPACITY);
+        cfg.shard_capacity = 100;
+        assert_eq!(cfg.effective_shard_capacity(), 100);
     }
 }

@@ -150,6 +150,10 @@ pub(crate) struct Coordinator {
     pub coverage: Mutex<PairSet>,
     /// Decision published by worker 0 each level.
     pub decision: Mutex<Decision>,
+    /// Lowest shard id whose visited set reached its capacity bound
+    /// (`usize::MAX` while none has). Checked by the decide phase so a
+    /// full shard stops exploration with a structured outcome.
+    pub exhausted_shard: AtomicUsize,
     /// Set when any worker's phase panicked: every worker keeps hitting
     /// the barriers but skips real work, so the fleet drains instead of
     /// deadlocking on the [`Barrier`] (std barriers have no poisoning).
@@ -167,6 +171,7 @@ impl Coordinator {
             agg: Mutex::new(LevelAgg::default()),
             coverage: Mutex::new(PairSet::new()),
             decision: Mutex::new(Decision::Continue),
+            exhausted_shard: AtomicUsize::new(usize::MAX),
             aborted: AtomicBool::new(false),
             panic: Mutex::new(None),
         }

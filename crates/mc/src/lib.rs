@@ -49,6 +49,10 @@ mod frontier;
 mod store;
 mod system;
 
-pub use explore::{CheckResult, McConfig, ModelChecker, Step, Violation, ViolationKind};
-pub use store::{fingerprint_bytes, Fingerprinter, FpPassthroughHasher, MAX_SHARDS};
+pub use explore::{
+    CheckResult, McConfig, ModelChecker, ResourceLimit, Step, Violation, ViolationKind,
+};
+pub use store::{
+    fingerprint_bytes, Fingerprinter, FpPassthroughHasher, MAX_SHARDS, SHARD_CAPACITY,
+};
 pub use system::{invert, permutations, EncodeSink, SysState};

@@ -29,6 +29,13 @@ pub const MAX_SHARDS: usize = 32;
 const LOCAL_BITS: u32 = 27;
 const LOCAL_MASK: u32 = (1 << LOCAL_BITS) - 1;
 
+/// The most states one shard's record vector can hold (the packed global
+/// id gives a local index 27 bits). The explorer's dedup phase enforces
+/// this bound *before* inserting — overflow surfaces as a structured
+/// [`crate::ResourceLimit::ShardCapacity`] outcome, never as a panic
+/// mid-run.
+pub const SHARD_CAPACITY: usize = LOCAL_MASK as usize + 1;
+
 /// A packed global state id: 5 bits of owning shard, 27 bits of index into
 /// that shard's record vector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,7 +44,9 @@ pub(crate) struct Gid(u32);
 impl Gid {
     pub(crate) fn pack(shard: usize, local: usize) -> Gid {
         debug_assert!(shard < MAX_SHARDS);
-        assert!(local <= LOCAL_MASK as usize, "shard exceeded 2^27 states; raise the shard count");
+        // The dedup phase refuses inserts beyond SHARD_CAPACITY, so a local
+        // index here is in range by construction.
+        debug_assert!(local < SHARD_CAPACITY, "local index exceeds shard capacity");
         Gid(((shard as u32) << LOCAL_BITS) | local as u32)
     }
 

@@ -49,6 +49,15 @@ pub fn all() -> Vec<Ssp> {
 /// The CLI names of the built-in protocols, in [`all`]'s order.
 pub const NAMES: [&str; 6] = ["msi", "mesi", "mosi", "msi-upgrade", "msi-unordered", "tso-cc"];
 
+/// Whether a protocol intentionally trades physical SWMR and data-value
+/// freshness (§VI-D): TSO-CC self-invalidates lazily, so those two
+/// invariants must be relaxed when checking it — and *only* it. The one
+/// authoritative predicate for the conformance matrix and the fuzzer
+/// (either front-end spelling of the name).
+pub fn trades_swmr(ssp: &Ssp) -> bool {
+    ssp.name == "TSO-CC" || ssp.name == "TSO_CC"
+}
+
 /// Looks a protocol up by its CLI name (see [`NAMES`]).
 pub fn by_name(name: &str) -> Option<Ssp> {
     Some(match name {

@@ -24,6 +24,21 @@ pub enum ExecError {
     LoadWithoutData(String),
 }
 
+impl ExecError {
+    /// Whether the action failed against the *system state* (no owner
+    /// recorded, no valid data to send or read) rather than against the
+    /// machine's own structure. State errors are protocol-correctness
+    /// violations a model checker should report as caught protocol bugs;
+    /// the rest (absent message context, bad deferred slot) are internal
+    /// inconsistencies of the generated machine itself — generator bugs.
+    pub fn is_state_error(&self) -> bool {
+        matches!(
+            self,
+            ExecError::MissingData(_) | ExecError::NoOwner(_) | ExecError::LoadWithoutData(_)
+        )
+    }
+}
+
 impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -12,10 +12,15 @@ use std::fmt;
 /// An exact latency histogram: every sample is retained, percentiles are
 /// computed over the sorted sample set. Simulated transaction counts are
 /// small enough (thousands) that exactness beats bucketing.
+///
+/// Percentile reads take `&self`: the sorted view is built once, on the
+/// first read after the last [`Histogram::record`], and shared by every
+/// subsequent read (amortized sorting without leaking `&mut` into
+/// read-only stats consumers).
 #[derive(Debug, Clone, Default)]
 pub struct Histogram {
     samples: Vec<u64>,
-    sorted: bool,
+    sorted: std::sync::OnceLock<Vec<u64>>,
 }
 
 impl Histogram {
@@ -27,7 +32,7 @@ impl Histogram {
     /// Records one sample.
     pub fn record(&mut self, v: u64) {
         self.samples.push(v);
-        self.sorted = false;
+        self.sorted.take(); // invalidate the finalized view
     }
 
     /// Number of samples recorded.
@@ -40,21 +45,23 @@ impl Histogram {
         self.samples.is_empty()
     }
 
-    fn sort(&mut self) {
-        if !self.sorted {
-            self.samples.sort_unstable();
-            self.sorted = true;
-        }
+    /// The sorted sample view, built on first use after the last record.
+    fn sorted(&self) -> &[u64] {
+        self.sorted.get_or_init(|| {
+            let mut v = self.samples.clone();
+            v.sort_unstable();
+            v
+        })
     }
 
     /// The `p`-th percentile (nearest-rank), or 0 with no samples.
-    pub fn percentile(&mut self, p: f64) -> u64 {
-        self.sort();
-        if self.samples.is_empty() {
+    pub fn percentile(&self, p: f64) -> u64 {
+        let sorted = self.sorted();
+        if sorted.is_empty() {
             return 0;
         }
-        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
-        self.samples[rank.clamp(1, self.samples.len()) - 1]
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
     }
 
     /// Arithmetic mean, or 0.0 with no samples.
@@ -270,11 +277,48 @@ mod tests {
 
     #[test]
     fn empty_histogram_is_all_zero() {
-        let mut h = Histogram::new();
+        let h = Histogram::new();
         assert!(h.is_empty());
         assert_eq!(h.percentile(50.0), 0);
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn percentile_reads_take_shared_references() {
+        let mut h = Histogram::new();
+        for v in [30u64, 10, 20] {
+            h.record(v);
+        }
+        // Two simultaneous &self borrows: the read path must not need &mut.
+        let (r, s) = (&h, &h);
+        assert_eq!(r.percentile(50.0), 20);
+        assert_eq!(s.percentile(50.0), 20);
+    }
+
+    #[test]
+    fn percentile_extremes_and_single_sample() {
+        let mut h = Histogram::new();
+        for v in [50u64, 10, 40, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), 10, "p=0 is the minimum sample");
+        assert_eq!(h.percentile(100.0), 50, "p=100 is the maximum sample");
+        let mut single = Histogram::new();
+        single.record(7);
+        for p in [0.0, 50.0, 100.0] {
+            assert_eq!(single.percentile(p), 7, "single-sample p={p}");
+        }
+    }
+
+    #[test]
+    fn recording_after_a_read_invalidates_the_sorted_view() {
+        let mut h = Histogram::new();
+        h.record(10);
+        assert_eq!(h.percentile(100.0), 10);
+        h.record(99);
+        assert_eq!(h.percentile(100.0), 99);
+        assert_eq!(h.percentile(0.0), 10);
     }
 
     #[test]

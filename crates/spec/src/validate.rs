@@ -43,6 +43,18 @@ fn validate_machine(ssp: &Ssp, m: &MachineSsp) -> Result<(), SpecError> {
         if m.states[..i].iter().any(|o| o.name == s.name) {
             return Err(SpecError::DuplicateName(s.name.clone()));
         }
+        // A readable stable state without a valid data copy is
+        // contradictory: a load hit reads the block, so the declaration
+        // promises data the state cannot supply. Left unrejected, the
+        // generator dutifully emits hit arcs that fail at run time
+        // ("load on invalid data" — found by fuzzing permission flips).
+        if m.kind == MachineKind::Cache && s.perm.allows(crate::ssp::Access::Load) && !s.data_valid
+        {
+            return Err(SpecError::Invalid(format!(
+                "cache state `{}` grants {} permission but holds no valid data",
+                s.name, s.perm
+            )));
+        }
     }
     for (idx, e) in m.entries.iter().enumerate() {
         let ctx = |msg: String| SpecError::Invalid(format!("{} entry #{idx}: {msg}", m.kind));
@@ -229,6 +241,20 @@ mod tests {
         });
         let err = ssp.validate().unwrap_err();
         assert!(err.to_string().contains("accesses"));
+    }
+
+    #[test]
+    fn readable_state_without_data_rejected() {
+        // Fuzz regression (seed 1, mutant 4: `flip-permission 0` on MSI):
+        // granting I read permission while it holds no data used to
+        // survive validation and generate controllers whose IS_D hit arcs
+        // failed at run time with "load on invalid data". The
+        // contradiction must be rejected at build, naming the state.
+        let mut ssp = toy().build().unwrap();
+        ssp.cache.states[0].perm = Perm::Read; // I: perm R, data_valid false
+        let err = ssp.validate().unwrap_err();
+        assert!(err.to_string().contains("`I`"), "{err}");
+        assert!(err.to_string().contains("no valid data"), "{err}");
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | [`mc`] | `protogen-mc` | Explicit-state model checker (Murϕ substrate) |
 //! | [`sim`] | `protogen-sim` | Simulation subsystem: networks, workloads, sweeps |
 //! | [`protocols`] | `protogen-protocols` | MSI, MESI, MOSI, Upgrade, unordered, TSO-CC |
+//! | [`fuzz`] | `protogen-fuzz` | Mutation-based fuzzing of the generate→check pipeline |
 //! | [`backend`] | `protogen-backend` | Tables, DOT, Murϕ text, diffing |
 //!
 //! # Quickstart
@@ -38,6 +39,7 @@
 pub use protogen_backend as backend;
 pub use protogen_core as gen;
 pub use protogen_dsl as dsl;
+pub use protogen_fuzz as fuzz;
 pub use protogen_mc as mc;
 pub use protogen_protocols as protocols;
 pub use protogen_runtime as runtime;

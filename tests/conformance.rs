@@ -21,15 +21,12 @@ fn config_label(cfg: &GenConfig) -> &'static str {
     }
 }
 
-/// TSO-CC (either front-end spelling) intentionally breaks physical SWMR.
-fn trades_swmr(ssp: &Ssp) -> bool {
-    ssp.name == "TSO-CC" || ssp.name == "TSO_CC"
-}
-
 fn mc_config_for(ssp: &Ssp) -> McConfig {
     let mut mc = McConfig::with_caches(2);
     mc.ordered = ssp.network_ordered;
-    if trades_swmr(ssp) {
+    // TSO-CC (either front-end spelling) intentionally breaks physical
+    // SWMR; the one authoritative predicate lives in the protocols crate.
+    if protogen::protocols::trades_swmr(ssp) {
         mc.check_swmr = false;
         mc.check_data_value = false;
     }
@@ -112,6 +109,62 @@ fn dsl_and_builder_agree_for_every_protocol() {
                     config_label(&cfg)
                 );
             }
+        }
+    }
+}
+
+/// Minimization is behaviour-preserving: for every bundled protocol in
+/// both concurrency configurations, the model-check *verdict* at 2 caches
+/// is identical with minimization on and off, and re-minimizing the raw
+/// machines reproduces the minimized machines' explored state and
+/// transition counts exactly — the IMAS = SMAS merge logic of
+/// `crates/core/src/minimize.rs` may only fold states whose behaviour is
+/// indistinguishable, never change what the protocol does. (The raw run
+/// itself legitimately visits *more* system states: controller-state
+/// identity enters the checker's encoding, so two bisimilar-but-unmerged
+/// controller states split one orbit in two.)
+#[test]
+fn minimization_preserves_model_checked_behaviour() {
+    use protogen::gen::minimize;
+    for ssp in protogen::protocols::all() {
+        for base in [GenConfig::stalling(), GenConfig::non_stalling()] {
+            let minimized = generate(&ssp, &base).unwrap();
+            let mut raw_cfg = base.clone();
+            raw_cfg.minimize = false;
+            let raw = generate(&ssp, &raw_cfg).unwrap();
+            let label = format!("{} ({})", ssp.name, config_label(&base));
+            assert!(
+                raw.cache.state_count() >= minimized.cache.state_count()
+                    && raw.directory.state_count() >= minimized.directory.state_count(),
+                "{label}: minimization grew a machine"
+            );
+            let rm = ModelChecker::new(&minimized.cache, &minimized.directory, mc_config_for(&ssp))
+                .run();
+            let rr = ModelChecker::new(&raw.cache, &raw.directory, mc_config_for(&ssp)).run();
+            assert_eq!(
+                rm.violation.as_ref().map(|v| &v.kind),
+                rr.violation.as_ref().map(|v| &v.kind),
+                "{label}: verdict differs with minimization off"
+            );
+            assert!(rr.states >= rm.states, "{label}: raw run explored fewer states");
+            // The quotient is exact: folding the raw machines yields the
+            // same explored behaviour as generating with minimization on.
+            let (qc, _) = minimize(&raw.cache);
+            let (qd, _) = minimize(&raw.directory);
+            assert_eq!(qc.state_count(), minimized.cache.state_count(), "{label}: cache quotient");
+            assert_eq!(
+                qd.state_count(),
+                minimized.directory.state_count(),
+                "{label}: directory quotient"
+            );
+            let rq = ModelChecker::new(&qc, &qd, mc_config_for(&ssp)).run();
+            assert_eq!(rq.states, rm.states, "{label}: quotient state count differs");
+            assert_eq!(rq.transitions, rm.transitions, "{label}: quotient transitions differ");
+            assert_eq!(
+                rq.violation.as_ref().map(|v| &v.kind),
+                rm.violation.as_ref().map(|v| &v.kind),
+                "{label}: quotient verdict differs"
+            );
         }
     }
 }
