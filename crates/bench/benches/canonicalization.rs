@@ -1,0 +1,39 @@
+//! Canonicalization microbenchmark: full n!-permutation sweep vs. the
+//! pruned sort-key path (ISSUE 5).
+//!
+//! Symmetry canonicalization is the model checker's single hottest
+//! operation — every successor state is canonicalized before dedup. The
+//! seed path streamed all n! permuted encodings through the fingerprinter
+//! (24 at 4 caches); the pruned path sorts caches by a
+//! permutation-invariant key first and only enumerates permutations
+//! within equal-key groups, which collapses to 1–2 encodings for typical
+//! states. This harness measures both paths over the *same* corpus of
+//! reachable MESI states at 2, 3, and 4 caches and prints the
+//! states/second table; `mc_scaling` runs the same measurement and folds
+//! the numbers into `BENCH_mc.json` for the nightly pipeline.
+//!
+//! The representative-equivalence of the two paths (byte-for-byte) is
+//! pinned by `crates/mc/tests/canon_prop.rs`, not here.
+
+use protogen_bench::canonicalization_points;
+
+fn main() {
+    println!(
+        "=== canonicalization: full n! sweep vs pruned sort-key path (MESI, reachable states) ==="
+    );
+    println!(
+        "{:>7} {:>8} {:>11} {:>15} {:>15} {:>9}",
+        "caches", "corpus", "mean cands", "full states/s", "pruned states/s", "speedup"
+    );
+    for p in canonicalization_points(600, 40) {
+        println!(
+            "{:>7} {:>8} {:>11.2} {:>15.0} {:>15.0} {:>8.2}×",
+            p.caches,
+            p.corpus,
+            p.mean_candidates,
+            p.full_states_per_sec,
+            p.pruned_states_per_sec,
+            p.speedup()
+        );
+    }
+}

@@ -2,8 +2,10 @@
 //!
 //! Runs the 3-cache MESI (non-stalling) verification workload at 1, 2,
 //! and 4 worker threads, reports states/second and peak visited-set
-//! bytes, and writes the results to `BENCH_mc.json` at the workspace root
-//! — the artifact the `bench-nightly` CI workflow uploads and gates on.
+//! bytes, folds in the canonicalization microbenchmark (full n! sweep vs
+//! the pruned sort-key path, see `benches/canonicalization.rs`), and
+//! writes the results to `BENCH_mc.json` at the workspace root — the
+//! artifact the `bench-nightly` CI workflow uploads and gates on.
 //! Serialization and baseline checking go through `protogen_bench`'s
 //! shared report writer (the same one `sim_scaling` uses).
 //!
@@ -14,18 +16,25 @@
 //!   more than 20 % below the committed `BENCH_mc_baseline.json` (or the
 //!   baseline is unreadable/stale; `MC_BASELINE` overrides the path).
 //! * `MC_ENFORCE_SCALING=1` — exit non-zero unless 4 threads deliver more
-//!   than 1.8× the 1-thread states/sec (only meaningful on a machine with
-//!   4+ cores; the nightly CI runner qualifies).
+//!   than 1.5× the 1-thread states/sec. The check **only applies when
+//!   `cores_available >= 4`** — a host with fewer cores than workers
+//!   measures scheduling overhead, not speedup (the seed baseline was
+//!   recorded on a 1-core box, where the old unconditional gate misfired)
+//!   — and the enforced/skipped decision is recorded in the report's
+//!   `speedup_gate` field either way.
+//! * `MC_THREAD_POINTS=1,2,4` — override the measured thread counts (the
+//!   PR-CI perf smoke runs just `1`).
+//! * `MC_MIN_STATES_PER_SEC=N` — exit non-zero if 1-thread states/sec
+//!   fall below `N` (the PR-CI perf smoke's generous hot-path floor).
 
 use protogen_bench::{
-    cores_available, enforce_baseline, env_on, workspace_root, write_report, BaselineCheck, Json,
-    Tolerance,
+    canonicalization_points, cores_available, enforce_baseline, enforce_scaling, env_on,
+    speedup_gate, workspace_root, write_report, BaselineCheck, Json, Tolerance,
 };
 use protogen_core::{generate, GenConfig};
 use protogen_mc::{McConfig, ModelChecker};
 use std::path::PathBuf;
 
-const THREAD_POINTS: [usize; 3] = [1, 2, 4];
 /// Best-of-N to damp scheduler noise without statistical machinery.
 const REPS: usize = 3;
 
@@ -36,9 +45,20 @@ struct Point {
     peak_store_bytes: usize,
 }
 
+fn thread_points() -> Vec<usize> {
+    match std::env::var("MC_THREAD_POINTS") {
+        Ok(v) => v
+            .split(',')
+            .map(|s| s.trim().parse().unwrap_or_else(|_| panic!("bad MC_THREAD_POINTS `{v}`")))
+            .collect(),
+        Err(_) => vec![1, 2, 4],
+    }
+}
+
 fn main() {
     let ssp = protogen_protocols::mesi();
     let g = generate(&ssp, &GenConfig::non_stalling()).unwrap();
+    let points_requested = thread_points();
 
     println!("=== mc_scaling: MESI non-stalling, 3 caches ===");
     println!(
@@ -48,7 +68,7 @@ fn main() {
 
     let mut states = 0usize;
     let mut points: Vec<Point> = Vec::new();
-    for &threads in &THREAD_POINTS {
+    for &threads in &points_requested {
         let mut best: Option<Point> = None;
         for _ in 0..REPS {
             let mut cfg = McConfig::with_caches(3);
@@ -76,17 +96,37 @@ fn main() {
         points.push(p);
     }
 
-    let rate = |threads: usize| {
-        points.iter().find(|p| p.threads == threads).map(|p| p.states_per_sec).unwrap()
+    let rate =
+        |threads: usize| points.iter().find(|p| p.threads == threads).map(|p| p.states_per_sec);
+    let speedup = match (rate(1), rate(4)) {
+        (Some(r1), Some(r4)) => Some(r4 / r1),
+        _ => None,
     };
-    let speedup = rate(4) / rate(1);
+    let (gate_on, gate_decision) = speedup_gate(4);
     let peak = points.iter().map(|p| p.peak_store_bytes).max().unwrap();
-    println!("speedup 4t/1t: {speedup:.2}×  (cores available: {})", cores_available());
+    if let Some(s) = speedup {
+        println!("speedup 4t/1t: {s:.2}×  (cores available: {})", cores_available());
+    }
+
+    // The canonicalization microbenchmark rides along so the nightly
+    // report tracks the pruned hot path, not just end-to-end throughput.
+    let canon = canonicalization_points(600, 40);
+    for c in &canon {
+        println!(
+            "canonicalization @{} caches: full {:.0}/s, pruned {:.0}/s ({:.2}×, {:.2} mean candidates)",
+            c.caches,
+            c.full_states_per_sec,
+            c.pruned_states_per_sec,
+            c.speedup(),
+            c.mean_candidates
+        );
+    }
 
     let mut doc = Json::obj([
         ("workload", Json::Str("MESI non-stalling, 3 caches".into())),
         ("states", Json::U64(states as u64)),
         ("cores_available", Json::U64(cores_available() as u64)),
+        ("speedup_gate", Json::Str(gate_decision.clone())),
         (
             "points",
             Json::Arr(
@@ -103,11 +143,38 @@ fn main() {
                     .collect(),
             ),
         ),
+        (
+            "canonicalization",
+            Json::Arr(
+                canon
+                    .iter()
+                    .map(|c| {
+                        Json::obj([
+                            ("caches", Json::U64(c.caches as u64)),
+                            ("corpus", Json::U64(c.corpus as u64)),
+                            ("mean_candidates", Json::F64(c.mean_candidates)),
+                            ("full_states_per_sec", Json::F64(c.full_states_per_sec)),
+                            ("pruned_states_per_sec", Json::F64(c.pruned_states_per_sec)),
+                            ("speedup", Json::F64(c.speedup())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
     ]);
     for p in &points {
         doc.push(&format!("states_per_sec_{}t", p.threads), Json::F64(p.states_per_sec));
     }
-    doc.push("speedup_4t", Json::F64(speedup));
+    for c in &canon {
+        doc.push(
+            &format!("canon_pruned_states_per_sec_{}c", c.caches),
+            Json::F64(c.pruned_states_per_sec),
+        );
+        doc.push(&format!("canon_speedup_{}c", c.caches), Json::F64(c.speedup()));
+    }
+    if let Some(s) = speedup {
+        doc.push("speedup_4t", Json::F64(s));
+    }
     doc.push("peak_store_bytes", Json::U64(peak as u64));
     write_report("BENCH_mc.json", &doc);
 
@@ -116,20 +183,36 @@ fn main() {
         let baseline_path = std::env::var("MC_BASELINE")
             .map(PathBuf::from)
             .unwrap_or_else(|_| workspace_root().join("BENCH_mc_baseline.json"));
-        failed |= enforce_baseline(
-            &baseline_path,
-            &[BaselineCheck {
-                key: "states_per_sec_4t",
-                current: rate(4),
-                tolerance: Tolerance::FloorPct(20.0),
-            }],
-        );
+        match rate(4) {
+            Some(r4) => {
+                failed |= enforce_baseline(
+                    &baseline_path,
+                    &[BaselineCheck {
+                        key: "states_per_sec_4t",
+                        current: r4,
+                        tolerance: Tolerance::FloorPct(20.0),
+                    }],
+                );
+            }
+            None => {
+                // A structured gate failure, not a panic: an env combo
+                // like the perf-smoke's MC_THREAD_POINTS="1" plus
+                // MC_ENFORCE_BASELINE gates nothing and must say so.
+                eprintln!("BASELINE FAILURE: MC_ENFORCE_BASELINE needs a 4-thread point");
+                failed = true;
+            }
+        }
     }
     if env_on("MC_ENFORCE_SCALING") {
-        if speedup > 1.8 {
-            println!("scaling check OK: {speedup:.2}× > 1.8×");
+        failed |= enforce_scaling(gate_on, &gate_decision, speedup, 1.5, "4-thread");
+    }
+    if let Ok(floor) = std::env::var("MC_MIN_STATES_PER_SEC") {
+        let floor: f64 = floor.parse().expect("MC_MIN_STATES_PER_SEC must be a number");
+        let r1 = rate(1).expect("1-thread point required for the throughput floor");
+        if r1 >= floor {
+            println!("perf smoke OK: 1-thread {r1:.0} states/s >= floor {floor:.0}");
         } else {
-            eprintln!("SCALING FAILURE: 4-thread speedup {speedup:.2}× ≤ 1.8×");
+            eprintln!("PERF REGRESSION: 1-thread {r1:.0} states/s < floor {floor:.0}");
             failed = true;
         }
     }

@@ -18,11 +18,16 @@
 //!   semantics changed, not the hardware.
 //!
 //! Environment knobs (off by default): `SIM_ENFORCE_BASELINE=1` enables
-//! the gate; `SIM_BASELINE` overrides the baseline path.
+//! the baseline gate (`SIM_BASELINE` overrides the path);
+//! `SIM_ENFORCE_SCALING=1` asserts the 4-worker sweep delivers > 1.3× the
+//! 1-worker simulated-cycles/sec — **only when `cores_available >= 4`**
+//! (a host with fewer cores than workers measures scheduling overhead,
+//! not speedup), with the enforced/skipped decision recorded in the
+//! report's `speedup_gate` field either way.
 
 use protogen_bench::{
-    cores_available, enforce_baseline, env_on, workspace_root, write_report, BaselineCheck, Json,
-    Tolerance,
+    cores_available, enforce_baseline, enforce_scaling, env_on, speedup_gate, workspace_root,
+    write_report, BaselineCheck, Json, Tolerance,
 };
 use protogen_sim::{run_sweep, SweepConfig, SweepReport};
 use std::path::PathBuf;
@@ -95,6 +100,7 @@ fn main() {
         points.iter().find(|p| p.threads == threads).map(|p| p.sim_cycles_per_sec).unwrap()
     };
     let speedup = rate(4) / rate(1);
+    let (gate_on, gate_decision) = speedup_gate(4);
     println!(
         "mean p95 latency {mean_p95:.1} cycles, {mean_msgs_per_miss:.2} msgs/miss, \
          speedup 4t/1t {speedup:.2}× (cores available: {})",
@@ -105,6 +111,7 @@ fn main() {
         ("workload", Json::Str(format!("default sweep grid, {n_cells} cells, 300 accesses/core"))),
         ("cells", Json::U64(n_cells as u64)),
         ("cores_available", Json::U64(cores_available() as u64)),
+        ("speedup_gate", Json::Str(gate_decision.clone())),
         ("total_sim_cycles", Json::U64(total_sim_cycles(&report))),
         ("mean_p95_latency", Json::F64(mean_p95)),
         ("mean_msgs_per_miss", Json::F64(mean_msgs_per_miss)),
@@ -132,11 +139,12 @@ fn main() {
     doc.push("speedup_4t", Json::F64(speedup));
     write_report("BENCH_sim.json", &doc);
 
+    let mut failed = false;
     if env_on("SIM_ENFORCE_BASELINE") {
         let baseline_path = std::env::var("SIM_BASELINE")
             .map(PathBuf::from)
             .unwrap_or_else(|_| workspace_root().join("BENCH_sim_baseline.json"));
-        let failed = enforce_baseline(
+        failed |= enforce_baseline(
             &baseline_path,
             &[
                 BaselineCheck {
@@ -151,8 +159,11 @@ fn main() {
                 },
             ],
         );
-        if failed {
-            std::process::exit(1);
-        }
+    }
+    if env_on("SIM_ENFORCE_SCALING") {
+        failed |= enforce_scaling(gate_on, &gate_decision, Some(speedup), 1.3, "4-worker");
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! protogen table   <protocol> [--stalling] [--machine cache|dir] [--markdown]
-//! protogen verify  <protocol> [--stalling] [--caches N] [--threads N]
+//! protogen verify  <protocol> [--stalling] [--caches N] [--threads N] [--max-states N]
 //! protogen dot     <protocol> [--stalling] [--machine cache|dir]
 //! protogen murphi  <protocol> [--stalling] [--caches N]
 //! protogen sim     <protocol> [--stalling] [--caches N] [--addrs N] [--accesses N]
@@ -15,7 +15,7 @@
 //!                  [--protocols a,b] [--out DIR] [--json]
 //! protogen fuzz    --replay FILE [--budget N]
 //! protogen stats   [--stalling]
-//! protogen compile <file.pgen> [--stalling] [--caches N] [--threads N]
+//! protogen compile <file.pgen> [--stalling] [--caches N] [--threads N] [--max-states N]
 //! ```
 //!
 //! `--threads` sets the worker count (default: all available cores);
@@ -71,6 +71,7 @@ impl Args {
                         | "out"
                         | "mutants"
                         | "budget"
+                        | "max-states"
                         | "replay"
                 );
                 if needs_value {
@@ -117,22 +118,34 @@ fn generate_or_exit(ssp: &Ssp, args: &Args) -> Generated {
     }
 }
 
-fn verify(g: &Generated, ssp: &Ssp, n: usize, threads: usize) -> bool {
+fn verify(g: &Generated, ssp: &Ssp, args: &Args, n: usize, threads: usize) -> bool {
     let mut cfg = McConfig::with_caches(n);
     cfg.ordered = ssp.network_ordered;
     cfg.threads = threads;
+    // `--max-states` raises (or lowers) the exploration budget — deep
+    // cache counts can exceed the 20M-state default.
+    if let Some(v) = args.value("max-states") {
+        match v.parse() {
+            Ok(n) => cfg.max_states = n,
+            Err(_) => {
+                eprintln!("bad --max-states `{v}`");
+                std::process::exit(2);
+            }
+        }
+    }
     if ssp.name == "TSO-CC" {
         cfg.check_swmr = false;
         cfg.check_data_value = false;
     }
     let r = ModelChecker::new(&g.cache, &g.directory, cfg).run();
     println!(
-        "{}: {} — {} states, {} transitions, {:.2}s on {} thread{}",
+        "{}: {} — {} states, {} transitions, {:.2}s ({:.0} states/s) on {} thread{}",
         ssp.name,
         if r.passed() { "PASSED" } else { "FAILED" },
         r.states,
         r.transitions,
         r.seconds,
+        r.states as f64 / r.seconds.max(1e-9),
         r.threads,
         if r.threads == 1 { "" } else { "s" }
     );
@@ -141,6 +154,9 @@ fn verify(g: &Generated, ssp: &Ssp, n: usize, threads: usize) -> bool {
         for line in &v.trace {
             println!("  {line}");
         }
+    }
+    if let Some(l) = &r.limit {
+        println!("stopped early: {l} — partial stats only (raise --max-states to go further)");
     }
     r.passed()
 }
@@ -563,7 +579,7 @@ fn main() -> ExitCode {
                     ExitCode::SUCCESS
                 }
                 "verify" => {
-                    if verify(&g, &ssp, caches, threads) {
+                    if verify(&g, &ssp, &args, caches, threads) {
                         ExitCode::SUCCESS
                     } else {
                         ExitCode::FAILURE
@@ -594,7 +610,7 @@ fn main() -> ExitCode {
             let g = generate_or_exit(&ssp, &args);
             println!("{}", g.report);
             println!("{}", render_table(&g.cache, &TableOptions::default()));
-            if verify(&g, &ssp, caches, threads) {
+            if verify(&g, &ssp, &args, caches, threads) {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::FAILURE

@@ -1,20 +1,28 @@
 //! Parallel explicit-state reachability exploration with invariant
 //! checking.
 //!
-//! The explorer is a level-synchronized, sharded-frontier BFS: `threads`
+//! The explorer is an epoch-synchronized, sharded-frontier BFS: `threads`
 //! workers each own one shard of the visited set (a state belongs to the
-//! shard `fingerprint % threads`, see [`crate::store`]), and every BFS
-//! level runs in three barrier-separated phases — expand, dedup, decide
-//! (see [`crate::frontier`]). The design is deterministic by construction:
-//! states, transitions, the chosen violation, and the counterexample trace
-//! are identical for every thread count and every run. DESIGN.md §3
-//! documents the algorithm and the fingerprint collision-risk arithmetic.
+//! shard `fingerprint % threads`, see [`crate::store`]). Within an epoch
+//! (one BFS level) a worker expands its frontier — held as canonical
+//! *encodings*, decoded into a per-worker scratch state — steps each
+//! successor into a second scratch state (no per-step clone), and routes
+//! the successor's canonical encoding to the owning shard's bounded batch
+//! queue, draining its own queue opportunistically between expansions.
+//! Workers rendezvous only at epoch boundaries, where the last arriver
+//! publishes the budget/violation decision (see [`crate::frontier`]). The
+//! design is deterministic by construction: states, transitions, the
+//! chosen violation, and the counterexample trace are identical for every
+//! thread count and every run. DESIGN.md §3 documents the store, §8 the
+//! canonicalization pruning, the scratch-stepping contract, and the
+//! epoch-scheduler determinism argument.
 
-use crate::frontier::{Candidate, Coordinator, Decision, Inbox, Outboxes, VioCand};
+use crate::canon::Canonicalizer;
+use crate::frontier::{CandBatch, CandMeta, Coordinator, Decision, Inbox, Outboxes, VioCand};
 use crate::store::{Gid, ShardStore, StateRec, STEP_NONE};
-use crate::system::{invert, permutations, SysState};
+use crate::system::SysState;
 use protogen_runtime::{
-    apply, select_arc_indexed, FsmIndex, MachineCtx, MachineTag, Msg, NodeId, PairSet,
+    apply_into, select_arc_indexed, ApplyOutcome, FsmIndex, MachineCtx, MachineTag, NodeId, PairSet,
 };
 use protogen_spec::{Access, Event, Fsm, Perm};
 use std::fmt;
@@ -318,6 +326,38 @@ impl CheckResult {
     }
 }
 
+/// One frontier entry: a canonical encoding (`off..off+len` into the
+/// frontier arena) plus the state's shard-local id and fingerprint. The
+/// fingerprint rides along so expansion never touches the store.
+#[derive(Debug, Clone, Copy)]
+struct FrontEntry {
+    /// `usize`, not `u32`: a single shard's level arena can exceed 4 GiB
+    /// at raised `--max-states` (shard capacity is 2^27 states; ~120 B
+    /// of encoding each), and a truncated offset would silently decode a
+    /// wrong-but-plausible state next epoch.
+    off: usize,
+    len: u32,
+    lid: u32,
+    fp: u64,
+}
+
+/// One BFS level of one shard: canonical encodings in a single contiguous
+/// arena. Two of these per worker (current and next) are recycled for the
+/// whole run — frontier states cost ~the encoding length each, with no
+/// per-state allocation.
+#[derive(Debug, Default)]
+struct FrontierBuf {
+    bytes: Vec<u8>,
+    index: Vec<FrontEntry>,
+}
+
+impl FrontierBuf {
+    fn clear(&mut self) {
+        self.bytes.clear();
+        self.index.clear();
+    }
+}
+
 /// The model checker: explores every reachable state of N caches + the
 /// directory running the generated FSMs, checking SWMR, the data-value
 /// invariant, deadlock freedom, and protocol completeness.
@@ -329,24 +369,359 @@ pub struct ModelChecker<'a> {
     cache_fsm: &'a Fsm,
     dir_fsm: &'a Fsm,
     cfg: McConfig,
-    perms: Vec<Vec<u8>>,
-    invs: Vec<Vec<u8>>,
     cache_idx: FsmIndex,
     dir_idx: FsmIndex,
+}
+
+/// Per-thread exploration state: one visited-set shard, the current and
+/// next frontier arenas, the outgoing candidate batches, and every
+/// scratch buffer the hot path reuses (decoded state, successor state,
+/// apply outcome, step list, pruned canonicalizer) — the worker-local
+/// arena that makes steady-state expansion allocation-free.
+struct Worker<'w, 'a> {
+    mc: &'w ModelChecker<'a>,
+    t: usize,
+    n_shards: usize,
+    store: ShardStore,
+    cur: FrontierBuf,
+    next: FrontierBuf,
+    out: Outboxes,
+    canon: Canonicalizer,
+    /// Scratch: the frontier state being expanded (decoded in place).
+    state: SysState,
+    /// Scratch: the successor being stepped into (copy-on-write via
+    /// `clone_from`, which reuses its nested allocations).
+    succ: SysState,
+    /// Scratch: the reusable apply outcome (outgoing-message buffer).
+    outcome: ApplyOutcome,
+    steps_buf: Vec<Step>,
+    violations: Vec<VioCand>,
+    cov: Option<PairSet>,
+    new_count: usize,
+    depth: u32,
+    cap: usize,
+    inboxes: &'w [Inbox],
+    coord: &'w Coordinator,
+}
+
+impl<'w, 'a> Worker<'w, 'a> {
+    fn new(
+        mc: &'w ModelChecker<'a>,
+        t: usize,
+        n_shards: usize,
+        inboxes: &'w [Inbox],
+        coord: &'w Coordinator,
+    ) -> Self {
+        let n = mc.cfg.n_caches;
+        Worker {
+            mc,
+            t,
+            n_shards,
+            store: ShardStore::new(),
+            cur: FrontierBuf::default(),
+            next: FrontierBuf::default(),
+            out: Outboxes::new(n_shards),
+            canon: Canonicalizer::new(n, mc.cfg.symmetry),
+            state: SysState::initial(n),
+            succ: SysState::initial(n),
+            outcome: ApplyOutcome::default(),
+            steps_buf: Vec::new(),
+            violations: Vec::new(),
+            cov: mc.cfg.collect_pair_coverage.then(PairSet::new),
+            new_count: 0,
+            depth: 0,
+            cap: mc.cfg.effective_shard_capacity(),
+            inboxes,
+            coord,
+        }
+    }
+
+    /// Installs the canonical initial state as this shard's root.
+    fn seed_root(&mut self, initial: &SysState, fp0: u64) {
+        self.store.map.insert(fp0, 0);
+        self.store.recs.push(StateRec {
+            parent_fp: fp0,
+            parent: Gid::pack(self.t, 0),
+            step: STEP_NONE,
+            depth: 0,
+        });
+        let enc = initial.encode();
+        self.cur.index.push(FrontEntry { off: 0, len: enc.len() as u32, lid: 0, fp: fp0 });
+        self.cur.bytes.extend_from_slice(&enc);
+    }
+
+    /// The worker loop: one iteration per BFS epoch.
+    ///
+    /// Each phase body runs under `catch_unwind`: a panicking worker
+    /// records its payload on the coordinator and keeps rendezvousing
+    /// doing no work, so the fleet drains and the panic is re-raised on
+    /// the calling thread instead of deadlocking the phaser.
+    fn run(mut self) -> ShardStore {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        loop {
+            let coord = self.coord;
+            // Expand this shard's frontier, routing successor encodings
+            // and draining arriving batches opportunistically.
+            if !coord.aborted.load(Relaxed) {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| self.expand_epoch())) {
+                    coord.record_panic(payload);
+                }
+            }
+            // Expansion boundary: everyone's candidates are queued. While
+            // waiting for stragglers, keep servicing the inbox so bounded
+            // queues cannot wedge the fleet.
+            coord.phaser.arrive_and_drain(|| {
+                if !coord.aborted.load(Relaxed) {
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+                        self.drain_available();
+                    })) {
+                        coord.record_panic(payload);
+                    }
+                }
+            });
+            // Final drain + merge of this epoch's counts and violations.
+            if !coord.aborted.load(Relaxed) {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| self.finish_epoch())) {
+                    coord.record_panic(payload);
+                }
+            }
+            // Decision boundary: the last arriver publishes the epoch
+            // decision for everyone.
+            let mc = self.mc;
+            coord.phaser.arrive(|| {
+                let dec = if coord.aborted.load(Relaxed) {
+                    Decision::Stop { violation: None, hit_limit: false }
+                } else {
+                    match catch_unwind(AssertUnwindSafe(|| mc.decide(coord))) {
+                        Ok(dec) => dec,
+                        Err(payload) => {
+                            coord.record_panic(payload);
+                            Decision::Stop { violation: None, hit_limit: false }
+                        }
+                    }
+                };
+                *coord.decision.lock().unwrap() = dec;
+            });
+            if matches!(*coord.decision.lock().unwrap(), Decision::Stop { .. }) {
+                return self.store;
+            }
+            std::mem::swap(&mut self.cur, &mut self.next);
+            self.next.clear();
+            self.depth += 1;
+        }
+    }
+
+    /// Expands every frontier entry of the current epoch: decode into the
+    /// scratch state, step each successor into the successor scratch,
+    /// check invariants, and route canonical encodings to owning shards.
+    fn expand_epoch(&mut self) {
+        let n = self.mc.cfg.n_caches;
+        let mut local_transitions = 0usize;
+        for i in 0..self.cur.index.len() {
+            // Service the inbox between expansions so deduplication
+            // overlaps expansion instead of serializing behind it.
+            if self.n_shards > 1 && i & 0xf == 0 {
+                self.drain_available();
+            }
+            let e = self.cur.index[i];
+            self.state.decode_into(&self.cur.bytes[e.off..e.off + e.len as usize], n);
+            let gid = Gid::pack(self.t, e.lid as usize);
+            let mut any_delivery = false;
+            self.mc.steps_into(&self.state, &mut self.steps_buf);
+            for si in 0..self.steps_buf.len() {
+                let step = self.steps_buf[si];
+                let observed = self.mc.successor_observed_into(
+                    &self.state,
+                    step,
+                    &mut self.succ,
+                    &mut self.outcome,
+                    self.cov.as_mut(),
+                );
+                match observed {
+                    Err(kind) => self.violations.push(VioCand {
+                        parent: gid,
+                        parent_fp: e.fp,
+                        step: pack_step(step),
+                        kind,
+                    }),
+                    Ok(false) => {}
+                    Ok(true) => {
+                        if matches!(step, Step::Deliver { .. }) {
+                            any_delivery = true;
+                        }
+                        local_transitions += 1;
+                        if let Some(kind) = self.mc.check_state(&self.succ) {
+                            self.violations.push(VioCand {
+                                parent: gid,
+                                parent_fp: e.fp,
+                                step: pack_step(step),
+                                kind,
+                            });
+                        } else {
+                            self.route_succ(e.fp, gid, pack_step(step));
+                        }
+                    }
+                }
+            }
+            // Deadlock: pending work with no deliverable message. New
+            // accesses can only add transactions, never unblock existing
+            // ones, so they do not count as progress.
+            if !any_delivery
+                && (self.state.messages_in_flight() > 0 || self.state.has_pending_access())
+            {
+                self.violations.push(VioCand {
+                    parent: gid,
+                    parent_fp: e.fp,
+                    step: STEP_NONE,
+                    kind: ViolationKind::Deadlock,
+                });
+            }
+        }
+        // Seal and deliver every open batch (end of this epoch's
+        // expansion), then merge the level counters.
+        for shard in 0..self.n_shards {
+            if shard != self.t {
+                if let Some(batch) = self.out.take(shard) {
+                    self.deliver(shard, batch);
+                }
+            }
+        }
+        self.coord.transitions.fetch_add(local_transitions, Relaxed);
+        if let Some(c) = self.cov.as_mut() {
+            if !c.is_empty() {
+                let taken = std::mem::take(c);
+                self.coord.coverage.lock().unwrap().extend(taken);
+            }
+        }
+    }
+
+    /// Routes the successor in `self.succ`: canonicalize, fingerprint,
+    /// and either insert locally (own shard — no bytes ever copied for
+    /// duplicates) or append the canonical encoding to the owner's batch.
+    fn route_succ(&mut self, parent_fp: u64, parent: Gid, step: u32) {
+        let fp = self.canon.canonical_fp(&self.succ);
+        let owner = (fp % self.n_shards as u64) as usize;
+        if owner == self.t {
+            self.insert_own(fp, parent_fp, parent, step);
+        } else {
+            let bytes = self.out.bytes_of(owner);
+            let off = bytes.len() as u32;
+            self.canon.encode_best_into(&self.succ, bytes);
+            let len = bytes.len() as u32 - off;
+            if let Some(batch) =
+                self.out.push_meta(owner, CandMeta { fp, parent_fp, parent, step, off, len })
+            {
+                self.deliver(owner, batch);
+            }
+        }
+    }
+
+    /// Dedup-or-insert for a successor this shard owns. Only a *new*
+    /// state pays for encoding into the next-frontier arena.
+    fn insert_own(&mut self, fp: u64, parent_fp: u64, parent: Gid, step: u32) {
+        self.insert(fp, parent_fp, parent, step, None);
+    }
+
+    /// Dedup-or-insert for a candidate received from another worker: the
+    /// canonical encoding already exists in the batch arena, so a new
+    /// state is one `extend_from_slice` and a duplicate costs nothing.
+    fn insert_enc(&mut self, m: &CandMeta, enc: &[u8]) {
+        self.insert(m.fp, m.parent_fp, m.parent, m.step, Some(enc));
+    }
+
+    /// The one dedup-or-insert path (own-shard and cross-shard candidates
+    /// must never diverge — the parent-race fold and the capacity check
+    /// are part of the determinism contract). `enc` carries the canonical
+    /// encoding when it already exists (a received candidate); `None`
+    /// means "encode `self.succ` via the canonicalizer", so duplicates
+    /// from this shard's own expansion never pay for byte emission.
+    fn insert(&mut self, fp: u64, parent_fp: u64, parent: Gid, step: u32, enc: Option<&[u8]>) {
+        let depth1 = self.depth + 1;
+        if let Some(&lid) = self.store.map.get(&fp) {
+            let rec = &mut self.store.recs[lid as usize];
+            if rec.depth == depth1 && (parent_fp, step) < (rec.parent_fp, rec.step) {
+                rec.parent_fp = parent_fp;
+                rec.parent = parent;
+                rec.step = step;
+            }
+        } else {
+            if self.store.recs.len() >= self.cap {
+                self.coord.exhausted_shard.fetch_min(self.t, Relaxed);
+                return;
+            }
+            let lid = self.store.recs.len() as u32;
+            self.store.map.insert(fp, lid);
+            self.store.recs.push(StateRec { parent_fp, parent, step, depth: depth1 });
+            let off = self.next.bytes.len();
+            match enc {
+                Some(e) => self.next.bytes.extend_from_slice(e),
+                None => self.canon.encode_best_into(&self.succ, &mut self.next.bytes),
+            }
+            let len = (self.next.bytes.len() - off) as u32;
+            self.next.index.push(FrontEntry { off, len, lid, fp });
+            self.new_count += 1;
+        }
+    }
+
+    /// Drains every batch currently queued for this shard. Returns
+    /// whether anything was processed.
+    fn drain_available(&mut self) -> bool {
+        let mut any = false;
+        while let Some(batch) = self.inboxes[self.t].pop() {
+            for i in 0..batch.meta.len() {
+                let m = batch.meta[i];
+                self.insert_enc(&m, batch.enc(&m));
+            }
+            self.out.recycle(batch);
+            any = true;
+        }
+        any
+    }
+
+    /// Delivers a sealed batch to `owner`'s bounded inbox, draining this
+    /// worker's own inbox while backpressured (which is what makes the
+    /// bound deadlock-free: if every worker is blocked pushing, every
+    /// inbox is being drained).
+    fn deliver(&mut self, owner: usize, batch: CandBatch) {
+        let mut batch = batch;
+        loop {
+            match self.inboxes[owner].try_push(batch) {
+                Ok(()) => return,
+                Err(back) => {
+                    batch = back;
+                    if self.coord.aborted.load(Relaxed) {
+                        // The fleet is draining after a panic; the run's
+                        // results are void, so the batch can be dropped.
+                        self.out.recycle(batch);
+                        return;
+                    }
+                    if !self.drain_available() {
+                        self.inboxes[owner].wait_for_space(std::time::Duration::from_micros(200));
+                    }
+                }
+            }
+        }
+    }
+
+    /// After the expansion rendezvous: ingest the last batches and merge
+    /// this worker's epoch results into the aggregate.
+    fn finish_epoch(&mut self) {
+        self.drain_available();
+        self.coord.total_states.fetch_add(self.new_count, Relaxed);
+        let mut agg = self.coord.agg.lock().unwrap();
+        agg.new_states += self.new_count;
+        agg.violations.append(&mut self.violations);
+        drop(agg);
+        self.new_count = 0;
+    }
 }
 
 impl<'a> ModelChecker<'a> {
     /// Creates a checker for the given controllers.
     pub fn new(cache_fsm: &'a Fsm, dir_fsm: &'a Fsm, cfg: McConfig) -> Self {
-        let perms = if cfg.symmetry {
-            permutations(cfg.n_caches)
-        } else {
-            vec![(0..cfg.n_caches as u8).collect()]
-        };
-        let invs = perms.iter().map(|p| invert(p)).collect();
         let cache_idx = FsmIndex::new(cache_fsm);
         let dir_idx = FsmIndex::new(dir_fsm);
-        ModelChecker { cache_fsm, dir_fsm, cfg, perms, invs, cache_idx, dir_idx }
+        ModelChecker { cache_fsm, dir_fsm, cfg, cache_idx, dir_idx }
     }
 
     /// Runs breadth-first exploration until exhaustion, a violation, or the
@@ -355,41 +730,35 @@ impl<'a> ModelChecker<'a> {
         let start = Instant::now();
         let threads = self.cfg.effective_threads();
 
-        let initial = self.canonical_rep(SysState::initial(self.cfg.n_caches));
-        let (fp0, _) = self.canonical_fp(&initial);
+        let mut canon0 = Canonicalizer::new(self.cfg.n_caches, self.cfg.symmetry);
+        let initial = canon0.canonical_rep(&SysState::initial(self.cfg.n_caches));
+        let fp0 = canon0.canonical_fp(&initial);
         let owner0 = (fp0 % threads as u64) as usize;
-
-        let mut inits: Vec<(ShardStore, Vec<(SysState, u32)>)> =
-            (0..threads).map(|_| (ShardStore::new(), Vec::new())).collect();
-        inits[owner0].0.map.insert(fp0, 0);
-        inits[owner0].0.recs.push(StateRec {
-            fp: fp0,
-            parent_fp: fp0,
-            parent: Gid::pack(owner0, 0),
-            step: STEP_NONE,
-            depth: 0,
-        });
-        inits[owner0].1.push((initial, 0));
 
         let inboxes: Vec<Inbox> = (0..threads).map(|_| Inbox::default()).collect();
         let coord = Coordinator::new(threads);
         coord.total_states.store(1, Relaxed);
 
         let stores: Vec<ShardStore> = std::thread::scope(|s| {
-            let handles: Vec<_> = inits
-                .into_iter()
-                .enumerate()
-                .map(|(t, (store, frontier))| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
                     let inboxes = &inboxes;
                     let coord = &coord;
-                    s.spawn(move || self.worker(t, threads, store, frontier, inboxes, coord))
+                    let initial = &initial;
+                    s.spawn(move || {
+                        let mut w = Worker::new(self, t, threads, inboxes, coord);
+                        if t == owner0 {
+                            w.seed_root(initial, fp0);
+                        }
+                        w.run()
+                    })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
         });
 
         // A worker phase panicked: all workers drained cleanly through the
-        // barriers; surface the original panic here.
+        // rendezvous; surface the original panic here.
         if let Some(payload) = coord.panic.into_inner().unwrap_or_else(|e| e.into_inner()) {
             std::panic::resume_unwind(payload);
         }
@@ -435,233 +804,9 @@ impl<'a> ModelChecker<'a> {
         }
     }
 
-    /// One worker: owns shard `t` of the visited set and processes BFS
-    /// levels in lock-step with the other workers.
-    ///
-    /// Each phase body runs under `catch_unwind`: a panicking worker
-    /// records its payload on the coordinator and keeps rendezvousing at
-    /// the barriers doing no work, so the fleet drains and the panic is
-    /// re-raised on the calling thread instead of deadlocking the level
-    /// barrier (std's `Barrier` has no poisoning).
-    fn worker(
-        &self,
-        t: usize,
-        n_shards: usize,
-        mut store: ShardStore,
-        mut frontier: Vec<(SysState, u32)>,
-        inboxes: &[Inbox],
-        coord: &Coordinator,
-    ) -> ShardStore {
-        use std::panic::{catch_unwind, AssertUnwindSafe};
-        let mut out = Outboxes::new(n_shards);
-        let mut steps_buf: Vec<Step> = Vec::new();
-        let mut depth: u32 = 0;
-        loop {
-            // Phase A — expand this shard's frontier, routing successors to
-            // their owning shards and buffering violations locally.
-            let mut violations: Vec<VioCand> = Vec::new();
-            if !coord.aborted.load(Relaxed) {
-                let phase = catch_unwind(AssertUnwindSafe(|| {
-                    self.expand_phase(
-                        t,
-                        n_shards,
-                        &store,
-                        &mut frontier,
-                        &mut out,
-                        &mut steps_buf,
-                        inboxes,
-                        coord,
-                    )
-                }));
-                match phase {
-                    Ok(v) => violations = v,
-                    Err(payload) => coord.record_panic(payload),
-                }
-            }
-            coord.barrier.wait();
-
-            // Phase B — drain this shard's inbox into its store and merge
-            // this worker's level results into the aggregate.
-            if !coord.aborted.load(Relaxed) {
-                let phase = catch_unwind(AssertUnwindSafe(|| {
-                    self.dedup_phase(
-                        t,
-                        depth,
-                        &mut store,
-                        &mut frontier,
-                        violations,
-                        inboxes,
-                        coord,
-                    )
-                }));
-                if let Err(payload) = phase {
-                    coord.record_panic(payload);
-                }
-            }
-            coord.barrier.wait();
-
-            // Phase C — worker 0 publishes the level decision.
-            if t == 0 {
-                let dec = if coord.aborted.load(Relaxed) {
-                    Decision::Stop { violation: None, hit_limit: false }
-                } else {
-                    match catch_unwind(AssertUnwindSafe(|| self.decide(coord))) {
-                        Ok(dec) => dec,
-                        Err(payload) => {
-                            coord.record_panic(payload);
-                            Decision::Stop { violation: None, hit_limit: false }
-                        }
-                    }
-                };
-                *coord.decision.lock().unwrap() = dec;
-            }
-            coord.barrier.wait();
-            if matches!(*coord.decision.lock().unwrap(), Decision::Stop { .. }) {
-                return store;
-            }
-            depth += 1;
-        }
-    }
-
-    /// Expand phase: generates every successor of this shard's frontier,
-    /// routes candidates to their owning shards, and returns the
-    /// violations discovered.
-    #[allow(clippy::too_many_arguments)]
-    fn expand_phase(
-        &self,
-        t: usize,
-        n_shards: usize,
-        store: &ShardStore,
-        frontier: &mut Vec<(SysState, u32)>,
-        out: &mut Outboxes,
-        steps_buf: &mut Vec<Step>,
-        inboxes: &[Inbox],
-        coord: &Coordinator,
-    ) -> Vec<VioCand> {
-        let mut violations: Vec<VioCand> = Vec::new();
-        let mut local_transitions = 0usize;
-        let mut cov = self.cfg.collect_pair_coverage.then(PairSet::new);
-        for (state, lid) in frontier.drain(..) {
-            let gid = Gid::pack(t, lid as usize);
-            let my_fp = store.recs[lid as usize].fp;
-            let mut any_delivery = false;
-            self.steps_into(&state, steps_buf);
-            for &step in steps_buf.iter() {
-                match self.successor_observed(&state, step, cov.as_mut()) {
-                    Err(kind) => violations.push(VioCand {
-                        parent: gid,
-                        parent_fp: my_fp,
-                        step: pack_step(step),
-                        kind,
-                    }),
-                    Ok(None) => {}
-                    Ok(Some(next)) => {
-                        if matches!(step, Step::Deliver { .. }) {
-                            any_delivery = true;
-                        }
-                        local_transitions += 1;
-                        if let Some(kind) = self.check_state(&next) {
-                            violations.push(VioCand {
-                                parent: gid,
-                                parent_fp: my_fp,
-                                step: pack_step(step),
-                                kind,
-                            });
-                        } else {
-                            let (fp, perm_idx) = self.canonical_fp(&next);
-                            let owner = (fp % n_shards as u64) as usize;
-                            out.push(
-                                owner,
-                                Candidate {
-                                    state: next,
-                                    perm_idx,
-                                    fp,
-                                    parent: gid,
-                                    parent_fp: my_fp,
-                                    step: pack_step(step),
-                                },
-                                inboxes,
-                            );
-                        }
-                    }
-                }
-            }
-            // Deadlock: pending work with no deliverable message. New
-            // accesses can only add transactions, never unblock existing
-            // ones, so they do not count as progress.
-            if !any_delivery && (state.messages_in_flight() > 0 || state.has_pending_access()) {
-                violations.push(VioCand {
-                    parent: gid,
-                    parent_fp: my_fp,
-                    step: STEP_NONE,
-                    kind: ViolationKind::Deadlock,
-                });
-            }
-        }
-        out.flush_all(inboxes);
-        coord.transitions.fetch_add(local_transitions, Relaxed);
-        if let Some(c) = cov.filter(|c| !c.is_empty()) {
-            coord.coverage.lock().unwrap().extend(c);
-        }
-        violations
-    }
-
-    /// Dedup phase: drains this shard's inbox — deduplicating by
-    /// fingerprint, appending packed records for new states, resolving
-    /// same-level parent races by minimum `(parent_fp, step)` — and merges
-    /// this worker's level results into the aggregate.
-    #[allow(clippy::too_many_arguments)]
-    fn dedup_phase(
-        &self,
-        t: usize,
-        depth: u32,
-        store: &mut ShardStore,
-        frontier: &mut Vec<(SysState, u32)>,
-        mut violations: Vec<VioCand>,
-        inboxes: &[Inbox],
-        coord: &Coordinator,
-    ) {
-        let mut new_count = 0usize;
-        let cap = self.cfg.effective_shard_capacity();
-        for c in inboxes[t].drain() {
-            if let Some(&lid) = store.map.get(&c.fp) {
-                let rec = &mut store.recs[lid as usize];
-                if rec.depth == depth + 1 && (c.parent_fp, c.step) < (rec.parent_fp, rec.step) {
-                    rec.parent_fp = c.parent_fp;
-                    rec.parent = c.parent;
-                    rec.step = c.step;
-                }
-            } else {
-                if store.recs.len() >= cap {
-                    // The shard is full: drop the candidate and surface a
-                    // structured resource-exhaustion outcome instead of
-                    // overflowing the packed-id space (the seed design
-                    // `assert!`ed here, aborting the whole process).
-                    coord.exhausted_shard.fetch_min(t, Relaxed);
-                    continue;
-                }
-                let lid = store.recs.len() as u32;
-                store.map.insert(c.fp, lid);
-                store.recs.push(StateRec {
-                    fp: c.fp,
-                    parent_fp: c.parent_fp,
-                    parent: c.parent,
-                    step: c.step,
-                    depth: depth + 1,
-                });
-                let rep = self.canonicalize(c.state, c.perm_idx);
-                frontier.push((rep, lid));
-                new_count += 1;
-            }
-        }
-        coord.total_states.fetch_add(new_count, Relaxed);
-        let mut agg = coord.agg.lock().unwrap();
-        agg.new_states += new_count;
-        agg.violations.append(&mut violations);
-    }
-
-    /// Decide phase (worker 0 only): selects the minimum-key violation of
-    /// the level, or stops on exhaustion / the state budget.
+    /// Decision (run by the last arriver at the dedup rendezvous):
+    /// selects the minimum-key violation of the epoch, or stops on
+    /// exhaustion / the state budget.
     fn decide(&self, coord: &Coordinator) -> Decision {
         let mut agg = coord.agg.lock().unwrap();
         let mut vios = std::mem::take(&mut agg.violations);
@@ -682,40 +827,6 @@ impl<'a> ModelChecker<'a> {
         } else {
             Decision::Continue
         }
-    }
-
-    /// The canonical fingerprint of `s` and the index of the permutation
-    /// achieving it: the minimum, over all cache-id permutations, of the
-    /// 64-bit fingerprint of the permuted encoding (ties broken by
-    /// permutation index). Permutation-invariant, so it identifies the
-    /// whole symmetry orbit.
-    fn canonical_fp(&self, s: &SysState) -> (u64, u32) {
-        let mut best_fp = u64::MAX;
-        let mut best_idx = 0u32;
-        for (i, (p, inv)) in self.perms.iter().zip(&self.invs).enumerate() {
-            let mut h = crate::store::Fingerprinter::new();
-            s.encode_permuted_to(p, inv, &mut h);
-            let fp = h.finish();
-            if fp < best_fp {
-                best_fp = fp;
-                best_idx = i as u32;
-            }
-        }
-        (best_fp, best_idx)
-    }
-
-    /// Applies the canonicalizing permutation chosen by [`Self::canonical_fp`].
-    fn canonicalize(&self, s: SysState, perm_idx: u32) -> SysState {
-        if perm_idx == 0 {
-            s // perms[0] is the identity
-        } else {
-            s.permuted(&self.perms[perm_idx as usize])
-        }
-    }
-
-    fn canonical_rep(&self, s: SysState) -> SysState {
-        let (_, idx) = self.canonical_fp(&s);
-        self.canonicalize(s, idx)
     }
 
     /// All candidate steps from `state`, in canonical order: deliveries
@@ -751,18 +862,20 @@ impl<'a> ModelChecker<'a> {
         }
     }
 
-    /// [`Self::successor`] plus pair-coverage recording: notes which
+    /// [`Self::successor_into`] plus pair-coverage recording: notes which
     /// `(machine, state, event)` pair the step dispatches on before
     /// computing the successor. Pairs are permutation-invariant (all
     /// caches run the same FSM and message types survive renaming), so
     /// recording them on canonical representatives covers every orbit
     /// member.
-    fn successor_observed(
+    fn successor_observed_into(
         &self,
         state: &SysState,
         step: Step,
+        succ: &mut SysState,
+        outcome: &mut ApplyOutcome,
         cov: Option<&mut PairSet>,
-    ) -> Result<Option<SysState>, ViolationKind> {
+    ) -> Result<bool, ViolationKind> {
         if let Some(cov) = cov {
             match step {
                 Step::Deliver { src, dst, idx } => {
@@ -786,25 +899,65 @@ impl<'a> ModelChecker<'a> {
                 }
             }
         }
-        self.successor(state, step)
+        self.successor_into(state, step, succ, outcome)
     }
 
-    /// Computes the successor for `step`, or `Ok(None)` when the step is
-    /// not enabled (stalled message, absent access arc, busy cache).
-    fn successor(&self, state: &SysState, step: Step) -> Result<Option<SysState>, ViolationKind> {
+    /// Computes the successor of `state` for `step` into the scratch
+    /// state `succ` (copy-on-write: `succ.clone_from(state)` reuses its
+    /// nested allocations, so steady-state stepping allocates nothing).
+    /// Returns `Ok(false)` when the step is not enabled (stalled message,
+    /// absent access arc, busy cache) — `succ` is garbage then and must
+    /// not be read.
+    fn successor_into(
+        &self,
+        state: &SysState,
+        step: Step,
+        succ: &mut SysState,
+        outcome: &mut ApplyOutcome,
+    ) -> Result<bool, ViolationKind> {
         match step {
-            Step::Deliver { src, dst, idx } => self.deliver(state, src, dst, idx),
-            Step::IssueAccess { cache, access } => self.issue(state, cache, access),
+            Step::Deliver { src, dst, idx } => {
+                self.deliver_into(state, src, dst, idx, succ, outcome)
+            }
+            Step::IssueAccess { cache, access } => {
+                self.issue_into(state, cache, access, succ, outcome)
+            }
         }
     }
 
-    fn deliver(
+    /// The clone-per-step successor as a standalone state (`Ok(None)`
+    /// when the step is not enabled). A cold-path convenience over the
+    /// internal scratch-stepping path, public for tests and the
+    /// canonicalization proptests/microbenchmark, which random-walk the
+    /// reachable space outside the explorer.
+    pub fn successor_state(
+        &self,
+        state: &SysState,
+        step: Step,
+    ) -> Result<Option<SysState>, ViolationKind> {
+        self.successor(state, step)
+    }
+
+    /// The clone-per-step successor (cold paths: counterexample replay,
+    /// [`Self::sample_states`]).
+    fn successor(&self, state: &SysState, step: Step) -> Result<Option<SysState>, ViolationKind> {
+        let mut succ = SysState::initial(self.cfg.n_caches);
+        let mut outcome = ApplyOutcome::default();
+        match self.successor_into(state, step, &mut succ, &mut outcome)? {
+            true => Ok(Some(succ)),
+            false => Ok(None),
+        }
+    }
+
+    fn deliver_into(
         &self,
         state: &SysState,
         src: u8,
         dst: u8,
         idx: u8,
-    ) -> Result<Option<SysState>, ViolationKind> {
+        succ: &mut SysState,
+        outcome: &mut ApplyOutcome,
+    ) -> Result<bool, ViolationKind> {
         let msg = state.channels[src as usize][dst as usize][idx as usize];
         let is_dir = dst as usize == state.n_caches();
         let event = Event::Msg(msg.mtype);
@@ -842,51 +995,55 @@ impl<'a> ModelChecker<'a> {
             return Err(ViolationKind::UnexpectedMessage(format!("{msg} at {holder}")));
         };
         if arc.kind == protogen_spec::ArcKind::Stall {
-            return Ok(None);
+            return Ok(false);
         }
-        let mut next = state.clone();
-        next.channels[src as usize][dst as usize].remove(idx as usize);
+        succ.clone_from(state);
+        succ.channels[src as usize][dst as usize].remove(idx as usize);
         let store_value = (state.ghost + 1) % self.cfg.value_domain;
-        let outcome = if is_dir {
-            let dir_id = next.dir_id();
-            apply(
+        if is_dir {
+            let dir_id = succ.dir_id();
+            apply_into(
                 self.dir_fsm,
                 arc,
                 Some(&msg),
-                MachineCtx::Dir { entry: &mut next.dir, self_id: dir_id },
+                MachineCtx::Dir { entry: &mut succ.dir, self_id: dir_id },
                 store_value,
+                outcome,
             )
         } else {
-            let dir_id = next.dir_id();
-            apply(
+            let dir_id = succ.dir_id();
+            apply_into(
                 self.cache_fsm,
                 arc,
                 Some(&msg),
                 MachineCtx::Cache {
-                    block: &mut next.caches[dst as usize],
+                    block: &mut succ.caches[dst as usize],
                     self_id: NodeId(dst),
                     dir_id,
                 },
                 store_value,
+                outcome,
             )
         }
         .map_err(exec_violation)?;
         if let Some((Access::Store, _)) = outcome.performed {
-            next.ghost = store_value;
+            succ.ghost = store_value;
         }
         // Completion loads (e.g. the single access after invalidation in
         // IS_D_I) read the response data by construction; the physical
         // data-value check applies to hits only (design note in DESIGN.md).
-        self.route(&mut next, outcome.outgoing)?;
-        Ok(Some(next))
+        self.route(succ, outcome)?;
+        Ok(true)
     }
 
-    fn issue(
+    fn issue_into(
         &self,
         state: &SysState,
         cache: u8,
         access: Access,
-    ) -> Result<Option<SysState>, ViolationKind> {
+        succ: &mut SysState,
+        outcome: &mut ApplyOutcome,
+    ) -> Result<bool, ViolationKind> {
         let block = &state.caches[cache as usize];
         let arc = select_arc_indexed(
             self.cache_fsm,
@@ -897,32 +1054,33 @@ impl<'a> ModelChecker<'a> {
             Some(block),
             None,
         );
-        let Some(arc) = arc else { return Ok(None) };
+        let Some(arc) = arc else { return Ok(false) };
         if arc.kind == protogen_spec::ArcKind::Stall {
-            return Ok(None);
+            return Ok(false);
         }
         let is_hit = arc.actions.iter().any(|a| matches!(a, protogen_spec::Action::PerformAccess));
         if !is_hit && block.pending.is_some() {
             // One outstanding transaction per block per cache (§V-F).
-            return Ok(None);
+            return Ok(false);
         }
-        let mut next = state.clone();
+        succ.clone_from(state);
         let store_value = (state.ghost + 1) % self.cfg.value_domain;
-        let dir_id = next.dir_id();
-        let outcome = apply(
+        let dir_id = succ.dir_id();
+        apply_into(
             self.cache_fsm,
             arc,
             None,
             MachineCtx::Cache {
-                block: &mut next.caches[cache as usize],
+                block: &mut succ.caches[cache as usize],
                 self_id: NodeId(cache),
                 dir_id,
             },
             store_value,
+            outcome,
         )
         .map_err(exec_violation)?;
         match outcome.performed {
-            Some((Access::Store, _)) => next.ghost = store_value,
+            Some((Access::Store, _)) => succ.ghost = store_value,
             Some((Access::Load, Some(v))) if self.cfg.check_data_value && v != state.ghost => {
                 return Err(ViolationKind::DataValue(format!(
                     "cache n{cache} load hit returned {v}, expected {}",
@@ -931,14 +1089,17 @@ impl<'a> ModelChecker<'a> {
             }
             _ => {}
         }
-        self.route(&mut next, outcome.outgoing)?;
-        Ok(Some(next))
+        self.route(succ, outcome)?;
+        Ok(true)
     }
 
-    fn route(&self, state: &mut SysState, outgoing: Vec<Msg>) -> Result<(), ViolationKind> {
-        for m in outgoing {
-            state.send(m);
-            let q = &state.channels[m.src.as_usize()][m.dst.as_usize()];
+    /// Injects the outcome's outgoing messages into `succ`'s channels,
+    /// checking the capacity bound.
+    fn route(&self, succ: &mut SysState, outcome: &ApplyOutcome) -> Result<(), ViolationKind> {
+        for i in 0..outcome.outgoing.len() {
+            let m = outcome.outgoing[i];
+            succ.send(m);
+            let q = &succ.channels[m.src.as_usize()][m.dst.as_usize()];
             if q.len() > self.cfg.channel_cap {
                 return Err(ViolationKind::ChannelOverflow(format!(
                     "channel n{}→n{} exceeded {}",
@@ -995,6 +1156,36 @@ impl<'a> ModelChecker<'a> {
         None
     }
 
+    /// A breadth-first sample of reachable canonical representatives
+    /// (`limit` states starting from the initial state, in deterministic
+    /// BFS order). Violating or disabled successors are skipped. Exposed
+    /// for the canonicalization proptests and microbenchmark, which need
+    /// realistic states rather than synthetic ones.
+    pub fn sample_states(&self, limit: usize) -> Vec<SysState> {
+        let mut canon = Canonicalizer::new(self.cfg.n_caches, self.cfg.symmetry);
+        let mut seen = std::collections::HashSet::new();
+        let mut out: Vec<SysState> = Vec::new();
+        let initial = canon.canonical_rep(&SysState::initial(self.cfg.n_caches));
+        seen.insert(canon.canonical_fp(&initial));
+        out.push(initial);
+        let mut at = 0usize;
+        while at < out.len() && out.len() < limit {
+            let steps = self.steps(&out[at]);
+            for step in steps {
+                if out.len() >= limit {
+                    break;
+                }
+                if let Ok(Some(next)) = self.successor(&out[at], step) {
+                    if self.check_state(&next).is_none() && seen.insert(canon.canonical_fp(&next)) {
+                        out.push(canon.canonical_rep(&next));
+                    }
+                }
+            }
+            at += 1;
+        }
+        out
+    }
+
     /// Rebuilds the step chain to the violation by walking the packed
     /// parent-pointer records across shards, then renders it by replaying
     /// from the initial state through canonical representatives.
@@ -1013,14 +1204,15 @@ impl<'a> ModelChecker<'a> {
         if v.step != STEP_NONE {
             steps.push(unpack_step(v.step));
         }
+        let mut canon = Canonicalizer::new(self.cfg.n_caches, self.cfg.symmetry);
         let mut lines = Vec::new();
-        let mut state = self.canonical_rep(SysState::initial(self.cfg.n_caches));
+        let mut state = canon.canonical_rep(&SysState::initial(self.cfg.n_caches));
         for step in steps {
             let desc = self.describe(&state, step);
             match self.successor(&state, step) {
                 Ok(Some(next)) => {
                     lines.push(desc);
-                    state = self.canonical_rep(next);
+                    state = canon.canonical_rep(&next);
                 }
                 Ok(None) => lines.push(format!("{desc} (not enabled?)")),
                 Err(kind) => {
@@ -1132,9 +1324,9 @@ mod tests {
         let mut cfg = McConfig::with_caches(2);
         cfg.threads = 4;
         let mc = ModelChecker::new(&cache, &dir, cfg);
-        // The fleet must drain through the level barriers and re-raise the
-        // worker's panic on this thread — a deadlocked Barrier would hang
-        // the test instead.
+        // The fleet must drain through the epoch rendezvous and re-raise
+        // the worker's panic on this thread — a deadlocked phaser would
+        // hang the test instead.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| mc.run()));
         assert!(result.is_err(), "corrupt arc target must panic, not pass");
     }
@@ -1192,5 +1384,20 @@ mod tests {
         assert_eq!(cfg.effective_shard_capacity(), crate::store::SHARD_CAPACITY);
         cfg.shard_capacity = 100;
         assert_eq!(cfg.effective_shard_capacity(), 100);
+    }
+
+    #[test]
+    fn sample_states_are_distinct_canonical_representatives() {
+        let ssp = protogen_protocols::msi();
+        let g = protogen_core::generate(&ssp, &protogen_core::GenConfig::stalling()).unwrap();
+        let mc = ModelChecker::new(&g.cache, &g.directory, McConfig::with_caches(2));
+        let states = mc.sample_states(50);
+        assert_eq!(states.len(), 50);
+        let mut canon = Canonicalizer::new(2, true);
+        let mut seen = std::collections::HashSet::new();
+        for s in &states {
+            assert_eq!(s.encode(), canon.canonical_rep(s).encode(), "not a representative");
+            assert!(seen.insert(canon.canonical_fp(s)), "duplicate sample");
+        }
     }
 }

@@ -1,44 +1,180 @@
-//! Work distribution for the parallel explorer: candidate routing between
-//! shards and the level-synchronization coordinator.
+//! Work distribution for the parallel explorer: encoded-candidate batch
+//! queues between shards and the epoch-synchronization phaser.
 //!
-//! Exploration proceeds in BFS levels with three phases per level —
-//! *expand* (every worker expands its own frontier, routing successor
-//! candidates to the owning shard's inbox in batches), *dedup* (every
-//! worker drains its own inbox into its shard store), and *decide* (worker
-//! 0 aggregates violations and counts, then all workers read the shared
-//! decision). A barrier separates the phases, which is what makes the
-//! result — states, transitions, violation choice, counterexample trace —
-//! independent of thread count and interleaving.
+//! Exploration proceeds in BFS epochs (levels). Within an epoch every
+//! worker expands its own frontier, routing successor *encodings* (never
+//! cloned states — see [`crate::system::SysState::decode_into`]) to the
+//! owning shard's bounded inbox in batches, and opportunistically drains
+//! its own inbox between expansions, so deduplication overlaps expansion
+//! instead of waiting for a phase barrier. Workers synchronize only at
+//! epoch boundaries — once when the epoch's expansion is complete (a
+//! *draining* rendezvous: waiting workers keep servicing their inbox, so
+//! bounded queues cannot deadlock the fleet) and once when its
+//! deduplication is complete (where the last arriver publishes the
+//! budget/violation decision). Candidate arrival order varies run to run,
+//! but every quantity the checker reports is arrival-order-independent:
+//! states dedup by fingerprint, same-level parent races resolve by
+//! minimum `(parent fingerprint, step)`, and violations are selected by a
+//! deterministic minimum at the epoch boundary. DESIGN.md §8 carries the
+//! determinism proof sketch.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize};
-use std::sync::{Barrier, Mutex};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
 
 use crate::explore::ViolationKind;
 use crate::store::Gid;
-use crate::system::SysState;
 use protogen_runtime::PairSet;
 
-/// A successor state en route to its owning shard. The state is carried in
-/// raw (as-computed) form together with the index of the permutation that
-/// canonicalizes it, so the owning shard materializes the canonical
-/// representative only for states that turn out to be new.
-#[derive(Debug)]
-pub(crate) struct Candidate {
-    /// The raw successor state.
-    pub state: SysState,
-    /// Index into the permutation table of the canonicalizing permutation.
-    pub perm_idx: u32,
+/// One successor candidate en route to its owning shard: the fixed-width
+/// part. The state itself travels as its canonical encoding in the
+/// batch's shared byte arena (`off..off + len`), so a candidate that
+/// turns out to be a duplicate never materializes a state at all.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CandMeta {
     /// Canonical fingerprint (identical for every member of the orbit).
     pub fp: u64,
-    /// Global id of the expanded parent.
-    pub parent: Gid,
     /// The parent's fingerprint (deterministic parent-selection key).
     pub parent_fp: u64,
+    /// Global id of the expanded parent.
+    pub parent: Gid,
     /// Packed step that produced this successor.
     pub step: u32,
+    /// Offset of the canonical encoding in the batch arena.
+    pub off: u32,
+    /// Length of the canonical encoding.
+    pub len: u32,
 }
 
-/// A violation discovered during expansion, waiting for the end-of-level
+/// A batch of candidates bound for one shard: parallel metadata records
+/// plus one contiguous byte arena holding their canonical encodings —
+/// two allocations per ~[`BATCH`] candidates instead of a boxed state
+/// each, and both buffers are recycled through [`Outboxes::recycle`].
+#[derive(Debug, Default)]
+pub(crate) struct CandBatch {
+    pub meta: Vec<CandMeta>,
+    pub bytes: Vec<u8>,
+}
+
+impl CandBatch {
+    /// Empties the batch, keeping both allocations for reuse.
+    pub fn clear(&mut self) {
+        self.meta.clear();
+        self.bytes.clear();
+    }
+
+    /// The encoding of candidate `m`.
+    pub fn enc(&self, m: &CandMeta) -> &[u8] {
+        &self.bytes[m.off as usize..(m.off + m.len) as usize]
+    }
+}
+
+/// Candidates per batch before it is sealed and delivered.
+pub(crate) const BATCH: usize = 256;
+
+/// Most batches one inbox may queue before producers are backpressured.
+/// Bounds frontier-routing memory to `threads² × MAX_QUEUED_BATCHES ×
+/// BATCH` candidates; producers blocked on a full inbox drain their own
+/// inbox while they wait, so the bound cannot deadlock the fleet.
+pub(crate) const MAX_QUEUED_BATCHES: usize = 64;
+
+/// One shard's bounded inbox of candidate batches, filled by every worker
+/// during expansion and drained exclusively by the owner.
+#[derive(Debug, Default)]
+pub(crate) struct Inbox {
+    q: Mutex<VecDeque<CandBatch>>,
+    space: Condvar,
+}
+
+impl Inbox {
+    /// Queues `batch` unless the inbox is at capacity (the batch is
+    /// handed back for the caller's backpressure loop).
+    pub fn try_push(&self, batch: CandBatch) -> Result<(), CandBatch> {
+        let mut q = self.q.lock().unwrap();
+        if q.len() >= MAX_QUEUED_BATCHES {
+            return Err(batch);
+        }
+        q.push_back(batch);
+        Ok(())
+    }
+
+    /// Takes the oldest queued batch, waking one backpressured producer.
+    pub fn pop(&self) -> Option<CandBatch> {
+        let popped = self.q.lock().unwrap().pop_front();
+        if popped.is_some() {
+            self.space.notify_all();
+        }
+        popped
+    }
+
+    /// Blocks until the inbox has space or `dur` elapses (backpressured
+    /// producers park here between drain attempts of their own inbox).
+    pub fn wait_for_space(&self, dur: Duration) {
+        let q = self.q.lock().unwrap();
+        if q.len() >= MAX_QUEUED_BATCHES {
+            let _ = self.space.wait_timeout(q, dur).unwrap();
+        }
+    }
+}
+
+/// Per-worker outboxes: one open batch per destination shard plus a pool
+/// of recycled empties, so steady-state routing allocates nothing.
+#[derive(Debug)]
+pub(crate) struct Outboxes {
+    bufs: Vec<CandBatch>,
+    pool: Vec<CandBatch>,
+}
+
+impl Outboxes {
+    pub fn new(n_shards: usize) -> Self {
+        Outboxes { bufs: (0..n_shards).map(|_| CandBatch::default()).collect(), pool: Vec::new() }
+    }
+
+    /// The byte arena of `shard`'s open batch — encode the candidate here
+    /// first, then seal its metadata with [`Outboxes::push_meta`].
+    pub fn bytes_of(&mut self, shard: usize) -> &mut Vec<u8> {
+        &mut self.bufs[shard].bytes
+    }
+
+    /// Records `meta` for `shard`. When the batch reaches [`BATCH`]
+    /// candidates it is sealed and returned for delivery (a fresh or
+    /// pooled batch takes its place).
+    pub fn push_meta(&mut self, shard: usize, meta: CandMeta) -> Option<CandBatch> {
+        let buf = &mut self.bufs[shard];
+        buf.meta.push(meta);
+        if buf.meta.len() >= BATCH {
+            let fresh = self.pool.pop().unwrap_or_default();
+            Some(std::mem::replace(&mut self.bufs[shard], fresh))
+        } else {
+            None
+        }
+    }
+
+    /// Seals and takes `shard`'s open batch if it is non-empty (end of
+    /// the epoch's expansion).
+    pub fn take(&mut self, shard: usize) -> Option<CandBatch> {
+        if self.bufs[shard].meta.is_empty() {
+            None
+        } else {
+            let fresh = self.pool.pop().unwrap_or_default();
+            Some(std::mem::replace(&mut self.bufs[shard], fresh))
+        }
+    }
+
+    /// Returns a drained batch's allocations to the pool. Batches
+    /// received from *other* workers land here too — cross-thread arena
+    /// recycling, so the fleet's batch allocations reach a fixed point
+    /// after the first few epochs.
+    pub fn recycle(&mut self, mut batch: CandBatch) {
+        batch.clear();
+        if self.pool.len() < 2 * MAX_QUEUED_BATCHES {
+            self.pool.push(batch);
+        }
+    }
+}
+
+/// A violation discovered during expansion, waiting for the end-of-epoch
 /// deterministic minimum-selection.
 #[derive(Debug)]
 pub(crate) struct VioCand {
@@ -52,71 +188,16 @@ pub(crate) struct VioCand {
     pub kind: ViolationKind,
 }
 
-/// One shard's inbox of candidates, filled by every worker during the
-/// expand phase and drained exclusively by the owner during dedup.
-#[derive(Debug, Default)]
-pub(crate) struct Inbox {
-    queue: Mutex<Vec<Candidate>>,
-}
-
-impl Inbox {
-    /// Appends a batch, emptying `batch` for reuse.
-    pub fn push_batch(&self, batch: &mut Vec<Candidate>) {
-        let mut q = self.queue.lock().unwrap();
-        q.append(batch);
-    }
-
-    /// Takes everything currently queued.
-    pub fn drain(&self) -> Vec<Candidate> {
-        std::mem::take(&mut self.queue.lock().unwrap())
-    }
-}
-
-/// How many candidates a worker buffers per destination shard before
-/// taking that shard's inbox lock.
-const BATCH: usize = 256;
-
-/// Per-worker outboxes, one buffer per destination shard, flushed in
-/// batches to amortize inbox locking.
-#[derive(Debug)]
-pub(crate) struct Outboxes {
-    bufs: Vec<Vec<Candidate>>,
-}
-
-impl Outboxes {
-    pub fn new(n_shards: usize) -> Self {
-        Outboxes { bufs: (0..n_shards).map(|_| Vec::with_capacity(BATCH)).collect() }
-    }
-
-    /// Queues `cand` for `shard`, flushing that buffer if it is full.
-    pub fn push(&mut self, shard: usize, cand: Candidate, inboxes: &[Inbox]) {
-        let buf = &mut self.bufs[shard];
-        buf.push(cand);
-        if buf.len() >= BATCH {
-            inboxes[shard].push_batch(buf);
-        }
-    }
-
-    /// Flushes every non-empty buffer (end of the expand phase).
-    pub fn flush_all(&mut self, inboxes: &[Inbox]) {
-        for (shard, buf) in self.bufs.iter_mut().enumerate() {
-            if !buf.is_empty() {
-                inboxes[shard].push_batch(buf);
-            }
-        }
-    }
-}
-
-/// End-of-level aggregation, merged under one lock by every worker.
+/// End-of-epoch aggregation, merged under one lock by every worker.
 #[derive(Debug, Default)]
 pub(crate) struct LevelAgg {
-    /// States newly inserted this level, summed over shards.
+    /// States newly inserted this epoch, summed over shards.
     pub new_states: usize,
-    /// Violations discovered this level, across all workers.
+    /// Violations discovered this epoch, across all workers.
     pub violations: Vec<VioCand>,
 }
 
-/// What the whole fleet does after the current level.
+/// What the whole fleet does after the current epoch.
 #[derive(Debug, Default)]
 pub(crate) enum Decision {
     /// Explore the next level.
@@ -132,31 +213,100 @@ pub(crate) enum Decision {
     },
 }
 
+/// Epoch-boundary rendezvous: `n` workers arrive; the *last* arriver runs
+/// the leader closure (publishing the epoch decision) before releasing
+/// the fleet. A generation counter makes the phaser reusable, and
+/// [`Phaser::arrive_and_drain`] lets waiting workers keep servicing their
+/// inbox — the piece that makes bounded queues deadlock-free.
+#[derive(Debug)]
+pub(crate) struct Phaser {
+    n: usize,
+    /// `(arrived, generation)`.
+    state: Mutex<(usize, u64)>,
+    cv: Condvar,
+}
+
+impl Phaser {
+    pub fn new(n: usize) -> Self {
+        Phaser { n, state: Mutex::new((0, 0)), cv: Condvar::new() }
+    }
+
+    /// Arrives at the rendezvous and blocks until every worker has. The
+    /// last arriver runs `leader` (under the phaser lock — keep it short)
+    /// before waking the fleet.
+    pub fn arrive<F: FnOnce()>(&self, leader: F) {
+        let mut st = self.state.lock().unwrap();
+        let gen = st.1;
+        st.0 += 1;
+        if st.0 == self.n {
+            st.0 = 0;
+            st.1 = gen.wrapping_add(1);
+            leader();
+            self.cv.notify_all();
+        } else {
+            while st.1 == gen {
+                st = self.cv.wait(st).unwrap();
+            }
+        }
+    }
+
+    /// [`Phaser::arrive`] for the expansion boundary: while waiting for
+    /// stragglers, periodically runs `service` (the caller drains its own
+    /// inbox there), so a worker that finished its frontier early still
+    /// consumes the batches stragglers route to it — without this, a full
+    /// inbox whose owner is parked at the rendezvous would deadlock every
+    /// backpressured producer.
+    pub fn arrive_and_drain<F: FnMut()>(&self, mut service: F) {
+        let mut st = self.state.lock().unwrap();
+        let gen = st.1;
+        st.0 += 1;
+        if st.0 == self.n {
+            st.0 = 0;
+            st.1 = gen.wrapping_add(1);
+            self.cv.notify_all();
+            return;
+        }
+        loop {
+            let (guard, _) = self.cv.wait_timeout(st, Duration::from_micros(200)).unwrap();
+            st = guard;
+            if st.1 != gen {
+                return;
+            }
+            drop(st);
+            service();
+            st = self.state.lock().unwrap();
+            if st.1 != gen {
+                return;
+            }
+        }
+    }
+}
+
 /// Shared coordination state for one exploration run. (No `Debug`: the
 /// captured panic payload is an opaque `Box<dyn Any>`.)
 pub(crate) struct Coordinator {
-    /// Phase separator; one slot per worker.
-    pub barrier: Barrier,
+    /// Epoch-boundary rendezvous; one slot per worker.
+    pub phaser: Phaser,
     /// Total states inserted across shards (read for the budget check).
     pub total_states: AtomicUsize,
     /// Total transitions fired across workers.
     pub transitions: AtomicUsize,
-    /// Per-level merge target.
+    /// Per-epoch merge target.
     pub agg: Mutex<LevelAgg>,
     /// Union of `(machine, state, event)` dispatches, merged by every
-    /// worker at the end of its expand phase (only populated when
+    /// worker at the end of its expansion (only populated when
     /// [`crate::McConfig::collect_pair_coverage`] is set). A `BTreeSet`,
     /// so the union is identical for every merge order.
     pub coverage: Mutex<PairSet>,
-    /// Decision published by worker 0 each level.
+    /// Decision published at the dedup rendezvous each epoch.
     pub decision: Mutex<Decision>,
     /// Lowest shard id whose visited set reached its capacity bound
-    /// (`usize::MAX` while none has). Checked by the decide phase so a
-    /// full shard stops exploration with a structured outcome.
+    /// (`usize::MAX` while none has). Checked by the decision so a full
+    /// shard stops exploration with a structured outcome.
     pub exhausted_shard: AtomicUsize,
     /// Set when any worker's phase panicked: every worker keeps hitting
-    /// the barriers but skips real work, so the fleet drains instead of
-    /// deadlocking on the [`Barrier`] (std barriers have no poisoning).
+    /// the rendezvous but skips real work, so the fleet drains instead of
+    /// deadlocking the phaser.
     pub aborted: AtomicBool,
     /// The first captured panic payload, re-raised by the main thread.
     pub panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
@@ -165,7 +315,7 @@ pub(crate) struct Coordinator {
 impl Coordinator {
     pub fn new(n_workers: usize) -> Self {
         Coordinator {
-            barrier: Barrier::new(n_workers),
+            phaser: Phaser::new(n_workers),
             total_states: AtomicUsize::new(0),
             transitions: AtomicUsize::new(0),
             agg: Mutex::new(LevelAgg::default()),
@@ -193,31 +343,71 @@ mod tests {
     use super::*;
     use crate::store::STEP_NONE;
 
-    fn cand(fp: u64) -> Candidate {
-        Candidate {
-            state: SysState::initial(1),
-            perm_idx: 0,
-            fp,
-            parent: Gid::pack(0, 0),
-            parent_fp: 0,
-            step: STEP_NONE,
-        }
+    fn meta(fp: u64, off: u32, len: u32) -> CandMeta {
+        CandMeta { fp, parent_fp: 0, parent: Gid::pack(0, 0), step: STEP_NONE, off, len }
     }
 
     #[test]
-    fn outboxes_flush_on_batch_boundary_and_on_demand() {
-        let inboxes = vec![Inbox::default(), Inbox::default()];
+    fn outboxes_seal_on_batch_boundary_and_on_demand() {
         let mut out = Outboxes::new(2);
-        for i in 0..BATCH {
-            out.push(1, cand(i as u64), &inboxes);
+        for i in 0..BATCH - 1 {
+            out.bytes_of(1).push(i as u8);
+            assert!(out.push_meta(1, meta(i as u64, i as u32, 1)).is_none());
         }
-        // A full batch flushed itself.
-        assert_eq!(inboxes[1].drain().len(), BATCH);
-        out.push(0, cand(9), &inboxes);
-        assert!(inboxes[0].drain().is_empty());
-        out.flush_all(&inboxes);
-        assert_eq!(inboxes[0].drain().len(), 1);
-        // Drain empties the queue.
-        assert!(inboxes[0].drain().is_empty());
+        // The BATCH-th candidate seals the batch.
+        let sealed = out.push_meta(1, meta(9, 0, 0)).expect("sealed at the batch bound");
+        assert_eq!(sealed.meta.len(), BATCH);
+        assert_eq!(sealed.bytes.len(), BATCH - 1);
+        // Encodings are addressable through the metadata.
+        assert_eq!(sealed.enc(&sealed.meta[3]), &[3]);
+        // Nothing open for shard 0 yet; one candidate then takes it.
+        assert!(out.take(0).is_none());
+        out.push_meta(0, meta(1, 0, 0));
+        assert_eq!(out.take(0).unwrap().meta.len(), 1);
+        // Recycled batches come back empty with their allocations.
+        out.recycle(sealed);
+        out.bytes_of(1).push(7);
+        assert!(out.push_meta(1, meta(1, 0, 1)).is_none());
+        assert!(out.take(1).unwrap().bytes.capacity() > 0);
+    }
+
+    #[test]
+    fn inbox_is_bounded_and_pop_frees_space() {
+        let inbox = Inbox::default();
+        for _ in 0..MAX_QUEUED_BATCHES {
+            inbox.try_push(CandBatch::default()).expect("under the bound");
+        }
+        let rejected = inbox.try_push(CandBatch::default());
+        assert!(rejected.is_err(), "the bound must backpressure");
+        // wait_for_space with a full queue returns after the timeout
+        // without panicking, and after a pop the push goes through.
+        inbox.wait_for_space(Duration::from_millis(1));
+        assert!(inbox.pop().is_some());
+        inbox.try_push(rejected.unwrap_err()).expect("space after pop");
+    }
+
+    #[test]
+    fn phaser_releases_fleet_and_leader_runs_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let phaser = Phaser::new(4);
+        let leads = AtomicUsize::new(0);
+        let services = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    phaser.arrive_and_drain(|| {
+                        services.fetch_add(1, Ordering::Relaxed);
+                    });
+                    phaser.arrive(|| {
+                        leads.fetch_add(1, Ordering::Relaxed);
+                    });
+                    // Reusable: a second epoch goes through the same phaser.
+                    phaser.arrive(|| {
+                        leads.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            }
+        });
+        assert_eq!(leads.load(Ordering::Relaxed), 2, "exactly one leader per rendezvous");
     }
 }

@@ -8,12 +8,15 @@
 //! evaluation on every reachable state, Murϕ-style symmetry reduction over
 //! cache identities, and counterexample traces.
 //!
-//! Exploration is a multi-threaded, level-synchronized, sharded-frontier
+//! Exploration is a multi-threaded, epoch-synchronized, sharded-frontier
 //! BFS ([`McConfig::threads`] workers, each owning one fingerprint-keyed
-//! shard of the visited set) whose results — states, transitions, the
-//! chosen violation, and the counterexample trace — are identical for
-//! every thread count and run. See DESIGN.md §3 for the algorithm and the
-//! fingerprint collision-risk arithmetic.
+//! shard of the visited set, exchanging successor *encodings* through
+//! bounded batch queues and rendezvousing only at epoch boundaries) with
+//! pruned symmetry canonicalization ([`Canonicalizer`]) and clone-free
+//! scratch stepping. Its results — states, transitions, the chosen
+//! violation, and the counterexample trace — are identical for every
+//! thread count and run. See DESIGN.md §3 for the store and §8 for the
+//! hot-path design and its correctness arguments.
 //!
 //! Checked properties:
 //!
@@ -44,11 +47,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod canon;
 mod explore;
 mod frontier;
 mod store;
 mod system;
 
+pub use canon::{cache_sort_key, Canonicalizer};
 pub use explore::{
     CheckResult, McConfig, ModelChecker, ResourceLimit, Step, Violation, ViolationKind,
 };

@@ -6,7 +6,7 @@
 //! state (the seed design: an owned `Vec<u8>` of ~100–250 bytes per state
 //! plus `HashMap` overhead), each state is reduced to a 64-bit fingerprint
 //! of its canonical encoding, and the only per-state storage is one packed
-//! [`StateRec`] (32 bytes) plus a `u64 → u32` map entry. States are
+//! [`StateRec`] (24 bytes) plus a `u64 → u32` map entry. States are
 //! partitioned across shards by `fingerprint % n_shards`, so a given state
 //! is only ever inserted, deduplicated, or parent-updated by its owning
 //! shard — no locking on the store itself.
@@ -63,16 +63,16 @@ impl Gid {
 /// deadlock violations which have no final step).
 pub(crate) const STEP_NONE: u32 = u32::MAX;
 
-/// One visited state, packed. The state itself is *not* stored — only its
-/// fingerprint and the (parent, step) edge used for counterexample-trace
-/// reconstruction. `parent_fp` is kept so that when the same state is
-/// reached from several parents within one BFS level, the surviving edge
-/// is the minimum of `(parent_fp, step)` — a thread-interleaving-independent
+/// One visited state, packed to 24 bytes. The state itself is *not*
+/// stored — only the (parent, step) edge used for counterexample-trace
+/// reconstruction (the state's own fingerprint lives in the `FpMap` key
+/// and in the frontier entry, so the record does not repeat it).
+/// `parent_fp` is kept so that when the same state is reached from
+/// several parents within one BFS level, the surviving edge is the
+/// minimum of `(parent_fp, step)` — a thread-interleaving-independent
 /// choice that keeps traces byte-identical run to run.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct StateRec {
-    /// This state's canonical fingerprint.
-    pub fp: u64,
     /// Fingerprint of the parent state (tie-break key for same-level
     /// parent races).
     pub parent_fp: u64,
@@ -131,10 +131,11 @@ impl ShardStore {
     }
 }
 
-const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+pub(crate) const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
 
-/// The splitmix64 finalizer: a full-avalanche bijection on `u64`.
-fn mix(mut z: u64) -> u64 {
+/// The splitmix64 finalizer: a full-avalanche bijection on `u64`. Shared
+/// with the canonicalizer's sort-key hashing (`crate::canon`).
+pub(crate) fn mix64(mut z: u64) -> u64 {
     z ^= z >> 30;
     z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z ^= z >> 27;
@@ -171,7 +172,7 @@ impl Fingerprinter {
     }
 
     fn absorb(&mut self, chunk: u64) {
-        self.h = mix(self.h ^ chunk).wrapping_add(GOLDEN);
+        self.h = mix64(self.h ^ chunk).wrapping_add(GOLDEN);
     }
 
     /// The 64-bit digest of everything written so far.
@@ -180,7 +181,7 @@ impl Fingerprinter {
             let chunk = self.buf;
             self.absorb(chunk);
         }
-        mix(self.h ^ self.len)
+        mix64(self.h ^ self.len)
     }
 }
 
@@ -264,13 +265,7 @@ mod tests {
         let mut s = ShardStore::new();
         assert_eq!(s.bytes(), 0);
         s.map.insert(7, 0);
-        s.recs.push(StateRec {
-            fp: 7,
-            parent_fp: 7,
-            parent: Gid::pack(0, 0),
-            step: STEP_NONE,
-            depth: 0,
-        });
+        s.recs.push(StateRec { parent_fp: 7, parent: Gid::pack(0, 0), step: STEP_NONE, depth: 0 });
         assert!(s.bytes() >= std::mem::size_of::<StateRec>());
     }
 }

@@ -186,24 +186,128 @@ impl SysState {
 
     /// The canonical encoding under cache-identity symmetry (the Murϕ
     /// scalarset reduction): the encoding of the orbit representative the
-    /// model checker itself selects — the permutation minimizing the
-    /// 64-bit fingerprint of the permuted encoding, ties broken by
-    /// permutation index. Using the same representative here keeps every
-    /// notion of "canonical" in this crate interchangeable.
+    /// model checker itself selects. The selection key is two-level —
+    /// first the sequence of per-cache symmetry sort keys in slot order
+    /// (see [`crate::cache_sort_key`]), then the 64-bit fingerprint of the
+    /// permuted encoding, ties broken by permutation index. Putting the
+    /// key sequence first is what lets the checker's pruned canonicalizer
+    /// ([`crate::Canonicalizer`]) skip every permutation that does not
+    /// sort the caches by key and still select the *same* representative
+    /// as this full sweep — the equivalence the `canon_prop` proptest
+    /// pins. Using the same representative here keeps every notion of
+    /// "canonical" in this crate interchangeable.
     pub fn canonical_encoding(&self, perms: &[Vec<u8>]) -> Vec<u8> {
-        let mut best: Option<(u64, Vec<u8>)> = None;
+        let n = self.n_caches();
+        let keys: Vec<u64> = (0..n).map(|i| crate::cache_sort_key(self, i)).collect();
+        let mut best: Option<(Vec<u64>, u64, Vec<u8>)> = None;
+        let mut key_seq = vec![0u64; n];
         for p in perms {
             let inv = invert(p);
+            for (slot, &src) in inv.iter().enumerate() {
+                key_seq[slot] = keys[src as usize];
+            }
             let mut h = crate::store::Fingerprinter::new();
             self.encode_permuted_to(p, &inv, &mut h);
             let fp = h.finish();
-            if best.as_ref().is_none_or(|(b, _)| fp < *b) {
+            if best.as_ref().is_none_or(|(bk, bfp, _)| (&key_seq, fp) < (bk, *bfp)) {
                 let mut enc = Vec::with_capacity(96);
                 self.encode_permuted_to(p, &inv, &mut enc);
-                best = Some((fp, enc));
+                best = Some((key_seq.clone(), fp, enc));
             }
         }
-        best.map(|(_, enc)| enc).unwrap_or_else(|| self.encode())
+        best.map(|(_, _, enc)| enc).unwrap_or_else(|| self.encode())
+    }
+
+    /// Decodes an [`SysState::encode`]-produced byte string back into a
+    /// state, reusing `self`'s allocations — the inverse the clone-free
+    /// expand path relies on: successor candidates travel between shards
+    /// as canonical encodings, and only states that turn out to be *new*
+    /// are ever materialized, through this method.
+    ///
+    /// The `0xff` byte is the `None` sentinel for optional scalars, which
+    /// is unambiguous because every value domain in the checker is tiny
+    /// (the standard Murϕ bounding discipline keeps values, ack counts,
+    /// and ids far below 255).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bytes` is not a complete encoding for `n_caches`
+    /// caches — encodings come only from [`SysState::encode_permuted_to`],
+    /// so a mismatch is a checker bug, not an input condition.
+    pub fn decode_into(&mut self, bytes: &[u8], n_caches: usize) {
+        let mut pos = 0usize;
+        let u8 = |pos: &mut usize| {
+            let b = bytes[*pos];
+            *pos += 1;
+            b
+        };
+        let opt = |b: u8| if b == 0xff { None } else { Some(b) };
+        self.caches.resize_with(n_caches, CacheBlock::new);
+        for c in &mut self.caches {
+            let lo = u8(&mut pos);
+            let hi = u8(&mut pos);
+            c.state = protogen_spec::FsmStateId(u16::from_le_bytes([lo, hi]) as u32);
+            c.data = opt(u8(&mut pos));
+            c.acks_received = u8(&mut pos);
+            c.acks_expected = opt(u8(&mut pos));
+            c.pending = match u8(&mut pos) {
+                0xff => None,
+                0 => Some(Access::Load),
+                1 => Some(Access::Store),
+                2 => Some(Access::Replacement),
+                b => panic!("bad pending-access byte {b}"),
+            };
+            let slots = u8(&mut pos);
+            c.chain_slots.clear();
+            for _ in 0..slots {
+                let node = NodeId(u8(&mut pos));
+                let a = u8(&mut pos);
+                c.chain_slots.push((node, a));
+            }
+        }
+        let lo = u8(&mut pos);
+        let hi = u8(&mut pos);
+        self.dir.state = protogen_spec::FsmStateId(u16::from_le_bytes([lo, hi]) as u32);
+        self.dir.owner = opt(u8(&mut pos)).map(NodeId);
+        self.dir.sharers = u8(&mut pos);
+        self.dir.data = u8(&mut pos);
+        let slots = u8(&mut pos);
+        self.dir.chain_slots.clear();
+        for _ in 0..slots {
+            let node = NodeId(u8(&mut pos));
+            let a = u8(&mut pos);
+            self.dir.chain_slots.push((node, a));
+        }
+        let total = n_caches + 1;
+        self.channels.resize_with(total, Vec::new);
+        for row in &mut self.channels {
+            row.resize_with(total, Vec::new);
+            for q in row {
+                let len = u8(&mut pos);
+                q.clear();
+                for _ in 0..len {
+                    let lo = u8(&mut pos);
+                    let hi = u8(&mut pos);
+                    q.push(Msg {
+                        mtype: protogen_spec::MsgId(u16::from_le_bytes([lo, hi])),
+                        src: NodeId(u8(&mut pos)),
+                        dst: NodeId(u8(&mut pos)),
+                        req: NodeId(u8(&mut pos)),
+                        ack_count: opt(u8(&mut pos)),
+                        data: opt(u8(&mut pos)),
+                    });
+                }
+            }
+        }
+        self.ghost = u8(&mut pos);
+        assert_eq!(pos, bytes.len(), "trailing bytes after a complete state decode");
+    }
+
+    /// [`SysState::decode_into`] into a fresh state.
+    pub fn decode(bytes: &[u8], n_caches: usize) -> SysState {
+        let mut s = SysState::initial(n_caches);
+        s.decode_into(bytes, n_caches);
+        s
     }
 
     /// Applies a cache-id permutation: cache `i` becomes cache `perm[i]`.

@@ -1,0 +1,127 @@
+//! Property tests for the pruned symmetry canonicalizer (ISSUE 5): over
+//! random *reachable* system states of real generated protocols at
+//! 2–4 caches, the pruned canonical representative must equal the full
+//! n!-sweep `canonical_encoding(&permutations(n))` byte-for-byte, the
+//! canonical fingerprint must be constant across each symmetry orbit, and
+//! the byte encoding must decode back to the exact state (the clone-free
+//! expand path ships candidates as encodings and reconstructs only the
+//! new ones).
+
+use proptest::prelude::*;
+use protogen_core::{generate, GenConfig};
+use protogen_mc::{permutations, Canonicalizer, McConfig, ModelChecker, SysState};
+use std::sync::OnceLock;
+
+/// The sampled corpora: for MSI and MESI (non-stalling — the richer
+/// machines) at 2, 3, and 4 caches, a deterministic BFS prefix of the
+/// reachable canonical representatives.
+fn corpora() -> &'static Vec<(usize, Vec<SysState>)> {
+    static CORPORA: OnceLock<Vec<(usize, Vec<SysState>)>> = OnceLock::new();
+    CORPORA.get_or_init(|| {
+        let mut out = Vec::new();
+        for ssp in [protogen_protocols::msi(), protogen_protocols::mesi()] {
+            let g = generate(&ssp, &GenConfig::non_stalling()).unwrap();
+            for n in 2..=4usize {
+                let mc = ModelChecker::new(&g.cache, &g.directory, McConfig::with_caches(n));
+                out.push((n, mc.sample_states(250)));
+            }
+        }
+        out
+    })
+}
+
+/// A deeper state: random-walk `depth` enabled steps from `start` (the
+/// BFS prefix alone under-samples late transients and long queues).
+fn walk(n: usize, start: &SysState, depth: usize, mut seed: u64) -> SysState {
+    let ssp = protogen_protocols::mesi();
+    let g = generate(&ssp, &GenConfig::non_stalling()).unwrap();
+    let mc = ModelChecker::new(&g.cache, &g.directory, McConfig::with_caches(n));
+    let mut cur = start.clone();
+    for _ in 0..depth {
+        let steps = mc.steps(&cur);
+        if steps.is_empty() {
+            break;
+        }
+        // SplitMix64-style draw, independent of the proptest RNG.
+        seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut pick = seed;
+        pick ^= pick >> 30;
+        pick = pick.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        for probe in 0..steps.len() {
+            let step = steps[(pick as usize + probe) % steps.len()];
+            if let Ok(Some(next)) = mc.successor_state(&cur, step) {
+                cur = next;
+                break;
+            }
+        }
+    }
+    cur
+}
+
+/// Applies every check of this suite to one state.
+fn assert_canon_properties(n: usize, s: &SysState, perm_pick: usize) {
+    let perms = permutations(n);
+    let mut canon = Canonicalizer::new(n, true);
+
+    // 1. Pruned ≡ full sweep, byte for byte.
+    let mut pruned = Vec::new();
+    let fp = canon.encode_canonical_into(s, &mut pruned);
+    let full = s.canonical_encoding(&perms);
+    assert_eq!(pruned, full, "pruned representative diverged from the n! sweep");
+
+    // 2. Orbit stability: every permuted copy selects the same
+    //    representative and fingerprint.
+    let q = &perms[perm_pick % perms.len()];
+    let permuted = s.permuted(q);
+    let mut from_orbit = Vec::new();
+    let orbit_fp = canon.encode_canonical_into(&permuted, &mut from_orbit);
+    assert_eq!(from_orbit, pruned, "representative drifts across the orbit (perm {q:?})");
+    assert_eq!(orbit_fp, fp, "fingerprint drifts across the orbit (perm {q:?})");
+
+    // 3. Sort keys are permutation-invariant.
+    for i in 0..n {
+        assert_eq!(
+            protogen_mc::cache_sort_key(s, i),
+            protogen_mc::cache_sort_key(&permuted, q[i] as usize),
+            "sort key of cache {i} not invariant under {q:?}"
+        );
+    }
+
+    // 4. Encodings decode back to the exact state.
+    assert_eq!(&SysState::decode(&s.encode(), n), s, "decode(encode) is not the identity");
+    // …including the canonical representative itself.
+    let rep = SysState::decode(&pruned, n);
+    assert_eq!(rep.encode(), pruned, "canonical encoding does not round-trip");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// ISSUE 5 satellite: for random reachable `SysState`s at n = 2..4,
+    /// the pruned canonical representative equals
+    /// `canonical_encoding(&permutations(n))` byte-for-byte (plus orbit
+    /// stability, key invariance, and decode round-tripping).
+    #[test]
+    fn pruned_canonicalization_matches_full_sweep(
+        corpus in 0usize..6,
+        pick in any::<usize>(),
+        perm_pick in any::<usize>(),
+    ) {
+        let (n, states) = &corpora()[corpus];
+        let s = &states[pick % states.len()];
+        assert_canon_properties(*n, s, perm_pick);
+    }
+
+    /// The same properties hold on deep random walks (late transients,
+    /// loaded channels), not just the BFS prefix near the root.
+    #[test]
+    fn pruned_canonicalization_holds_on_deep_walks(
+        n in 2usize..=4,
+        depth in 4usize..=16,
+        seed in any::<u64>(),
+        perm_pick in any::<usize>(),
+    ) {
+        let s = walk(n, &SysState::initial(n), depth, seed);
+        assert_canon_properties(n, &s, perm_pick);
+    }
+}

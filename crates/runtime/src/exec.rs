@@ -85,6 +85,16 @@ pub struct ApplyOutcome {
     pub stalled: bool,
 }
 
+impl ApplyOutcome {
+    /// Resets the outcome for reuse, keeping the `outgoing` allocation —
+    /// the point of [`apply_into`]'s sink-style signature.
+    pub fn clear(&mut self) {
+        self.outgoing.clear();
+        self.performed = None;
+        self.stalled = false;
+    }
+}
+
 /// Selects the first arc of `fsm` out of `state` for `event` whose guards
 /// all pass. Guarded SSP entries come before synthesized fallbacks in arc
 /// order, so first-match gives the "else" semantics the generator relies
@@ -193,21 +203,38 @@ pub fn apply(
     fsm: &Fsm,
     arc: &Arc,
     msg: Option<&Msg>,
-    mut machine: MachineCtx<'_>,
+    machine: MachineCtx<'_>,
     store_value: Val,
 ) -> Result<ApplyOutcome, ExecError> {
     let mut out = ApplyOutcome::default();
+    apply_into(fsm, arc, msg, machine, store_value, &mut out)?;
+    Ok(out)
+}
+
+/// [`apply`] writing into a caller-owned [`ApplyOutcome`] instead of
+/// allocating a fresh one — the model checker's hot path reuses one
+/// outcome (and its `outgoing` buffer) per worker across millions of
+/// transitions. The outcome is cleared on entry; on error it holds
+/// whatever was produced before the failure and must not be interpreted.
+pub fn apply_into(
+    fsm: &Fsm,
+    arc: &Arc,
+    msg: Option<&Msg>,
+    mut machine: MachineCtx<'_>,
+    store_value: Val,
+    out: &mut ApplyOutcome,
+) -> Result<(), ExecError> {
+    out.clear();
     if arc.kind == ArcKind::Stall {
         out.stalled = true;
-        return Ok(out);
+        return Ok(());
     }
     let ctx = || format!("{} state {}", fsm.machine, fsm.state(arc.from).name);
 
     for action in &arc.actions {
         match (action, &mut machine) {
             (Action::Send(sp), m) => {
-                let built = build_sends(fsm, sp, msg, &*m, &ctx)?;
-                out.outgoing.extend(built);
+                build_sends_into(fsm, sp, msg, &*m, &ctx, &mut out.outgoing)?;
             }
             (Action::PerformAccess, MachineCtx::Cache { block, .. }) => {
                 // On an access event this performs that access; on a message
@@ -324,16 +351,17 @@ pub fn apply(
             entry.chain_slots.truncate(slots);
         }
     }
-    Ok(out)
+    Ok(())
 }
 
-fn build_sends(
+fn build_sends_into(
     _fsm: &Fsm,
     sp: &protogen_spec::SendSpec,
     msg: Option<&Msg>,
     machine: &MachineCtx<'_>,
     ctx: &dyn Fn() -> String,
-) -> Result<Vec<Msg>, ExecError> {
+    out: &mut Vec<Msg>,
+) -> Result<(), ExecError> {
     let (self_id, dir_id, slots): (NodeId, NodeId, &[(NodeId, u8)]) = match machine {
         MachineCtx::Cache { block, self_id, dir_id } => (*self_id, *dir_id, &block.chain_slots),
         MachineCtx::Dir { entry, self_id } => (*self_id, *self_id, &entry.chain_slots),
@@ -379,28 +407,36 @@ fn build_sends(
         },
     };
 
-    let dsts: Vec<NodeId> = match sp.dst {
-        Dst::Dir => vec![dir_id],
-        Dst::Req => vec![msg.ok_or_else(|| ExecError::MissingMsg(ctx()))?.req],
-        Dst::Sender => vec![msg.ok_or_else(|| ExecError::MissingMsg(ctx()))?.src],
+    let push = |dst: NodeId, out: &mut Vec<Msg>| {
+        out.push(Msg { mtype: sp.msg, src: self_id, dst, req, ack_count, data });
+    };
+    match sp.dst {
+        Dst::Dir => push(dir_id, out),
+        Dst::Req => push(msg.ok_or_else(|| ExecError::MissingMsg(ctx()))?.req, out),
+        Dst::Sender => push(msg.ok_or_else(|| ExecError::MissingMsg(ctx()))?.src, out),
         Dst::ChainReq(i) => {
-            vec![slots.get(i).ok_or_else(|| ExecError::BadSlot(ctx()))?.0]
+            push(slots.get(i).ok_or_else(|| ExecError::BadSlot(ctx()))?.0, out);
         }
         Dst::Owner => match machine {
             MachineCtx::Dir { entry, .. } => {
-                vec![entry.owner.ok_or_else(|| ExecError::NoOwner(ctx()))?]
+                push(entry.owner.ok_or_else(|| ExecError::NoOwner(ctx()))?, out);
             }
             MachineCtx::Cache { .. } => return Err(ExecError::NoOwner(ctx())),
         },
+        // Iterate the sharer bitmask directly: the `sharers_except` helper
+        // allocates a Vec per call, which this path cannot afford.
         Dst::SharersExceptReq => match machine {
-            MachineCtx::Dir { entry, .. } => entry.sharers_except(req),
+            MachineCtx::Dir { entry, .. } => {
+                for i in 0u8..8 {
+                    if entry.sharers & (1u8 << i) != 0 && i != req.0 {
+                        push(NodeId(i), out);
+                    }
+                }
+            }
             MachineCtx::Cache { .. } => return Err(ExecError::NoOwner(ctx())),
         },
-    };
-    Ok(dsts
-        .into_iter()
-        .map(|dst| Msg { mtype: sp.msg, src: self_id, dst, req, ack_count, data })
-        .collect())
+    }
+    Ok(())
 }
 
 #[cfg(test)]
