@@ -1,13 +1,17 @@
 //! Thread-scaling benchmark for the sharded model checker.
 //!
 //! Runs the 3-cache MESI (non-stalling) verification workload at 1, 2,
-//! and 4 worker threads, reports states/second and peak visited-set
-//! bytes, folds in the canonicalization microbenchmark (full n! sweep vs
-//! the pruned sort-key path, see `benches/canonicalization.rs`), and
-//! writes the results to `BENCH_mc.json` at the workspace root — the
-//! artifact the `bench-nightly` CI workflow uploads and gates on.
-//! Serialization and baseline checking go through `protogen_bench`'s
-//! shared report writer (the same one `sim_scaling` uses).
+//! and 4 worker threads, reports states/second and peak accounted
+//! memory, runs one memory-budgeted verify (4-cache MSI stalling under a
+//! deliberately tiny budget, delta store) and hard-gates that its
+//! state/transition counts match the unbudgeted run — spilling must
+//! never change results — folds in the canonicalization microbenchmark
+//! (full n! sweep vs the pruned sort-key path, see
+//! `benches/canonicalization.rs`), and writes the results to
+//! `BENCH_mc.json` at the workspace root — the artifact the
+//! `bench-nightly` CI workflow uploads and gates on. Serialization and
+//! baseline checking go through `protogen_bench`'s shared report writer
+//! (the same one `sim_scaling` uses).
 //!
 //! Environment knobs (all off by default so plain `cargo bench` never
 //! fails on a laptop):
@@ -32,17 +36,23 @@ use protogen_bench::{
     speedup_gate, workspace_root, write_report, BaselineCheck, Json, Tolerance,
 };
 use protogen_core::{generate, GenConfig};
-use protogen_mc::{McConfig, ModelChecker};
+use protogen_mc::{McConfig, ModelChecker, StoreMode};
 use std::path::PathBuf;
 
 /// Best-of-N to damp scheduler noise without statistical machinery.
 const REPS: usize = 3;
+
+/// Budget for the spill-path workload: small enough that a 4-cache MSI
+/// stalling run (≈ 215 k states) is forced out of core almost
+/// immediately, so the nightly always exercises the spill tier.
+const BUDGET_BYTES: usize = 1 << 20;
 
 struct Point {
     threads: usize,
     seconds: f64,
     states_per_sec: f64,
     peak_store_bytes: usize,
+    peak_mem_bytes: usize,
 }
 
 fn thread_points() -> Vec<usize> {
@@ -62,8 +72,8 @@ fn main() {
 
     println!("=== mc_scaling: MESI non-stalling, 3 caches ===");
     println!(
-        "{:>7} {:>10} {:>9} {:>14} {:>16}",
-        "threads", "states", "seconds", "states/sec", "peak store (B)"
+        "{:>7} {:>10} {:>9} {:>14} {:>16} {:>14}",
+        "threads", "states", "seconds", "states/sec", "peak store (B)", "peak mem (B)"
     );
 
     let mut states = 0usize;
@@ -83,6 +93,7 @@ fn main() {
                 seconds: r.seconds,
                 states_per_sec: r.states as f64 / r.seconds,
                 peak_store_bytes: r.store_bytes,
+                peak_mem_bytes: r.peak_mem_bytes,
             };
             if best.as_ref().is_none_or(|b| p.states_per_sec > b.states_per_sec) {
                 best = Some(p);
@@ -90,8 +101,8 @@ fn main() {
         }
         let p = best.unwrap();
         println!(
-            "{:>7} {:>10} {:>9.3} {:>14.0} {:>16}",
-            p.threads, states, p.seconds, p.states_per_sec, p.peak_store_bytes
+            "{:>7} {:>10} {:>9.3} {:>14.0} {:>16} {:>14}",
+            p.threads, states, p.seconds, p.states_per_sec, p.peak_store_bytes, p.peak_mem_bytes
         );
         points.push(p);
     }
@@ -104,9 +115,44 @@ fn main() {
     };
     let (gate_on, gate_decision) = speedup_gate(4);
     let peak = points.iter().map(|p| p.peak_store_bytes).max().unwrap();
+    let peak_mem = points.iter().map(|p| p.peak_mem_bytes).max().unwrap();
     if let Some(s) = speedup {
         println!("speedup 4t/1t: {s:.2}×  (cores available: {})", cores_available());
     }
+
+    // The memory-budgeted verify: 4-cache MSI stalling under a tiny
+    // budget with the delta store. The spill tier must leave results
+    // byte-identical, so the unbudgeted counts are a hard gate, not a
+    // tracked metric — a mismatch fails the nightly outright.
+    let msi = generate(&protogen_protocols::msi(), &GenConfig::stalling()).unwrap();
+    let budgeted_run = |budget: usize| {
+        let mut cfg = McConfig::with_caches(4);
+        cfg.threads = 1;
+        cfg.mem_budget_bytes = budget;
+        cfg.store = if budget == 0 { StoreMode::Full } else { StoreMode::Delta };
+        let r = ModelChecker::new(&msi.cache, &msi.directory, cfg).run();
+        assert!(r.passed(), "budgeted workload must verify: {:?}", r.violation);
+        r
+    };
+    let unbudgeted = budgeted_run(0);
+    let budgeted = budgeted_run(BUDGET_BYTES);
+    assert_eq!(
+        (budgeted.states, budgeted.transitions),
+        (unbudgeted.states, unbudgeted.transitions),
+        "spilling changed exploration results"
+    );
+    let budgeted_rate = budgeted.states as f64 / budgeted.seconds;
+    println!(
+        "budgeted MSI stalling @4 caches ({} B budget, delta store): {} states, \
+         {:.0} states/s, peak mem {} B (unbudgeted {} B), spilled {} B in {} chunks",
+        BUDGET_BYTES,
+        budgeted.states,
+        budgeted_rate,
+        budgeted.peak_mem_bytes,
+        unbudgeted.peak_mem_bytes,
+        budgeted.spill_bytes,
+        budgeted.spill_chunks
+    );
 
     // The canonicalization microbenchmark rides along so the nightly
     // report tracks the pruned hot path, not just end-to-end throughput.
@@ -138,6 +184,7 @@ fn main() {
                             ("seconds", Json::F64(p.seconds)),
                             ("states_per_sec", Json::F64(p.states_per_sec)),
                             ("peak_store_bytes", Json::U64(p.peak_store_bytes as u64)),
+                            ("peak_mem_bytes", Json::U64(p.peak_mem_bytes as u64)),
                         ])
                     })
                     .collect(),
@@ -176,6 +223,20 @@ fn main() {
         doc.push("speedup_4t", Json::F64(s));
     }
     doc.push("peak_store_bytes", Json::U64(peak as u64));
+    doc.push("peak_mem_bytes", Json::U64(peak_mem as u64));
+    doc.push(
+        "budgeted_verify",
+        Json::obj([
+            ("workload", Json::Str("MSI stalling, 4 caches, delta store".into())),
+            ("mem_budget_bytes", Json::U64(BUDGET_BYTES as u64)),
+            ("states", Json::U64(budgeted.states as u64)),
+            ("states_per_sec", Json::F64(budgeted_rate)),
+            ("peak_mem_bytes", Json::U64(budgeted.peak_mem_bytes as u64)),
+            ("unbudgeted_peak_mem_bytes", Json::U64(unbudgeted.peak_mem_bytes as u64)),
+            ("spill_bytes", Json::U64(budgeted.spill_bytes)),
+            ("spill_chunks", Json::U64(budgeted.spill_chunks)),
+        ]),
+    );
     write_report("BENCH_mc.json", &doc);
 
     let mut failed = false;

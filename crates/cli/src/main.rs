@@ -3,6 +3,7 @@
 //! ```text
 //! protogen table   <protocol> [--stalling] [--machine cache|dir] [--markdown]
 //! protogen verify  <protocol> [--stalling] [--caches N] [--threads N] [--max-states N]
+//!                  [--mem-budget BYTES] [--store full|delta|fp-only] [--spill-chunk BYTES]
 //! protogen dot     <protocol> [--stalling] [--machine cache|dir]
 //! protogen murphi  <protocol> [--stalling] [--caches N]
 //! protogen sim     <protocol> [--stalling] [--caches N] [--addrs N] [--accesses N]
@@ -21,6 +22,13 @@
 //! `--threads` sets the worker count (default: all available cores);
 //! verification and sweep results are identical for every thread count.
 //!
+//! `verify --mem-budget` caps the checker's accounted RAM (suffixes K/M/G,
+//! binary): over budget, cold frontier bytes and frozen visited records
+//! spill to scratch files and stream back — results are byte-identical at
+//! any budget. `--store delta` delta-compresses frontier encodings;
+//! `--store fp-only` keeps only 64-bit fingerprints (least RAM, no
+//! counterexample trace, collision bound printed with the result).
+//!
 //! `sim` workloads: uniform, zipfian, producer-consumer, migratory,
 //! false-sharing, private — or `--trace file.trc` to replay a trace.
 //! Latency distributions: `fixed:N`, `uniform:LO:HI`, `geometric:BASE:PCT`.
@@ -32,7 +40,7 @@
 
 use protogen_backend::{render_table, to_dot, to_murphi, TableOptions};
 use protogen_core::{generate, GenConfig, Generated};
-use protogen_mc::{McConfig, ModelChecker};
+use protogen_mc::{McConfig, ModelChecker, StoreMode};
 use protogen_sim::{
     parse_trace, run_sweep, simulate, Json, LatencyDist, NetModel, SimConfig, SweepConfig, Workload,
 };
@@ -72,6 +80,9 @@ impl Args {
                         | "mutants"
                         | "budget"
                         | "max-states"
+                        | "mem-budget"
+                        | "store"
+                        | "spill-chunk"
                         | "replay"
                 );
                 if needs_value {
@@ -118,17 +129,64 @@ fn generate_or_exit(ssp: &Ssp, args: &Args) -> Generated {
     }
 }
 
+/// Parses a byte size with optional binary K/M/G suffix (`64M` = 64 MiB).
+fn parse_bytes(v: &str) -> Option<usize> {
+    let (digits, shift) = match v.as_bytes().last()? {
+        b'K' | b'k' => (&v[..v.len() - 1], 10),
+        b'M' | b'm' => (&v[..v.len() - 1], 20),
+        b'G' | b'g' => (&v[..v.len() - 1], 30),
+        _ => (v, 0),
+    };
+    digits.parse::<usize>().ok()?.checked_shl(shift)
+}
+
 fn verify(g: &Generated, ssp: &Ssp, args: &Args, n: usize, threads: usize) -> bool {
     let mut cfg = McConfig::with_caches(n);
     cfg.ordered = ssp.network_ordered;
     cfg.threads = threads;
     // `--max-states` raises (or lowers) the exploration budget — deep
-    // cache counts can exceed the 20M-state default.
+    // cache counts can exceed the 20M-state default. A zero budget would
+    // stop before the initial state and print a "PASSED"-shaped line for
+    // an exploration that proved nothing, so reject it outright.
     if let Some(v) = args.value("max-states") {
         match v.parse() {
+            Ok(0) => {
+                eprintln!(
+                    "bad --max-states `0`: the budget must admit at least the initial state \
+                     (an empty exploration verifies nothing)"
+                );
+                std::process::exit(2);
+            }
             Ok(n) => cfg.max_states = n,
             Err(_) => {
                 eprintln!("bad --max-states `{v}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(v) = args.value("mem-budget") {
+        match parse_bytes(v) {
+            Some(b) => cfg.mem_budget_bytes = b,
+            None => {
+                eprintln!("bad --mem-budget `{v}` (bytes, with optional K/M/G suffix)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(v) = args.value("spill-chunk") {
+        match parse_bytes(v) {
+            Some(b) => cfg.spill_chunk_bytes = b,
+            None => {
+                eprintln!("bad --spill-chunk `{v}` (bytes, with optional K/M/G suffix)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(v) = args.value("store") {
+        match v.parse::<StoreMode>() {
+            Ok(mode) => cfg.store = mode,
+            Err(e) => {
+                eprintln!("bad --store: {e}");
                 std::process::exit(2);
             }
         }
@@ -137,6 +195,7 @@ fn verify(g: &Generated, ssp: &Ssp, args: &Args, n: usize, threads: usize) -> bo
         cfg.check_swmr = false;
         cfg.check_data_value = false;
     }
+    let fp_only = cfg.store == StoreMode::FpOnly;
     let r = ModelChecker::new(&g.cache, &g.directory, cfg).run();
     println!(
         "{}: {} — {} states, {} transitions, {:.2}s ({:.0} states/s) on {} thread{}",
@@ -149,6 +208,25 @@ fn verify(g: &Generated, ssp: &Ssp, args: &Args, n: usize, threads: usize) -> bo
         r.threads,
         if r.threads == 1 { "" } else { "s" }
     );
+    if r.spill_bytes > 0 {
+        println!(
+            "spilled {} bytes in {} chunks under the memory budget (peak accounted RAM {} \
+             bytes){}",
+            r.spill_bytes,
+            r.spill_chunks,
+            r.peak_mem_bytes,
+            // "spilled + completed" is not an early stop: unless a limit
+            // fired below, the whole space was still explored.
+            if r.limit.is_none() { " — exploration completed" } else { "" }
+        );
+    }
+    if fp_only {
+        println!(
+            "fingerprint-only store: no counterexample traces; expected state pairs merged by \
+             a 64-bit collision ≈ {:.3e}",
+            r.expected_collision_pairs()
+        );
+    }
     if let Some(v) = &r.violation {
         println!("violation: {}", v.kind);
         for line in &v.trace {

@@ -55,6 +55,76 @@ fn verify_reports_identical_counts_for_any_thread_count() {
 }
 
 #[test]
+fn verify_rejects_zero_max_states() {
+    // A zero budget used to stop before the initial state and print a
+    // "PASSED"-shaped line for an exploration that proved nothing.
+    let out = protogen(&["verify", "msi", "--caches", "2", "--max-states", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("bad --max-states"), "{err}");
+    assert!(err.contains("verifies nothing"), "{err}");
+    assert!(!String::from_utf8_lossy(&out.stdout).contains("PASSED"));
+
+    let out = protogen(&["verify", "msi", "--caches", "2", "--max-states", "many"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad --max-states"));
+}
+
+#[cfg(unix)]
+#[test]
+fn verify_under_memory_budget_spills_and_completes() {
+    // A deliberately tiny budget forces the spill tier; the run must
+    // still complete the whole space with identical counts and say so
+    // ("spilled + completed" is not an early stop).
+    let budgeted = protogen(&[
+        "verify",
+        "msi",
+        "--stalling",
+        "--caches",
+        "3",
+        "--store",
+        "delta",
+        "--mem-budget",
+        "1K",
+        "--spill-chunk",
+        "4K",
+    ]);
+    let unbudgeted = protogen(&["verify", "msi", "--stalling", "--caches", "3"]);
+    assert!(budgeted.status.success(), "{}", String::from_utf8_lossy(&budgeted.stderr));
+    assert!(unbudgeted.status.success());
+    let b = String::from_utf8_lossy(&budgeted.stdout);
+    let u = String::from_utf8_lossy(&unbudgeted.stdout);
+    assert!(b.contains("PASSED"), "{b}");
+    assert!(b.contains("spilled"), "budgeted run never spilled:\n{b}");
+    assert!(b.contains("exploration completed"), "{b}");
+    assert!(!b.contains("stopped early"), "{b}");
+    let prefix = |out: &str| out.split(" transitions").next().unwrap_or_default().to_string();
+    assert_eq!(prefix(&b), prefix(&u), "budgeted:\n{b}\nunbudgeted:\n{u}");
+
+    let out = protogen(&["verify", "msi", "--mem-budget", "lots"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad --mem-budget"));
+}
+
+#[test]
+fn verify_fp_only_reports_collision_bound_and_matches_counts() {
+    let fp = protogen(&["verify", "msi", "--caches", "2", "--store", "fp-only"]);
+    let full = protogen(&["verify", "msi", "--caches", "2"]);
+    assert!(fp.status.success(), "{}", String::from_utf8_lossy(&fp.stderr));
+    let f = String::from_utf8_lossy(&fp.stdout);
+    let u = String::from_utf8_lossy(&full.stdout);
+    assert!(f.contains("PASSED"), "{f}");
+    assert!(f.contains("fingerprint-only store"), "{f}");
+    assert!(f.contains("collision"), "{f}");
+    let prefix = |out: &str| out.split(" transitions").next().unwrap_or_default().to_string();
+    assert_eq!(prefix(&f), prefix(&u));
+
+    let out = protogen(&["verify", "msi", "--store", "compressed"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown store mode"));
+}
+
+#[test]
 fn table_renders_generated_controller() {
     let out = protogen(&["table", "msi"]);
     assert!(out.status.success());

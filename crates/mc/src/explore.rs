@@ -72,6 +72,69 @@ pub struct McConfig {
     /// count), whether a *shard* fills up depends on how fingerprints
     /// distribute over `threads` shards.
     pub shard_capacity: usize,
+    /// Soft RAM budget for the run's accounted state (visited shards,
+    /// frontier arenas, batch pools), split evenly across workers. When a
+    /// worker's share is exceeded, cold frontier bytes and frozen visited
+    /// records spill to page-aligned scratch files and stream back in
+    /// (see DESIGN.md §9). `0` — the default — disables spilling; the
+    /// budget is also ignored on platforms without positioned file reads.
+    /// Results are byte-identical at any budget.
+    pub mem_budget_bytes: usize,
+    /// How states are stored: full encodings, delta-compressed encodings,
+    /// or fingerprints only (see [`StoreMode`]).
+    pub store: StoreMode,
+    /// Spill granularity: the frontier's hot arena is flushed in chunks of
+    /// at least this many bytes (clamped up to one page). Exposed so tests
+    /// can force spilling on tiny state spaces; the default of 1 MiB is
+    /// right for real runs.
+    pub spill_chunk_bytes: usize,
+}
+
+/// How the checker stores visited/frontier states (the tiered-store
+/// tentpole: trade reconstruction capability for RAM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoreMode {
+    /// Full canonical encodings in the frontier arenas (the fastest mode
+    /// and the default).
+    #[default]
+    Full,
+    /// Frontier encodings are delta-compressed against the previous arena
+    /// entry (BFS siblings share most bytes — see [`crate::encode_delta`]),
+    /// typically 4–8× smaller. Everything else, including counterexample
+    /// traces, works as in [`StoreMode::Full`].
+    Delta,
+    /// Murϕ "hash compaction" proper: only 64-bit fingerprints are kept
+    /// per visited state — no parent records, so no counterexample trace
+    /// can be reconstructed, and a fingerprint collision silently prunes
+    /// part of the space. [`CheckResult::expected_collision_pairs`]
+    /// quantifies that risk (DESIGN.md §3). Frontier encodings are
+    /// delta-compressed as in [`StoreMode::Delta`].
+    FpOnly,
+}
+
+impl StoreMode {
+    /// Whether frontier arenas hold delta-compressed encodings.
+    pub(crate) fn delta_frontier(self) -> bool {
+        !matches!(self, StoreMode::Full)
+    }
+
+    /// Whether per-state parent records exist (trace reconstruction).
+    pub(crate) fn keeps_recs(self) -> bool {
+        !matches!(self, StoreMode::FpOnly)
+    }
+}
+
+impl std::str::FromStr for StoreMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "full" => Ok(StoreMode::Full),
+            "delta" => Ok(StoreMode::Delta),
+            "fp-only" => Ok(StoreMode::FpOnly),
+            _ => Err(format!("unknown store mode '{s}' (expected full, delta, or fp-only)")),
+        }
+    }
 }
 
 impl Default for McConfig {
@@ -88,6 +151,9 @@ impl Default for McConfig {
             threads: 0,
             collect_pair_coverage: false,
             shard_capacity: crate::store::SHARD_CAPACITY,
+            mem_budget_bytes: 0,
+            store: StoreMode::Full,
+            spill_chunk_bytes: 1 << 20,
         }
     }
 }
@@ -123,6 +189,22 @@ impl McConfig {
         } else {
             self.shard_capacity.min(crate::store::SHARD_CAPACITY)
         }
+    }
+
+    /// The memory budget actually enforced: `mem_budget_bytes`, or 0
+    /// (spilling off) on platforms without positioned file reads.
+    pub fn effective_mem_budget(&self) -> usize {
+        if crate::spill::SPILL_SUPPORTED {
+            self.mem_budget_bytes
+        } else {
+            0
+        }
+    }
+
+    /// The spill granularity actually used: `spill_chunk_bytes` clamped
+    /// up to one page.
+    pub fn effective_spill_chunk(&self) -> usize {
+        self.spill_chunk_bytes.max(crate::spill::PAGE as usize)
     }
 }
 
@@ -312,6 +394,17 @@ pub struct CheckResult {
     /// Peak bytes held by the sharded visited set (fingerprint maps plus
     /// packed parent-pointer records).
     pub store_bytes: usize,
+    /// Peak accounted RAM across one whole epoch: visited shards *plus*
+    /// frontier arenas, outbox/batch-pool allocations, and queued inbox
+    /// batches — the figure the old `store_bytes` understated. Sampled at
+    /// epoch boundaries and summed across workers.
+    pub peak_mem_bytes: usize,
+    /// Payload bytes written to spill files (frontier arenas + frozen
+    /// visited records) over the whole run. Zero when no memory budget is
+    /// set or it was never exceeded.
+    pub spill_bytes: u64,
+    /// Spill chunks written over the whole run.
+    pub spill_chunks: u64,
     /// Worker threads used.
     pub threads: usize,
     /// Every `(machine, state, event)` dispatch attempted, when
@@ -324,37 +417,141 @@ impl CheckResult {
     pub fn passed(&self) -> bool {
         self.violation.is_none() && !self.hit_state_limit
     }
+
+    /// Expected number of state pairs merged by a 64-bit fingerprint
+    /// collision: `n(n-1)/2⁶⁵` (DESIGN.md §3). Every store mode relies on
+    /// hash compaction, but only [`StoreMode::FpOnly`] drops the evidence
+    /// needed to notice one, so the CLI surfaces this bound there.
+    pub fn expected_collision_pairs(&self) -> f64 {
+        let n = self.states as f64;
+        n * (n - 1.0) / 2f64.powi(65)
+    }
 }
 
-/// One frontier entry: a canonical encoding (`off..off+len` into the
-/// frontier arena) plus the state's shard-local id and fingerprint. The
-/// fingerprint rides along so expansion never touches the store.
+/// One frontier entry: a canonical encoding (`off..off+len` in the
+/// arena's *global* byte space, which spans spilled chunks plus the hot
+/// tail) plus the state's shard-local id and fingerprint. The fingerprint
+/// rides along so expansion never touches the store.
 #[derive(Debug, Clone, Copy)]
 struct FrontEntry {
-    /// `usize`, not `u32`: a single shard's level arena can exceed 4 GiB
-    /// at raised `--max-states` (shard capacity is 2^27 states; ~120 B
-    /// of encoding each), and a truncated offset would silently decode a
-    /// wrong-but-plausible state next epoch.
+    /// Global arena offset. `usize`, not `u32`: a single shard's level
+    /// arena can exceed 4 GiB at raised `--max-states` (shard capacity is
+    /// 2^27 states; ~120 B of encoding each), and a truncated offset
+    /// would silently decode a wrong-but-plausible state next epoch.
     off: usize,
     len: u32,
     lid: u32,
+    /// Whether the bytes are a delta against the previous entry's full
+    /// encoding rather than a full encoding themselves.
+    delta: bool,
     fp: u64,
 }
 
-/// One BFS level of one shard: canonical encodings in a single contiguous
+/// Consecutive delta entries allowed before a full-encoding restart.
+/// Entries are only ever read sequentially within an epoch, so chains
+/// could be unbounded for correctness; periodic restarts bound the cost
+/// of a corrupt-chain blast radius and keep individual deltas honest
+/// (a drifted base stops compressing and falls back to full anyway).
+const DELTA_RESTART: u32 = 64;
+
+/// One BFS level of one shard: canonical encodings in one contiguous
 /// arena. Two of these per worker (current and next) are recycled for the
 /// whole run — frontier states cost ~the encoding length each, with no
 /// per-state allocation.
+///
+/// Two orthogonal tiers stack on the seed design (DESIGN.md §9): in delta
+/// mode each appended encoding is stored as a sectioned diff against the
+/// previous entry ([`crate::encode_delta`]), and under a memory budget
+/// the hot tail is flushed to a page-aligned spill file in whole chunks,
+/// streamed back in next epoch. `off` in entries is *global* — chunk
+/// flushing never rewrites the index.
 #[derive(Debug, Default)]
 struct FrontierBuf {
+    /// The hot tail: bytes `spilled_off..` of the global arena.
     bytes: Vec<u8>,
     index: Vec<FrontEntry>,
+    /// Global offset of `bytes[0]` (= bytes already spilled).
+    spilled_off: usize,
+    /// `(global_off, len, file_off)` per spilled chunk, in offset order.
+    /// Entries never span chunks: a flush always takes the whole hot
+    /// tail, and appends are entry-atomic.
+    chunks: Vec<(usize, usize, u64)>,
+    spill: Option<crate::spill::SpillFile>,
+    /// Delta base: the previous appended entry's *full* encoding.
+    last: Vec<u8>,
+    /// Consecutive delta entries since the last full one.
+    since_full: u32,
 }
 
 impl FrontierBuf {
     fn clear(&mut self) {
         self.bytes.clear();
         self.index.clear();
+        self.spilled_off = 0;
+        self.chunks.clear();
+        if let Some(s) = self.spill.as_mut() {
+            s.reset().expect("frontier spill reset failed");
+        }
+        self.last.clear();
+        self.since_full = 0;
+    }
+
+    /// Appends `full` (a complete canonical encoding) as the next entry,
+    /// delta-compressing against the previous entry when `delta_mode` and
+    /// the delta actually wins.
+    fn append(&mut self, n_caches: usize, full: &[u8], lid: u32, fp: u64, delta_mode: bool) {
+        let off = self.spilled_off + self.bytes.len();
+        let start = self.bytes.len();
+        let delta = if delta_mode && !self.last.is_empty() && self.since_full < DELTA_RESTART {
+            let dlen = crate::delta::encode_delta(n_caches, &self.last, full, &mut self.bytes);
+            if dlen >= full.len() {
+                self.bytes.truncate(start);
+                self.bytes.extend_from_slice(full);
+                false
+            } else {
+                true
+            }
+        } else {
+            self.bytes.extend_from_slice(full);
+            false
+        };
+        self.since_full = if delta { self.since_full + 1 } else { 0 };
+        if delta_mode {
+            self.last.clear();
+            self.last.extend_from_slice(full);
+        }
+        let len = (self.bytes.len() - start) as u32;
+        self.index.push(FrontEntry { off, len, lid, delta, fp });
+    }
+
+    /// Flushes the whole hot tail to the spill file as one page-aligned
+    /// chunk (entries stay whole: appends are entry-atomic).
+    fn spill_hot(&mut self, tag: &str) -> std::io::Result<()> {
+        if self.bytes.is_empty() {
+            return Ok(());
+        }
+        let spill = match self.spill.as_mut() {
+            Some(s) => s,
+            None => self.spill.insert(crate::spill::SpillFile::create(tag)?),
+        };
+        let file_off = spill.append_chunk(&self.bytes)?;
+        self.chunks.push((self.spilled_off, self.bytes.len(), file_off));
+        self.spilled_off += self.bytes.len();
+        self.bytes.clear();
+        Ok(())
+    }
+
+    /// RAM held by this arena's allocations.
+    fn mem_bytes(&self) -> usize {
+        self.bytes.capacity()
+            + self.index.capacity() * std::mem::size_of::<FrontEntry>()
+            + self.chunks.capacity() * std::mem::size_of::<(usize, usize, u64)>()
+            + self.last.capacity()
+    }
+
+    /// Cumulative `(payload bytes, chunks)` spilled by this arena.
+    fn spill_totals(&self) -> (u64, u64) {
+        self.spill.as_ref().map_or((0, 0), |s| (s.total_written(), s.total_chunks()))
     }
 }
 
@@ -400,6 +597,32 @@ struct Worker<'w, 'a> {
     new_count: usize,
     depth: u32,
     cap: usize,
+    /// `store.len()` at the start of the current epoch: a duplicate hit
+    /// with `lid >= epoch_start` was inserted *this* epoch (records append
+    /// monotonically per epoch), which is exactly the old
+    /// `rec.depth == depth + 1` parent-race condition — without reading a
+    /// possibly-frozen record.
+    epoch_start: u32,
+    /// This worker's slice of [`McConfig::mem_budget_bytes`] (0 = no
+    /// budget, spilling off).
+    budget_share: usize,
+    /// Minimum hot-tail size before a frontier flush is considered.
+    spill_chunk: usize,
+    /// [`StoreMode::delta_frontier`] / [`StoreMode::keeps_recs`], cached.
+    delta_mode: bool,
+    keeps_recs: bool,
+    /// Scratch: the successor's full encoding (delta mode encodes here
+    /// first, then diffs into the arena).
+    enc_scratch: Vec<u8>,
+    /// Scratch: previous frontier entry's reconstructed full encoding
+    /// (the delta base while reading `cur` sequentially).
+    prev_full: Vec<u8>,
+    /// Scratch: the current entry's reconstructed full encoding.
+    cur_full: Vec<u8>,
+    /// Scratch: the spilled chunk of `cur` currently loaded.
+    chunk_buf: Vec<u8>,
+    /// Index into `cur.chunks` of `chunk_buf` (`usize::MAX` = none).
+    chunk_at: usize,
     inboxes: &'w [Inbox],
     coord: &'w Coordinator,
 }
@@ -413,6 +636,7 @@ impl<'w, 'a> Worker<'w, 'a> {
         coord: &'w Coordinator,
     ) -> Self {
         let n = mc.cfg.n_caches;
+        let budget = mc.cfg.effective_mem_budget();
         Worker {
             mc,
             t,
@@ -431,6 +655,16 @@ impl<'w, 'a> Worker<'w, 'a> {
             new_count: 0,
             depth: 0,
             cap: mc.cfg.effective_shard_capacity(),
+            epoch_start: 0,
+            budget_share: if budget == 0 { 0 } else { (budget / n_shards).max(1) },
+            spill_chunk: mc.cfg.effective_spill_chunk(),
+            delta_mode: mc.cfg.store.delta_frontier(),
+            keeps_recs: mc.cfg.store.keeps_recs(),
+            enc_scratch: Vec::new(),
+            prev_full: Vec::new(),
+            cur_full: Vec::new(),
+            chunk_buf: Vec::new(),
+            chunk_at: usize::MAX,
             inboxes,
             coord,
         }
@@ -439,15 +673,16 @@ impl<'w, 'a> Worker<'w, 'a> {
     /// Installs the canonical initial state as this shard's root.
     fn seed_root(&mut self, initial: &SysState, fp0: u64) {
         self.store.map.insert(fp0, 0);
-        self.store.recs.push(StateRec {
-            parent_fp: fp0,
-            parent: Gid::pack(self.t, 0),
-            step: STEP_NONE,
-            depth: 0,
-        });
+        if self.keeps_recs {
+            self.store.push_rec(StateRec {
+                parent_fp: fp0,
+                parent: Gid::pack(self.t, 0),
+                step: STEP_NONE,
+                depth: 0,
+            });
+        }
         let enc = initial.encode();
-        self.cur.index.push(FrontEntry { off: 0, len: enc.len() as u32, lid: 0, fp: fp0 });
-        self.cur.bytes.extend_from_slice(&enc);
+        self.cur.append(self.mc.cfg.n_caches, &enc, 0, fp0, self.delta_mode);
     }
 
     /// The worker loop: one iteration per BFS epoch.
@@ -458,6 +693,7 @@ impl<'w, 'a> Worker<'w, 'a> {
     /// the calling thread instead of deadlocking the phaser.
     fn run(mut self) -> ShardStore {
         use std::panic::{catch_unwind, AssertUnwindSafe};
+        self.epoch_start = self.store.len() as u32;
         loop {
             let coord = self.coord;
             // Expand this shard's frontier, routing successor encodings
@@ -503,11 +739,21 @@ impl<'w, 'a> Worker<'w, 'a> {
                 *coord.decision.lock().unwrap() = dec;
             });
             if matches!(*coord.decision.lock().unwrap(), Decision::Stop { .. }) {
+                // Fold this worker's frontier spill totals into the
+                // fleet counters (the store's totals travel with the
+                // returned shard).
+                let (cb, cc) = self.cur.spill_totals();
+                let (nb, nc) = self.next.spill_totals();
+                coord.spill_bytes.fetch_add(cb + nb, Relaxed);
+                coord.spill_chunks.fetch_add(cc + nc, Relaxed);
                 return self.store;
             }
             std::mem::swap(&mut self.cur, &mut self.next);
             self.next.clear();
+            self.chunk_at = usize::MAX;
+            self.prev_full.clear();
             self.depth += 1;
+            self.epoch_start = self.store.len() as u32;
         }
     }
 
@@ -515,7 +761,6 @@ impl<'w, 'a> Worker<'w, 'a> {
     /// scratch state, step each successor into the successor scratch,
     /// check invariants, and route canonical encodings to owning shards.
     fn expand_epoch(&mut self) {
-        let n = self.mc.cfg.n_caches;
         let mut local_transitions = 0usize;
         for i in 0..self.cur.index.len() {
             // Service the inbox between expansions so deduplication
@@ -524,7 +769,7 @@ impl<'w, 'a> Worker<'w, 'a> {
                 self.drain_available();
             }
             let e = self.cur.index[i];
-            self.state.decode_into(&self.cur.bytes[e.off..e.off + e.len as usize], n);
+            self.load_entry(i);
             let gid = Gid::pack(self.t, e.lid as usize);
             let mut any_delivery = false;
             self.mc.steps_into(&self.state, &mut self.steps_buf);
@@ -595,6 +840,52 @@ impl<'w, 'a> Worker<'w, 'a> {
         }
     }
 
+    /// Decodes frontier entry `i` into the scratch state, resolving the
+    /// spill tier and the delta chain. Entries are only ever read in
+    /// index order within an epoch — the sequential contract the delta
+    /// chain (each entry's base is its predecessor's full encoding) and
+    /// the streamed chunk loads rely on.
+    fn load_entry(&mut self, i: usize) {
+        let n = self.mc.cfg.n_caches;
+        let e = self.cur.index[i];
+        if !self.delta_mode && e.off >= self.cur.spilled_off {
+            // Full mode, hot arena: the seed fast path, zero copies.
+            let start = e.off - self.cur.spilled_off;
+            self.state.decode_into(&self.cur.bytes[start..start + e.len as usize], n);
+            return;
+        }
+        let (in_hot, start) = if e.off >= self.cur.spilled_off {
+            (true, e.off - self.cur.spilled_off)
+        } else {
+            let ci = self.cur.chunks.partition_point(|&(off, len, _)| off + len <= e.off);
+            if self.chunk_at != ci {
+                let (_, clen, file_off) = self.cur.chunks[ci];
+                self.chunk_buf.resize(clen, 0);
+                self.cur
+                    .spill
+                    .as_ref()
+                    .expect("spilled frontier implies a spill file")
+                    .read_exact_at(&mut self.chunk_buf, file_off)
+                    .expect("frontier spill read failed");
+                self.chunk_at = ci;
+            }
+            (false, e.off - self.cur.chunks[self.chunk_at].0)
+        };
+        let raw = if in_hot {
+            &self.cur.bytes[start..start + e.len as usize]
+        } else {
+            &self.chunk_buf[start..start + e.len as usize]
+        };
+        self.cur_full.clear();
+        if e.delta {
+            crate::delta::apply_delta(n, &self.prev_full, raw, &mut self.cur_full);
+        } else {
+            self.cur_full.extend_from_slice(raw);
+        }
+        self.state.decode_into(&self.cur_full, n);
+        std::mem::swap(&mut self.prev_full, &mut self.cur_full);
+    }
+
     /// Routes the successor in `self.succ`: canonicalize, fingerprint,
     /// and either insert locally (own shard — no bytes ever copied for
     /// duplicates) or append the canonical encoding to the owner's batch.
@@ -636,31 +927,76 @@ impl<'w, 'a> Worker<'w, 'a> {
     /// means "encode `self.succ` via the canonicalizer", so duplicates
     /// from this shard's own expansion never pay for byte emission.
     fn insert(&mut self, fp: u64, parent_fp: u64, parent: Gid, step: u32, enc: Option<&[u8]>) {
-        let depth1 = self.depth + 1;
         if let Some(&lid) = self.store.map.get(&fp) {
-            let rec = &mut self.store.recs[lid as usize];
-            if rec.depth == depth1 && (parent_fp, step) < (rec.parent_fp, rec.step) {
-                rec.parent_fp = parent_fp;
-                rec.parent = parent;
-                rec.step = step;
+            // Same-level parent race: `lid >= epoch_start` identifies a
+            // this-epoch insert (== the old `rec.depth == depth + 1`
+            // check) without touching a possibly-frozen record; records
+            // from earlier epochs are final. No records exist to race on
+            // in fingerprint-only mode.
+            if self.keeps_recs && lid >= self.epoch_start {
+                let rec = self.store.rec_mut(lid as usize);
+                if (parent_fp, step) < (rec.parent_fp, rec.step) {
+                    rec.parent_fp = parent_fp;
+                    rec.parent = parent;
+                    rec.step = step;
+                }
             }
         } else {
-            if self.store.recs.len() >= self.cap {
+            let local = self.store.len();
+            if local >= self.cap || Gid::try_pack(self.t, local).is_none() {
                 self.coord.exhausted_shard.fetch_min(self.t, Relaxed);
                 return;
             }
-            let lid = self.store.recs.len() as u32;
+            let lid = local as u32;
             self.store.map.insert(fp, lid);
-            self.store.recs.push(StateRec { parent_fp, parent, step, depth: depth1 });
-            let off = self.next.bytes.len();
-            match enc {
-                Some(e) => self.next.bytes.extend_from_slice(e),
-                None => self.canon.encode_best_into(&self.succ, &mut self.next.bytes),
+            if self.keeps_recs {
+                self.store.push_rec(StateRec { parent_fp, parent, step, depth: self.depth + 1 });
             }
-            let len = (self.next.bytes.len() - off) as u32;
-            self.next.index.push(FrontEntry { off, len, lid, fp });
+            if self.delta_mode {
+                let n = self.mc.cfg.n_caches;
+                match enc {
+                    Some(e) => self.next.append(n, e, lid, fp, true),
+                    None => {
+                        self.enc_scratch.clear();
+                        self.canon.encode_best_into(&self.succ, &mut self.enc_scratch);
+                        self.next.append(n, &self.enc_scratch, lid, fp, true);
+                    }
+                }
+            } else {
+                // Full mode streams the encoding straight into the arena
+                // (the seed hot path: duplicates from this shard's own
+                // expansion never paid for byte emission, new states pay
+                // exactly once).
+                let off = self.next.spilled_off + self.next.bytes.len();
+                let start = self.next.bytes.len();
+                match enc {
+                    Some(e) => self.next.bytes.extend_from_slice(e),
+                    None => self.canon.encode_best_into(&self.succ, &mut self.next.bytes),
+                }
+                let len = (self.next.bytes.len() - start) as u32;
+                self.next.index.push(FrontEntry { off, len, lid, delta: false, fp });
+            }
             self.new_count += 1;
+            self.maybe_spill_frontier();
         }
+    }
+
+    /// Flushes the next-frontier hot tail to its spill file when it has
+    /// reached chunk size *and* this worker is over its budget share.
+    fn maybe_spill_frontier(&mut self) {
+        if self.budget_share == 0 || self.next.bytes.len() < self.spill_chunk {
+            return;
+        }
+        if self.accounted_bytes() > self.budget_share {
+            self.next.spill_hot("frontier").expect("frontier spill write failed");
+        }
+    }
+
+    /// RAM accounted against this worker's budget share: visited shard,
+    /// both frontier arenas, and the outbox batches + recycled-arena pool
+    /// (everything the old store-only figure left out).
+    fn accounted_bytes(&self) -> usize {
+        self.store.mem_bytes() + self.cur.mem_bytes() + self.next.mem_bytes() + self.out.mem_bytes()
     }
 
     /// Drains every batch currently queued for this shard. Returns
@@ -703,10 +1039,24 @@ impl<'w, 'a> Worker<'w, 'a> {
         }
     }
 
-    /// After the expansion rendezvous: ingest the last batches and merge
+    /// After the expansion rendezvous: ingest the last batches, sample
+    /// memory, spill frozen visited records if over budget, and merge
     /// this worker's epoch results into the aggregate.
     fn finish_epoch(&mut self) {
         self.drain_available();
+        // Sample accounted RAM *before* acting on the budget — the peak
+        // figure should reflect what this epoch actually held. The own
+        // inbox is empty right after the final drain; its term covers the
+        // (rare) capacity retained across the rendezvous.
+        let mem = self.accounted_bytes() + self.inboxes[self.t].mem_bytes();
+        self.coord.epoch_mem.fetch_add(mem, Relaxed);
+        // At this point every record is final: parent-race updates only
+        // ever touch records inserted in the *current* epoch, and this
+        // epoch's inserts are all in. So the whole hot vector can freeze
+        // to disk in one chunk.
+        if self.budget_share != 0 && self.keeps_recs && self.accounted_bytes() > self.budget_share {
+            self.store.spill_frozen("visited").expect("visited spill write failed");
+        }
         self.coord.total_states.fetch_add(self.new_count, Relaxed);
         let mut agg = self.coord.agg.lock().unwrap();
         agg.new_states += self.new_count;
@@ -763,9 +1113,17 @@ impl<'a> ModelChecker<'a> {
             std::panic::resume_unwind(payload);
         }
 
-        let states = stores.iter().map(|s| s.recs.len()).sum();
+        let states = stores.iter().map(|s| s.len()).sum();
         let transitions = coord.transitions.load(Relaxed);
-        let store_bytes = stores.iter().map(|s| s.bytes()).sum();
+        let store_bytes = stores.iter().map(|s| s.mem_bytes()).sum();
+        let peak_mem_bytes = coord.peak_mem.load(Relaxed);
+        let (mut spill_bytes, mut spill_chunks) =
+            (coord.spill_bytes.load(Relaxed), coord.spill_chunks.load(Relaxed));
+        for s in &stores {
+            let (b, c) = s.spill_totals();
+            spill_bytes += b;
+            spill_chunks += c;
+        }
         let (violation, hit_limit) = match coord.decision.into_inner().unwrap() {
             Decision::Stop { violation, hit_limit } => {
                 let v = violation.map(|v| Violation {
@@ -799,6 +1157,9 @@ impl<'a> ModelChecker<'a> {
             limit,
             seconds: start.elapsed().as_secs_f64(),
             store_bytes,
+            peak_mem_bytes,
+            spill_bytes,
+            spill_chunks,
             threads,
             coverage,
         }
@@ -808,6 +1169,10 @@ impl<'a> ModelChecker<'a> {
     /// selects the minimum-key violation of the epoch, or stops on
     /// exhaustion / the state budget.
     fn decide(&self, coord: &Coordinator) -> Decision {
+        // Fold the epoch's fleet-wide memory sample into the running peak
+        // and reset the accumulator for the next epoch.
+        let epoch_mem = coord.epoch_mem.swap(0, Relaxed);
+        coord.peak_mem.fetch_max(epoch_mem, Relaxed);
         let mut agg = coord.agg.lock().unwrap();
         let mut vios = std::mem::take(&mut agg.violations);
         let new_states = std::mem::take(&mut agg.new_states);
@@ -1190,10 +1555,17 @@ impl<'a> ModelChecker<'a> {
     /// parent-pointer records across shards, then renders it by replaying
     /// from the initial state through canonical representatives.
     fn build_trace(&self, stores: &[ShardStore], v: &VioCand) -> Vec<String> {
+        if !self.cfg.store.keeps_recs() {
+            return vec![
+                "no counterexample trace: the fingerprint-only store keeps no parent records \
+                 (rerun with --store=full or --store=delta to reconstruct one)"
+                    .into(),
+            ];
+        }
         let mut steps = Vec::new();
         let mut cur = v.parent;
         loop {
-            let rec = stores[cur.shard()].recs[cur.local()];
+            let rec = stores[cur.shard()].rec(cur.local());
             if rec.depth == 0 {
                 break;
             }
@@ -1352,6 +1724,75 @@ mod tests {
         assert_eq!(r1.transitions, r4.transitions);
         assert_eq!(r1.hit_state_limit, r4.hit_state_limit);
         assert!(r1.store_bytes > 0);
+    }
+
+    #[test]
+    fn store_modes_agree_on_results() {
+        let ssp = protogen_protocols::msi();
+        let g = protogen_core::generate(&ssp, &protogen_core::GenConfig::stalling()).unwrap();
+        let run = |store: StoreMode| {
+            let mut cfg = McConfig::with_caches(3);
+            cfg.threads = 2;
+            cfg.store = store;
+            ModelChecker::new(&g.cache, &g.directory, cfg).run()
+        };
+        let full = run(StoreMode::Full);
+        let delta = run(StoreMode::Delta);
+        let fp = run(StoreMode::FpOnly);
+        assert!(full.passed());
+        for r in [&delta, &fp] {
+            assert_eq!(full.states, r.states);
+            assert_eq!(full.transitions, r.transitions);
+            assert!(r.passed());
+        }
+        assert!(fp.expected_collision_pairs() > 0.0);
+        assert!(fp.expected_collision_pairs() < 1e-9, "tiny space, tiny bound");
+    }
+
+    #[test]
+    fn budgeted_run_spills_and_matches_unbudgeted() {
+        let ssp = protogen_protocols::msi();
+        let g = protogen_core::generate(&ssp, &protogen_core::GenConfig::stalling()).unwrap();
+        let run = |budget: usize, store: StoreMode| {
+            let mut cfg = McConfig::with_caches(3);
+            cfg.threads = 2;
+            cfg.store = store;
+            cfg.mem_budget_bytes = budget;
+            cfg.spill_chunk_bytes = 1; // clamps up to one page
+            ModelChecker::new(&g.cache, &g.directory, cfg).run()
+        };
+        let unbudgeted = run(0, StoreMode::Full);
+        assert!(unbudgeted.passed());
+        assert_eq!(unbudgeted.spill_bytes, 0, "no budget, no spilling");
+        for store in [StoreMode::Full, StoreMode::Delta] {
+            // A 1-byte budget forces the spill path everywhere it exists.
+            let budgeted = run(1, store);
+            assert_eq!(budgeted.states, unbudgeted.states, "{store:?}");
+            assert_eq!(budgeted.transitions, unbudgeted.transitions, "{store:?}");
+            assert!(budgeted.passed(), "{store:?}");
+            if crate::spill::SPILL_SUPPORTED {
+                assert!(budgeted.spill_bytes > 0, "{store:?}: budget never spilled");
+                assert!(budgeted.spill_chunks > 0, "{store:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn peak_mem_accounts_for_more_than_the_store() {
+        let ssp = protogen_protocols::msi();
+        let g = protogen_core::generate(&ssp, &protogen_core::GenConfig::stalling()).unwrap();
+        let mut cfg = McConfig::with_caches(3);
+        cfg.threads = 2;
+        let r = ModelChecker::new(&g.cache, &g.directory, cfg).run();
+        assert!(r.passed());
+        // The rolled-up figure includes frontier arenas and batch pools,
+        // so it must exceed the store-only figure the seed reported.
+        assert!(
+            r.peak_mem_bytes > r.store_bytes,
+            "peak {} should exceed store-only {}",
+            r.peak_mem_bytes,
+            r.store_bytes
+        );
     }
 
     #[test]

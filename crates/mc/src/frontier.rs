@@ -19,7 +19,7 @@
 //! determinism proof sketch.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
@@ -68,6 +68,11 @@ impl CandBatch {
     pub fn enc(&self, m: &CandMeta) -> &[u8] {
         &self.bytes[m.off as usize..(m.off + m.len) as usize]
     }
+
+    /// RAM held by this batch's two allocations.
+    pub fn mem_bytes(&self) -> usize {
+        self.meta.capacity() * std::mem::size_of::<CandMeta>() + self.bytes.capacity()
+    }
 }
 
 /// Candidates per batch before it is sealed and delivered.
@@ -115,6 +120,12 @@ impl Inbox {
         if q.len() >= MAX_QUEUED_BATCHES {
             let _ = self.space.wait_timeout(q, dur).unwrap();
         }
+    }
+
+    /// RAM held by queued batches right now (taken under the queue lock;
+    /// sampled once per epoch for peak-memory accounting).
+    pub fn mem_bytes(&self) -> usize {
+        self.q.lock().unwrap().iter().map(CandBatch::mem_bytes).sum()
     }
 }
 
@@ -171,6 +182,13 @@ impl Outboxes {
         if self.pool.len() < 2 * MAX_QUEUED_BATCHES {
             self.pool.push(batch);
         }
+    }
+
+    /// RAM held by the open batches *and* the recycled-empties pool —
+    /// the pool retains up to `2 × MAX_QUEUED_BATCHES` arenas per worker,
+    /// which the old "peak store bytes" figure never counted.
+    pub fn mem_bytes(&self) -> usize {
+        self.bufs.iter().chain(self.pool.iter()).map(CandBatch::mem_bytes).sum()
     }
 }
 
@@ -304,6 +322,18 @@ pub(crate) struct Coordinator {
     /// (`usize::MAX` while none has). Checked by the decision so a full
     /// shard stops exploration with a structured outcome.
     pub exhausted_shard: AtomicUsize,
+    /// Accounted RAM summed by workers over the current epoch (store +
+    /// frontier arenas + outbox pools + queued inbox batches); the
+    /// decision leader folds it into `peak_mem` and zeroes it.
+    pub epoch_mem: AtomicUsize,
+    /// Running maximum of `epoch_mem` over all epochs — the run's peak
+    /// accounted memory.
+    pub peak_mem: AtomicUsize,
+    /// Payload bytes spilled by frontier arenas fleet-wide (visited-record
+    /// spill totals are summed from the returned shards instead).
+    pub spill_bytes: AtomicU64,
+    /// Chunks spilled by frontier arenas fleet-wide.
+    pub spill_chunks: AtomicU64,
     /// Set when any worker's phase panicked: every worker keeps hitting
     /// the rendezvous but skips real work, so the fleet drains instead of
     /// deadlocking the phaser.
@@ -322,6 +352,10 @@ impl Coordinator {
             coverage: Mutex::new(PairSet::new()),
             decision: Mutex::new(Decision::Continue),
             exhausted_shard: AtomicUsize::new(usize::MAX),
+            epoch_mem: AtomicUsize::new(0),
+            peak_mem: AtomicUsize::new(0),
+            spill_bytes: AtomicU64::new(0),
+            spill_chunks: AtomicU64::new(0),
             aborted: AtomicBool::new(false),
             panic: Mutex::new(None),
         }

@@ -48,14 +48,17 @@
 #![warn(missing_docs)]
 
 mod canon;
+mod delta;
 mod explore;
 mod frontier;
+mod spill;
 mod store;
 mod system;
 
 pub use canon::{cache_sort_key, Canonicalizer};
+pub use delta::{apply_delta, encode_delta};
 pub use explore::{
-    CheckResult, McConfig, ModelChecker, ResourceLimit, Step, Violation, ViolationKind,
+    CheckResult, McConfig, ModelChecker, ResourceLimit, Step, StoreMode, Violation, ViolationKind,
 };
 pub use store::{
     fingerprint_bytes, Fingerprinter, FpPassthroughHasher, MAX_SHARDS, SHARD_CAPACITY,

@@ -43,11 +43,25 @@ pub(crate) struct Gid(u32);
 
 impl Gid {
     pub(crate) fn pack(shard: usize, local: usize) -> Gid {
-        debug_assert!(shard < MAX_SHARDS);
-        // The dedup phase refuses inserts beyond SHARD_CAPACITY, so a local
-        // index here is in range by construction.
-        debug_assert!(local < SHARD_CAPACITY, "local index exceeds shard capacity");
-        Gid(((shard as u32) << LOCAL_BITS) | local as u32)
+        // Only for ids that exist by construction (frontier entries carry
+        // lids the checked insert path already admitted). The insert path
+        // itself goes through `try_pack`: a `debug_assert!` alone would
+        // let a release-mode overflow wrap silently into a *wrong but
+        // valid-looking* Gid and corrupt parent chains.
+        Gid::try_pack(shard, local).expect("unpackable global state id")
+    }
+
+    /// Checked pack: `None` when `shard` or `local` exceeds its packed
+    /// field — in release builds too. The dedup path uses this as the
+    /// authoritative capacity guard, surfacing overflow as a structured
+    /// [`crate::ResourceLimit::ShardCapacity`] outcome with partial stats
+    /// instead of wrapping.
+    pub(crate) fn try_pack(shard: usize, local: usize) -> Option<Gid> {
+        if shard < MAX_SHARDS && local < SHARD_CAPACITY {
+            Some(Gid(((shard as u32) << LOCAL_BITS) | local as u32))
+        } else {
+            None
+        }
     }
 
     pub(crate) fn shard(self) -> usize {
@@ -110,12 +124,32 @@ type FpBuild = BuildHasherDefault<FpPassthroughHasher>;
 /// `fingerprint → shard-local record index`.
 pub(crate) type FpMap = HashMap<u64, u32, FpBuild>;
 
+/// Serialized width of one [`StateRec`] in the spill tier.
+const REC_BYTES: usize = 20;
+
 /// One shard of the visited set: the fingerprint map plus the packed
 /// record vector it indexes. Owned exclusively by one worker thread.
+///
+/// Under a memory budget the record vector is *tiered*: at epoch
+/// boundaries every record is frozen (BFS level synchronization means
+/// only records inserted in the current epoch are ever parent-updated),
+/// so the explorer may flush the whole hot vector to a page-aligned
+/// spill chunk and keep exploring. [`ShardStore::rec`] reads through the
+/// tier transparently; only counterexample-trace reconstruction ever
+/// touches frozen records. The fingerprint map itself always stays in
+/// RAM — it is the dedup hot path. In fingerprint-only mode no records
+/// exist at all and the map is the entire shard.
 #[derive(Debug, Default)]
 pub(crate) struct ShardStore {
     pub map: FpMap,
-    pub recs: Vec<StateRec>,
+    /// Hot records, `spilled..spilled + recs.len()` in shard-local ids.
+    recs: Vec<StateRec>,
+    /// Records frozen to the spill file (they precede `recs`).
+    spilled: usize,
+    /// `(first_local_id, count, file_offset)` per frozen chunk, in id
+    /// order.
+    chunks: Vec<(usize, usize, u64)>,
+    spill: Option<crate::spill::SpillFile>,
 }
 
 impl ShardStore {
@@ -123,11 +157,82 @@ impl ShardStore {
         ShardStore::default()
     }
 
-    /// Estimated bytes held by this shard's visited set (map entries are
-    /// counted at key+value+control width, records at their packed size).
-    pub(crate) fn bytes(&self) -> usize {
+    /// States this shard holds (identical in every store mode: each
+    /// admitted state is exactly one map entry).
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Appends the record for the next shard-local id.
+    pub(crate) fn push_rec(&mut self, rec: StateRec) {
+        self.recs.push(rec);
+    }
+
+    /// The record for `local`, reading the spill tier when it is frozen.
+    pub(crate) fn rec(&self, local: usize) -> StateRec {
+        if local >= self.spilled {
+            return self.recs[local - self.spilled];
+        }
+        let ci = self.chunks.partition_point(|&(first, count, _)| first + count <= local);
+        let (first, _, file_off) = self.chunks[ci];
+        let mut buf = [0u8; REC_BYTES];
+        self.spill
+            .as_ref()
+            .expect("frozen records imply a spill file")
+            .read_exact_at(&mut buf, file_off + ((local - first) * REC_BYTES) as u64)
+            .expect("spill read failed");
+        StateRec {
+            parent_fp: u64::from_le_bytes(buf[0..8].try_into().unwrap()),
+            parent: Gid(u32::from_le_bytes(buf[8..12].try_into().unwrap())),
+            step: u32::from_le_bytes(buf[12..16].try_into().unwrap()),
+            depth: u32::from_le_bytes(buf[16..20].try_into().unwrap()),
+        }
+    }
+
+    /// Mutable access to a *hot* record (same-epoch parent-race updates
+    /// only touch records inserted this epoch, which are never frozen).
+    pub(crate) fn rec_mut(&mut self, local: usize) -> &mut StateRec {
+        &mut self.recs[local - self.spilled]
+    }
+
+    /// Freezes every hot record to one spill chunk and clears the hot
+    /// vector. Called only at epoch boundaries, where all existing
+    /// records are final.
+    pub(crate) fn spill_frozen(&mut self, tag: &str) -> std::io::Result<()> {
+        if self.recs.is_empty() {
+            return Ok(());
+        }
+        let spill = match self.spill.as_mut() {
+            Some(s) => s,
+            None => self.spill.insert(crate::spill::SpillFile::create(tag)?),
+        };
+        let mut bytes = Vec::with_capacity(self.recs.len() * REC_BYTES);
+        for r in &self.recs {
+            bytes.extend_from_slice(&r.parent_fp.to_le_bytes());
+            bytes.extend_from_slice(&r.parent.0.to_le_bytes());
+            bytes.extend_from_slice(&r.step.to_le_bytes());
+            bytes.extend_from_slice(&r.depth.to_le_bytes());
+        }
+        let file_off = spill.append_chunk(&bytes)?;
+        self.chunks.push((self.spilled, self.recs.len(), file_off));
+        self.spilled += self.recs.len();
+        self.recs.clear();
+        Ok(())
+    }
+
+    /// Estimated RAM held by this shard's visited set (map entries at
+    /// key+value+control width, hot records at their packed size; frozen
+    /// records live on disk and cost one chunk descriptor each).
+    pub(crate) fn mem_bytes(&self) -> usize {
         self.map.capacity() * (std::mem::size_of::<(u64, u32)>() + 1)
             + self.recs.capacity() * std::mem::size_of::<StateRec>()
+            + self.chunks.capacity() * std::mem::size_of::<(usize, usize, u64)>()
+    }
+
+    /// Cumulative `(payload bytes, chunks)` written to this shard's spill
+    /// file.
+    pub(crate) fn spill_totals(&self) -> (u64, u64) {
+        self.spill.as_ref().map_or((0, 0), |s| (s.total_written(), s.total_chunks()))
     }
 }
 
@@ -221,6 +326,17 @@ mod tests {
     }
 
     #[test]
+    fn gid_try_pack_rejects_overflow_in_release_builds_too() {
+        // The former debug_assert!-only guard wrapped silently in release;
+        // the checked path must reject at the exact field boundaries
+        // regardless of build profile.
+        assert!(Gid::try_pack(MAX_SHARDS - 1, SHARD_CAPACITY - 1).is_some());
+        assert!(Gid::try_pack(0, SHARD_CAPACITY).is_none());
+        assert!(Gid::try_pack(MAX_SHARDS, 0).is_none());
+        assert!(Gid::try_pack(usize::MAX, usize::MAX).is_none());
+    }
+
+    #[test]
     fn fingerprint_is_chunking_independent() {
         // The digest must depend only on the byte stream, not on how it
         // was fed in.
@@ -261,11 +377,53 @@ mod tests {
     }
 
     #[test]
-    fn shard_store_reports_bytes() {
+    fn shard_store_reports_mem_bytes() {
         let mut s = ShardStore::new();
-        assert_eq!(s.bytes(), 0);
+        assert_eq!(s.mem_bytes(), 0);
         s.map.insert(7, 0);
-        s.recs.push(StateRec { parent_fp: 7, parent: Gid::pack(0, 0), step: STEP_NONE, depth: 0 });
-        assert!(s.bytes() >= std::mem::size_of::<StateRec>());
+        s.push_rec(StateRec { parent_fp: 7, parent: Gid::pack(0, 0), step: STEP_NONE, depth: 0 });
+        assert!(s.mem_bytes() >= std::mem::size_of::<StateRec>());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn shard_store_reads_through_the_spill_tier() {
+        if !crate::spill::SPILL_SUPPORTED {
+            return;
+        }
+        let mut s = ShardStore::new();
+        let rec = |i: u64| StateRec {
+            parent_fp: i * 31,
+            parent: Gid::pack(1, i as usize),
+            step: i as u32,
+            depth: i as u32 / 3,
+        };
+        for i in 0..10 {
+            s.push_rec(rec(i));
+        }
+        s.spill_frozen("test").unwrap();
+        for i in 10..25 {
+            s.push_rec(rec(i));
+        }
+        s.spill_frozen("test").unwrap();
+        for i in 25..30 {
+            s.push_rec(rec(i));
+        }
+        // Hot reads, frozen reads across both chunks, and mutation of a
+        // hot record must all agree with what was pushed.
+        for i in 0..30u64 {
+            let r = s.rec(i as usize);
+            let want = rec(i);
+            assert_eq!(
+                (r.parent_fp, r.parent, r.step, r.depth),
+                (want.parent_fp, want.parent, want.step, want.depth),
+                "record {i}"
+            );
+        }
+        s.rec_mut(27).step = 999;
+        assert_eq!(s.rec(27).step, 999);
+        let (bytes, chunks) = s.spill_totals();
+        assert_eq!(chunks, 2);
+        assert_eq!(bytes, 25 * REC_BYTES as u64);
     }
 }

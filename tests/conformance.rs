@@ -227,6 +227,86 @@ fn parallel_and_single_threaded_runs_agree() {
     assert_eq!(r1.transitions, r4.transitions, "negative control: transitions diverge");
 }
 
+/// The tiered store is result-invariant (ISSUE 6): for every bundled
+/// protocol, verify results are byte-identical across store modes
+/// (full / delta / fp-only), across thread counts, and across memory
+/// budgets — including a budget tiny enough to force the spill tier on
+/// every epoch. Spilling must actually have happened in the forced run,
+/// or the "spill-on equals spill-off" half of the claim is vacuous.
+#[test]
+fn store_tiers_and_memory_budgets_preserve_results() {
+    use protogen::mc::StoreMode;
+    for ssp in protogen::protocols::all() {
+        let cfg = GenConfig::non_stalling();
+        let g = generate(&ssp, &cfg).unwrap();
+        let run = |threads: usize, store: StoreMode, budget: usize| {
+            let mut mc = mc_config_for(&ssp);
+            mc.threads = threads;
+            mc.store = store;
+            mc.mem_budget_bytes = budget;
+            mc.spill_chunk_bytes = 1; // clamps up to one page
+            ModelChecker::new(&g.cache, &g.directory, mc).run()
+        };
+        let reference = run(1, StoreMode::Full, 0);
+        assert!(reference.passed(), "{}: reference run failed", ssp.name);
+        for (threads, store, budget) in [
+            (1, StoreMode::Delta, 0),
+            (1, StoreMode::FpOnly, 0),
+            (4, StoreMode::Delta, 0),
+            (1, StoreMode::Full, 1),
+            (1, StoreMode::Delta, 1),
+            (4, StoreMode::Delta, 1),
+            (4, StoreMode::FpOnly, 1),
+        ] {
+            let r = run(threads, store, budget);
+            let label = format!("{} ({threads}t, {store:?}, budget {budget})", ssp.name);
+            assert_eq!(reference.states, r.states, "{label}: states diverge");
+            assert_eq!(reference.transitions, r.transitions, "{label}: transitions diverge");
+            assert_eq!(reference.hit_state_limit, r.hit_state_limit, "{label}: limit diverges");
+            assert!(r.passed(), "{label}: verdict diverges");
+            // Fp-only keeps no records and these 2-cache frontiers stay
+            // under one spill chunk, so only the record-keeping modes are
+            // guaranteed to spill under a forced budget.
+            if budget == 1 && store != StoreMode::FpOnly && cfg!(unix) {
+                assert!(r.spill_bytes > 0, "{label}: forced budget never spilled");
+            }
+            if budget == 0 {
+                assert_eq!(r.spill_bytes, 0, "{label}: spilled without a budget");
+            }
+        }
+    }
+}
+
+/// Counterexample traces survive the store tiers: the TSO-CC negative
+/// control selects the identical violation and byte-identical trace with
+/// delta compression on and with a budget forcing visited records to
+/// spill (trace reconstruction then reads the spill tier). Fp-only keeps
+/// the violation kind but explicitly reports that no trace exists.
+#[test]
+fn counterexample_traces_survive_store_tiers() {
+    use protogen::mc::StoreMode;
+    let ssp = protogen::protocols::tso_cc();
+    let g = generate(&ssp, &GenConfig::non_stalling()).unwrap();
+    let run = |store: StoreMode, budget: usize| {
+        let mut mc = McConfig::with_caches(2);
+        mc.threads = 4;
+        mc.store = store;
+        mc.mem_budget_bytes = budget;
+        mc.spill_chunk_bytes = 1;
+        ModelChecker::new(&g.cache, &g.directory, mc).run().violation.expect("control fails")
+    };
+    let reference = run(StoreMode::Full, 0);
+    for (store, budget) in [(StoreMode::Delta, 0), (StoreMode::Full, 1), (StoreMode::Delta, 1)] {
+        let v = run(store, budget);
+        assert_eq!(v.kind, reference.kind, "({store:?}, budget {budget}): kind diverges");
+        assert_eq!(v.trace, reference.trace, "({store:?}, budget {budget}): trace diverges");
+    }
+    let fp = run(StoreMode::FpOnly, 0);
+    assert_eq!(fp.kind, reference.kind, "fp-only: violation kind diverges");
+    assert_eq!(fp.trace.len(), 1, "fp-only: expected the no-trace notice");
+    assert!(fp.trace[0].contains("no counterexample trace"), "{:?}", fp.trace);
+}
+
 /// Counterexample traces are byte-identical run to run at any thread
 /// count: the end-of-level minimum-selection of violations and the
 /// deterministic parent-edge resolution make the trace a pure function of
