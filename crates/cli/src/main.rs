@@ -10,6 +10,9 @@
 //!                  [--workload W] [--store-pct P] [--trace FILE]
 //!                  [--network ordered|unordered] [--latency DIST] [--cap N]
 //!                  [--seed N] [--json]
+//! protogen serve   <protocol> [--stalling] [--caches N] [--dir-shards N] [--addrs N]
+//!                  [--workload W] [--store-pct P] [--ops N] [--seed N]
+//!                  [--duration SECS] [--mailbox-cap N] [--threads N] [--json]
 //! protogen sweep   [--protocols a,b] [--caches 2,4] [--accesses N] [--seed N]
 //!                  [--threads N] [--list] [--out DIR] [--json]
 //! protogen fuzz    [--seed N] [--mutants N] [--threads N] [--budget N]
@@ -35,12 +38,20 @@
 //! `simulate` is kept as a legacy alias for `sim` (`--stores`/`--cores`
 //! map to `--store-pct`/`--caches`).
 //!
+//! `serve` runs the protocol as a live multi-threaded cache service (one
+//! thread per cache plus `--dir-shards` directory shards) *inside the
+//! model-checked envelope*: the checker first collects exhaustive
+//! `(machine, state, event)` pair coverage at the same cache count, then
+//! the service executes `--ops` operations and any live dispatch outside
+//! that coverage — or any invariant violation — exits non-zero.
+//!
 //! `<protocol>` is one of: msi, mesi, mosi, msi-upgrade, msi-unordered,
 //! tso-cc.
 
 use protogen_backend::{render_table, to_dot, to_murphi, TableOptions};
 use protogen_core::{generate, GenConfig, Generated};
 use protogen_mc::{McConfig, ModelChecker, StoreMode};
+use protogen_serve::{checked_envelope, pair_label, serve, ServeConfig, ServeError};
 use protogen_sim::{
     parse_trace, run_sweep, simulate, Json, LatencyDist, NetModel, SimConfig, SweepConfig, Workload,
 };
@@ -70,6 +81,10 @@ impl Args {
                         | "accesses"
                         | "workload"
                         | "store-pct"
+                        | "dir-shards"
+                        | "ops"
+                        | "duration"
+                        | "mailbox-cap"
                         | "trace"
                         | "network"
                         | "latency"
@@ -353,6 +368,133 @@ fn sim(ssp: &Ssp, g: &Generated, args: &Args, legacy: bool) -> ExitCode {
     }
 }
 
+/// `protogen serve`: model-check the coverage envelope, run the live
+/// multi-threaded service, and fail on any escape or invariant violation.
+fn serve_cmd(ssp: &Ssp, g: &Generated, args: &Args, caches: usize, threads: usize) -> ExitCode {
+    let usage_err = |m: String| -> ExitCode {
+        eprintln!("{m}");
+        ExitCode::from(2)
+    };
+    let mut cfg = ServeConfig::new(caches);
+    macro_rules! num_flag {
+        ($flag:literal, $field:expr) => {
+            if let Some(v) = args.value($flag) {
+                match v.parse() {
+                    Ok(n) => $field = n,
+                    Err(_) => return usage_err(format!("bad --{} `{v}`", $flag)),
+                }
+            }
+        };
+    }
+    num_flag!("dir-shards", cfg.dir_shards);
+    num_flag!("addrs", cfg.n_addrs);
+    num_flag!("ops", cfg.total_ops);
+    num_flag!("seed", cfg.seed);
+    num_flag!("mailbox-cap", cfg.mailbox_cap);
+    num_flag!("duration", cfg.max_seconds);
+    let store_pct = match args.value("store-pct").map(str::parse).transpose() {
+        Ok(p) => p.unwrap_or(50),
+        Err(_) => {
+            return usage_err(format!("bad --store-pct `{}`", args.value("store-pct").unwrap()))
+        }
+    };
+    cfg.workload = match Workload::parse(args.value("workload").unwrap_or("uniform"), store_pct) {
+        Ok(w) => w,
+        Err(e) => return usage_err(e),
+    };
+
+    // The envelope: exhaustive pair coverage at the same cache count. Runs
+    // first so a protocol the checker rejects never goes live. Progress
+    // goes to stderr — `--json` keeps stdout machine-readable.
+    let mut mc_cfg = McConfig::with_caches(caches);
+    mc_cfg.ordered = ssp.network_ordered;
+    mc_cfg.threads = threads;
+    if ssp.name == "TSO-CC" {
+        // TSO-CC trades SWMR for performance by design (§VII); the
+        // envelope relaxes exactly what `verify` relaxes.
+        mc_cfg.check_swmr = false;
+        mc_cfg.check_data_value = false;
+    }
+    eprintln!("model-checking the {caches}-cache envelope for {}…", ssp.name);
+    let envelope = match checked_envelope(&g.cache, &g.directory, mc_cfg) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("envelope: {} model-checked (machine, state, event) pairs", envelope.len());
+
+    let report = match serve(&g.cache, &g.directory, &cfg) {
+        Ok(r) => r,
+        Err(ServeError::Config(m)) => return usage_err(format!("bad configuration: {m}")),
+        Err(e) => {
+            eprintln!("service run FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let escapes = report.escapes(&envelope);
+
+    if args.flag("json") {
+        let doc = Json::obj([
+            ("protocol", Json::Str(ssp.name.clone())),
+            (
+                "config",
+                Json::Str(if args.flag("stalling") { "stalling" } else { "non-stalling" }.into()),
+            ),
+            ("workload", Json::Str(cfg.workload.label())),
+            ("seed", Json::U64(cfg.seed)),
+            ("envelope_pairs", Json::U64(envelope.len() as u64)),
+            ("report", report.to_json(&g.cache, &g.directory, &escapes)),
+        ]);
+        print!("{}", doc.render());
+    } else {
+        println!(
+            "{}: {} ops ({} hits, {} misses) in {:.3}s — {:.0} ops/s over {} cache \
+             worker(s) + {} dir shard(s)",
+            ssp.name,
+            report.ops,
+            report.hits,
+            report.misses,
+            report.seconds,
+            report.ops_per_sec(),
+            report.n_caches,
+            report.dir_shards
+        );
+        if !report.miss_latency.is_empty() {
+            println!(
+                "  miss latency p50/p95/p99/max: {}/{}/{}/{} ns",
+                report.miss_latency.percentile(50.0),
+                report.miss_latency.percentile(95.0),
+                report.miss_latency.percentile(99.0),
+                report.miss_latency.max()
+            );
+        }
+        println!(
+            "  {} messages, peak queue depths {:?}",
+            report.messages, report.peak_queue_depths
+        );
+        println!(
+            "  live coverage: {} pairs, all inside the {}-pair checked envelope: {}",
+            report.coverage.len(),
+            envelope.len(),
+            if escapes.is_empty() { "yes" } else { "NO" }
+        );
+    }
+    if escapes.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "COVERAGE ESCAPE: {} live pair(s) the model checker never visited:",
+            escapes.len()
+        );
+        for p in &escapes {
+            eprintln!("  {}", pair_label(&g.cache, &g.directory, p));
+        }
+        ExitCode::FAILURE
+    }
+}
+
 fn sweep(args: &Args, threads: usize) -> ExitCode {
     let mut cfg = SweepConfig { threads, ..SweepConfig::default() };
     if let Some(list) = args.value("protocols") {
@@ -586,7 +728,7 @@ fn main() -> ExitCode {
     let args = Args::parse();
     let Some(cmd) = args.positional.first().map(String::as_str) else {
         eprintln!(
-            "usage: protogen <table|verify|dot|murphi|sim|sweep|fuzz|simulate|stats|compile> …"
+            "usage: protogen <table|verify|dot|murphi|sim|serve|sweep|fuzz|simulate|stats|compile> …"
         );
         return ExitCode::from(2);
     };
@@ -623,7 +765,7 @@ fn main() -> ExitCode {
         }
         "sweep" => sweep(&args, threads),
         "fuzz" => fuzz(&args, threads),
-        "table" | "verify" | "dot" | "murphi" | "sim" | "simulate" => {
+        "table" | "verify" | "dot" | "murphi" | "sim" | "serve" | "simulate" => {
             let Some(name) = args.positional.get(1) else {
                 eprintln!("usage: protogen {cmd} <protocol> [flags]");
                 return ExitCode::from(2);
@@ -663,6 +805,7 @@ fn main() -> ExitCode {
                         ExitCode::FAILURE
                     }
                 }
+                "serve" => serve_cmd(&ssp, &g, &args, caches, threads),
                 _ => sim(&ssp, &g, &args, cmd == "simulate"),
             }
         }

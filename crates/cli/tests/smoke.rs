@@ -17,9 +17,10 @@ fn no_arguments_prints_usage_and_fails() {
     assert_eq!(out.status.code(), Some(2));
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("usage:"), "{err}");
-    for cmd in
-        ["table", "verify", "dot", "murphi", "sim", "sweep", "fuzz", "simulate", "stats", "compile"]
-    {
+    for cmd in [
+        "table", "verify", "dot", "murphi", "sim", "serve", "sweep", "fuzz", "simulate", "stats",
+        "compile",
+    ] {
         assert!(err.contains(cmd), "usage line missing `{cmd}`: {err}");
     }
 }
@@ -194,6 +195,52 @@ fn sim_accepts_workload_network_and_trace_flags() {
     let out = protogen(&["sim", "msi", "--caches", "2", "--trace", trace.to_str().unwrap()]);
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     assert!(String::from_utf8_lossy(&out.stdout).contains("4 accesses"));
+}
+
+#[test]
+fn serve_runs_inside_the_envelope_and_reports_json() {
+    let out = protogen(&[
+        "serve",
+        "msi",
+        "--caches",
+        "2",
+        "--dir-shards",
+        "2",
+        "--ops",
+        "20000",
+        "--seed",
+        "7",
+        "--json",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    // The exact line the CI smoke job greps for.
+    assert!(text.contains("\"escapes\": 0"), "{text}");
+    for key in ["\"protocol\": \"MSI\"", "\"ops\": 20000", "\"ops_per_sec\"", "\"coverage_pairs\""]
+    {
+        assert!(text.contains(key), "missing {key}: {text}");
+    }
+    // The envelope check runs before the service and reports on stderr —
+    // stdout stays pure JSON.
+    assert!(String::from_utf8_lossy(&out.stderr).contains("envelope"));
+    assert!(text.trim_start().starts_with('{'), "{text}");
+}
+
+#[test]
+fn serve_rejects_bad_flags() {
+    let out = protogen(&["serve", "msi", "--ops", "many"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad --ops"));
+
+    let out = protogen(&["serve", "msi", "--workload", "nonesuch"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown workload"));
+
+    // Validation failures from the service config itself are usage errors
+    // too (mailbox below the floor).
+    let out = protogen(&["serve", "msi", "--mailbox-cap", "2"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mailbox_cap"));
 }
 
 #[test]

@@ -1,0 +1,681 @@
+//! The worker threads: cache cores, directory shards, scheduling,
+//! termination, and live coverage recording.
+//!
+//! Every node follows the same pass structure:
+//!
+//! 1. **Drain**: take the ready-set mask and move every published
+//!    envelope out of the bounded rings into unbounded per-edge local
+//!    queues. Draining is unconditional — a node never refuses input —
+//!    which is what makes the bounded rings deadlock-free: ring space at
+//!    every edge is always eventually regenerated, no matter how wedged
+//!    the consumer's own output side is (the producer-drains-own-inbox
+//!    discipline the model checker's explorer uses under backpressure).
+//! 2. **Dispatch**: for each source edge, repeatedly apply the queue
+//!    head. A `Stall` arc or insufficient output-ring space *parks* the
+//!    head (per-edge FIFO demands the queue waits behind it; other edges
+//!    proceed independently) to be retried next pass. Application is
+//!    tentative: the FSM steps a scratch copy, output space is checked,
+//!    and only then is the step committed and its messages published —
+//!    sound because each edge has exactly one producer, so observed free
+//!    space is monotone until that producer itself pushes.
+//! 3. **Issue** (cache workers only): with no transaction outstanding,
+//!    issue the next scheduled access — completing hits locally,
+//!    launching a transaction otherwise (one outstanding access per
+//!    core, the discipline `crates/sim` models).
+//!
+//! Termination is quiescence detection: a global in-flight message
+//! counter (incremented at publish, decremented only after the receiving
+//! apply has published its own follow-ups) plus a count of cores done
+//! issuing. Once every core is done and the counter reads zero — both
+//! `SeqCst`, so a stale zero cannot be observed — the system can never
+//! make progress again, and the run is complete. A protocol deadlock
+//! (impossible inside the verified envelope) would instead trip the
+//! wall-clock deadline.
+
+use crate::mailbox::{Envelope, Fabric};
+use crate::{ServeConfig, ServeError, ServeReport};
+use protogen_runtime::{
+    apply_into, select_arc_indexed, ApplyOutcome, CacheBlock, DirEntry, FsmIndex, MachineCtx,
+    MachineTag, Msg, NodeId, PairSet,
+};
+use protogen_sim::{Histogram, Op};
+use protogen_spec::{Access, ArcKind, Event, Fsm, FsmStateId, MsgId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Dense per-worker coverage bitset: one bit per `(state, event)` slot,
+/// laid out exactly like [`FsmIndex`]'s table. Recording a dispatch is a
+/// single OR on the hot path; the sets merge into the shared [`PairSet`]
+/// representation once, at join time.
+struct DenseCoverage {
+    events_per_state: usize,
+    bits: Vec<u64>,
+}
+
+fn event_offset(event: Event) -> usize {
+    match event {
+        Event::Access(Access::Load) => 0,
+        Event::Access(Access::Store) => 1,
+        Event::Access(Access::Replacement) => 2,
+        Event::Msg(m) => 3 + m.as_usize(),
+    }
+}
+
+impl DenseCoverage {
+    fn new(fsm: &Fsm) -> DenseCoverage {
+        let events_per_state = 3 + fsm.messages.len();
+        let slots = fsm.state_count() * events_per_state;
+        DenseCoverage { events_per_state, bits: vec![0; slots.div_ceil(64)] }
+    }
+
+    fn record(&mut self, state: FsmStateId, event: Event) {
+        let slot = state.as_usize() * self.events_per_state + event_offset(event);
+        self.bits[slot / 64] |= 1 << (slot % 64);
+    }
+
+    fn merge_into(&self, tag: MachineTag, out: &mut PairSet) {
+        for (word_ix, &word) in self.bits.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let slot = word_ix * 64 + w.trailing_zeros() as usize;
+                w &= w - 1;
+                let state = FsmStateId((slot / self.events_per_state) as u32);
+                let event = match slot % self.events_per_state {
+                    0 => Event::Access(Access::Load),
+                    1 => Event::Access(Access::Store),
+                    2 => Event::Access(Access::Replacement),
+                    o => Event::Msg(MsgId((o - 3) as u16)),
+                };
+                out.insert((tag, state, event));
+            }
+        }
+    }
+}
+
+/// State shared by every worker thread for one run.
+struct Shared<'f> {
+    cache_fsm: &'f Fsm,
+    dir_fsm: &'f Fsm,
+    cache_idx: FsmIndex,
+    dir_idx: FsmIndex,
+    fabric: Fabric,
+    n_caches: usize,
+    dir_shards: usize,
+    n_addrs: usize,
+    /// Messages published but not yet applied (rings + local queues).
+    in_flight: AtomicU64,
+    /// Cores that have completed their whole schedule.
+    cores_done: AtomicUsize,
+    /// Set on quiescence, failure, or deadline: everyone exits.
+    done: AtomicBool,
+    /// First failure wins; later ones are dropped.
+    failure: Mutex<Option<ServeError>>,
+    deadline: Instant,
+}
+
+impl<'f> Shared<'f> {
+    /// Topology index a message's FSM-level destination routes to:
+    /// caches map to themselves, the directory id fans out to the shard
+    /// owning the block.
+    fn route(&self, dst: NodeId, addr: u32) -> usize {
+        let d = dst.as_usize();
+        if d >= self.n_caches {
+            self.n_caches + addr as usize % self.dir_shards
+        } else {
+            d
+        }
+    }
+
+    /// Whether every message in `outgoing` fits its output ring right
+    /// now. Sound as a pre-commit check: this thread is the only producer
+    /// on each of those rings, so space cannot shrink before the pushes.
+    fn outgoing_fits(&self, src: usize, addr: u32, outgoing: &[Msg]) -> bool {
+        'msgs: for (i, m) in outgoing.iter().enumerate() {
+            let d = self.route(m.dst, addr);
+            for prev in &outgoing[..i] {
+                if self.route(prev.dst, addr) == d {
+                    continue 'msgs; // edge already counted at its first message
+                }
+            }
+            let needed = outgoing[i..].iter().filter(|n| self.route(n.dst, addr) == d).count();
+            if self.fabric.ring(src, d).space() < needed {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Publishes `outgoing`, counting each message in flight *before* it
+    /// becomes visible. Callers must have checked [`Shared::outgoing_fits`].
+    fn publish(&self, src: usize, addr: u32, outgoing: &[Msg]) {
+        if outgoing.is_empty() {
+            return;
+        }
+        self.in_flight.fetch_add(outgoing.len() as u64, Ordering::SeqCst);
+        for m in outgoing {
+            let dst = self.route(m.dst, addr);
+            self.fabric
+                .try_send(src, dst, Envelope { addr, msg: *m })
+                .expect("output space was checked before commit");
+        }
+    }
+
+    fn fail(&self, e: ServeError) {
+        let mut slot = self.failure.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+        self.done.store(true, Ordering::SeqCst);
+    }
+
+    /// Quiescence: no core will issue again and no message is anywhere.
+    /// `in_flight` increments happen-before the matching decrement, and
+    /// both sides are `SeqCst`, so reading 0 here after `cores_done`
+    /// reached `n_caches` means the system is truly drained.
+    fn quiescent(&self) -> bool {
+        self.cores_done.load(Ordering::SeqCst) == self.n_caches
+            && self.in_flight.load(Ordering::SeqCst) == 0
+    }
+}
+
+/// What one worker measured, merged into the [`ServeReport`] at join.
+struct WorkerOut {
+    tag: MachineTag,
+    coverage: DenseCoverage,
+    miss_latency_ns: Vec<u64>,
+    hits: u64,
+    misses: u64,
+    messages: u64,
+    peak_queue_depth: usize,
+}
+
+enum StepOutcome {
+    /// The head was applied and removed.
+    Applied,
+    /// The head must wait (stall arc or full output edge); the edge's
+    /// queue is blocked behind it until the next pass.
+    Parked,
+    /// The run failed; the worker unwinds.
+    Failed,
+}
+
+/// Spin/yield/sleep ladder for passes that made no progress.
+fn idle_backoff(idle: u32) {
+    if idle < 64 {
+        std::hint::spin_loop();
+    } else if idle < 4096 {
+        std::thread::yield_now();
+    } else {
+        std::thread::sleep(Duration::from_micros(100));
+    }
+}
+
+/// Moves every published envelope for `topo` out of the rings into the
+/// local per-edge queues.
+fn drain(sh: &Shared, topo: usize, queues: &mut [VecDeque<Envelope>]) {
+    let mut mask = sh.fabric.take_ready(topo);
+    while mask != 0 {
+        let src = mask.trailing_zeros() as usize;
+        mask &= mask - 1;
+        let ring = sh.fabric.ring(src, topo);
+        while let Some(env) = ring.pop() {
+            queues[src].push_back(env);
+        }
+    }
+}
+
+struct CacheWorker<'s, 'f> {
+    sh: &'s Shared<'f>,
+    /// This cache's id: FSM identity `NodeId(id)` and topology index.
+    id: usize,
+    schedule: Vec<Op>,
+    cursor: usize,
+    /// The launched transaction: block address and issue instant.
+    outstanding: Option<(u32, Instant)>,
+    declared_done: bool,
+    blocks: Vec<CacheBlock>,
+    scratch: CacheBlock,
+    outcome: ApplyOutcome,
+    queues: Vec<VecDeque<Envelope>>,
+    out: WorkerOut,
+}
+
+impl<'s, 'f> CacheWorker<'s, 'f> {
+    fn new(sh: &'s Shared<'f>, id: usize, schedule: Vec<Op>) -> Self {
+        CacheWorker {
+            sh,
+            id,
+            schedule,
+            cursor: 0,
+            outstanding: None,
+            declared_done: false,
+            blocks: vec![CacheBlock::new(); shared_addrs(sh)],
+            scratch: CacheBlock::new(),
+            outcome: ApplyOutcome::default(),
+            queues: (0..sh.fabric.nodes()).map(|_| VecDeque::new()).collect(),
+            out: WorkerOut {
+                tag: MachineTag::Cache,
+                coverage: DenseCoverage::new(sh.cache_fsm),
+                miss_latency_ns: Vec::new(),
+                hits: 0,
+                misses: 0,
+                messages: 0,
+                peak_queue_depth: 0,
+            },
+        }
+    }
+
+    /// Applies the head of edge `src`'s queue, if any.
+    fn step_msg(&mut self, src: usize) -> StepOutcome {
+        let Some(&env) = self.queues[src].front() else {
+            return StepOutcome::Parked; // empty edge: nothing to do
+        };
+        let sh = self.sh;
+        let addr = env.addr;
+        let block = &self.blocks[addr as usize];
+        let event = Event::Msg(env.msg.mtype);
+        self.out.coverage.record(block.state, event);
+        let arc = select_arc_indexed(
+            sh.cache_fsm,
+            &sh.cache_idx,
+            block.state,
+            event,
+            Some(&env.msg),
+            Some(block),
+            None,
+        );
+        let Some(arc) = arc else {
+            sh.fail(ServeError::UnexpectedMessage(format!(
+                "cache {} in state {} cannot handle {} for block {addr}",
+                self.id,
+                sh.cache_fsm.state(block.state).name,
+                env.msg
+            )));
+            return StepOutcome::Failed;
+        };
+        if arc.kind == ArcKind::Stall {
+            return StepOutcome::Parked;
+        }
+        self.scratch.clone_from(block);
+        let ctx = MachineCtx::Cache {
+            block: &mut self.scratch,
+            self_id: NodeId(self.id as u8),
+            dir_id: NodeId(sh.n_caches as u8),
+        };
+        if let Err(e) = apply_into(sh.cache_fsm, arc, Some(&env.msg), ctx, 0, &mut self.outcome) {
+            sh.fail(ServeError::Exec(format!("cache {} applying {}: {e}", self.id, env.msg)));
+            return StepOutcome::Failed;
+        }
+        if !sh.outgoing_fits(self.id, addr, &self.outcome.outgoing) {
+            return StepOutcome::Parked; // retry once the edge drains
+        }
+        std::mem::swap(&mut self.blocks[addr as usize], &mut self.scratch);
+        sh.publish(self.id, addr, &self.outcome.outgoing);
+        sh.in_flight.fetch_sub(1, Ordering::SeqCst);
+        self.queues[src].pop_front();
+        self.out.messages += 1;
+        if self.outcome.performed.is_some() {
+            if let Some((oaddr, t0)) = self.outstanding {
+                if oaddr == addr {
+                    self.out.miss_latency_ns.push(t0.elapsed().as_nanos() as u64);
+                    self.outstanding = None;
+                }
+            }
+        }
+        StepOutcome::Applied
+    }
+
+    /// Issues scheduled accesses until a transaction launches, an access
+    /// must wait, or the hit budget for this pass is spent. Returns
+    /// whether anything completed or launched.
+    fn try_issue(&mut self) -> bool {
+        let sh = self.sh;
+        let mut progressed = false;
+        let mut hit_budget = 1024u32;
+        while self.outstanding.is_none() && hit_budget > 0 {
+            let Some(&op) = self.schedule.get(self.cursor) else { break };
+            let addr = op.addr;
+            let block = &self.blocks[addr as usize];
+            let event = Event::Access(op.access);
+            self.out.coverage.record(block.state, event);
+            let arc = select_arc_indexed(
+                sh.cache_fsm,
+                &sh.cache_idx,
+                block.state,
+                event,
+                None,
+                Some(block),
+                None,
+            );
+            let Some(arc) = arc else {
+                // No transition: the access needs nothing (e.g. replacing
+                // an invalid block) — complete it on the spot.
+                self.cursor += 1;
+                self.out.hits += 1;
+                hit_budget -= 1;
+                progressed = true;
+                continue;
+            };
+            if arc.kind == ArcKind::Stall {
+                break; // retry after the blocking chain resolves
+            }
+            self.scratch.clone_from(block);
+            let ctx = MachineCtx::Cache {
+                block: &mut self.scratch,
+                self_id: NodeId(self.id as u8),
+                dir_id: NodeId(sh.n_caches as u8),
+            };
+            if let Err(e) = apply_into(sh.cache_fsm, arc, None, ctx, 0, &mut self.outcome) {
+                sh.fail(ServeError::Exec(format!(
+                    "cache {} issuing {:?} on block {addr}: {e}",
+                    self.id, op.access
+                )));
+                return progressed;
+            }
+            if !sh.outgoing_fits(self.id, addr, &self.outcome.outgoing) {
+                break; // output backpressure: retry next pass
+            }
+            std::mem::swap(&mut self.blocks[addr as usize], &mut self.scratch);
+            sh.publish(self.id, addr, &self.outcome.outgoing);
+            self.cursor += 1;
+            progressed = true;
+            if self.outcome.performed.is_some() {
+                self.out.hits += 1;
+                hit_budget -= 1;
+            } else {
+                self.out.misses += 1;
+                self.outstanding = Some((addr, Instant::now()));
+            }
+        }
+        progressed
+    }
+
+    fn run(mut self) -> WorkerOut {
+        let sh = self.sh;
+        let nodes = sh.fabric.nodes();
+        let mut idle = 0u32;
+        let mut ticks = 0u64;
+        loop {
+            if sh.done.load(Ordering::SeqCst) {
+                break;
+            }
+            let mut progress = false;
+            drain(sh, self.id, &mut self.queues);
+            for src in 0..nodes {
+                loop {
+                    match self.step_msg(src) {
+                        StepOutcome::Applied => progress = true,
+                        StepOutcome::Parked => break,
+                        StepOutcome::Failed => return self.out,
+                    }
+                }
+            }
+            progress |= self.try_issue();
+            if !self.declared_done
+                && self.cursor == self.schedule.len()
+                && self.outstanding.is_none()
+            {
+                self.declared_done = true;
+                sh.cores_done.fetch_add(1, Ordering::SeqCst);
+            }
+            let depth: usize = self.queues.iter().map(VecDeque::len).sum();
+            self.out.peak_queue_depth = self.out.peak_queue_depth.max(depth);
+            ticks += 1;
+            if progress {
+                idle = 0;
+                if ticks % 8192 == 0 && Instant::now() >= sh.deadline {
+                    sh.fail(deadline_error(sh));
+                    break;
+                }
+                continue;
+            }
+            idle += 1;
+            if idle % 64 == 0 {
+                if sh.quiescent() {
+                    sh.done.store(true, Ordering::SeqCst);
+                    break;
+                }
+                if Instant::now() >= sh.deadline {
+                    sh.fail(deadline_error(sh));
+                    break;
+                }
+            }
+            idle_backoff(idle);
+        }
+        self.out
+    }
+}
+
+struct DirWorker<'s, 'f> {
+    sh: &'s Shared<'f>,
+    /// Shard index; topology index is `n_caches + shard`.
+    shard: usize,
+    entries: Vec<DirEntry>,
+    scratch: DirEntry,
+    outcome: ApplyOutcome,
+    queues: Vec<VecDeque<Envelope>>,
+    out: WorkerOut,
+}
+
+impl<'s, 'f> DirWorker<'s, 'f> {
+    fn new(sh: &'s Shared<'f>, shard: usize) -> Self {
+        DirWorker {
+            sh,
+            shard,
+            entries: vec![DirEntry::new(0); shared_addrs(sh)],
+            scratch: DirEntry::new(0),
+            outcome: ApplyOutcome::default(),
+            queues: (0..sh.fabric.nodes()).map(|_| VecDeque::new()).collect(),
+            out: WorkerOut {
+                tag: MachineTag::Directory,
+                coverage: DenseCoverage::new(sh.dir_fsm),
+                miss_latency_ns: Vec::new(),
+                hits: 0,
+                misses: 0,
+                messages: 0,
+                peak_queue_depth: 0,
+            },
+        }
+    }
+
+    fn topo(&self) -> usize {
+        self.sh.n_caches + self.shard
+    }
+
+    fn step_msg(&mut self, src: usize) -> StepOutcome {
+        let Some(&env) = self.queues[src].front() else {
+            return StepOutcome::Parked;
+        };
+        let sh = self.sh;
+        let addr = env.addr;
+        let entry = &self.entries[addr as usize];
+        let event = Event::Msg(env.msg.mtype);
+        self.out.coverage.record(entry.state, event);
+        let arc = select_arc_indexed(
+            sh.dir_fsm,
+            &sh.dir_idx,
+            entry.state,
+            event,
+            Some(&env.msg),
+            None,
+            Some(entry),
+        );
+        let Some(arc) = arc else {
+            sh.fail(ServeError::UnexpectedMessage(format!(
+                "dir shard {} in state {} cannot handle {} for block {addr}",
+                self.shard,
+                sh.dir_fsm.state(entry.state).name,
+                env.msg
+            )));
+            return StepOutcome::Failed;
+        };
+        if arc.kind == ArcKind::Stall {
+            return StepOutcome::Parked;
+        }
+        self.scratch.clone_from(entry);
+        let ctx = MachineCtx::Dir { entry: &mut self.scratch, self_id: NodeId(sh.n_caches as u8) };
+        if let Err(e) = apply_into(sh.dir_fsm, arc, Some(&env.msg), ctx, 0, &mut self.outcome) {
+            sh.fail(ServeError::Exec(format!(
+                "dir shard {} applying {}: {e}",
+                self.shard, env.msg
+            )));
+            return StepOutcome::Failed;
+        }
+        if !sh.outgoing_fits(self.topo(), addr, &self.outcome.outgoing) {
+            return StepOutcome::Parked;
+        }
+        std::mem::swap(&mut self.entries[addr as usize], &mut self.scratch);
+        sh.publish(self.topo(), addr, &self.outcome.outgoing);
+        sh.in_flight.fetch_sub(1, Ordering::SeqCst);
+        self.queues[src].pop_front();
+        self.out.messages += 1;
+        StepOutcome::Applied
+    }
+
+    fn run(mut self) -> WorkerOut {
+        let sh = self.sh;
+        let nodes = sh.fabric.nodes();
+        let topo = self.topo();
+        let mut idle = 0u32;
+        loop {
+            if sh.done.load(Ordering::SeqCst) {
+                break;
+            }
+            let mut progress = false;
+            drain(sh, topo, &mut self.queues);
+            for src in 0..nodes {
+                loop {
+                    match self.step_msg(src) {
+                        StepOutcome::Applied => progress = true,
+                        StepOutcome::Parked => break,
+                        StepOutcome::Failed => return self.out,
+                    }
+                }
+            }
+            let depth: usize = self.queues.iter().map(VecDeque::len).sum();
+            self.out.peak_queue_depth = self.out.peak_queue_depth.max(depth);
+            if progress {
+                idle = 0;
+                continue;
+            }
+            idle += 1;
+            if idle % 64 == 0 {
+                if sh.quiescent() {
+                    sh.done.store(true, Ordering::SeqCst);
+                    break;
+                }
+                if Instant::now() >= sh.deadline {
+                    sh.fail(deadline_error(sh));
+                    break;
+                }
+            }
+            idle_backoff(idle);
+        }
+        self.out
+    }
+}
+
+fn deadline_error(sh: &Shared) -> ServeError {
+    ServeError::Deadline(format!(
+        "run did not quiesce in time ({} message(s) still in flight, {}/{} cores done issuing)",
+        sh.in_flight.load(Ordering::SeqCst),
+        sh.cores_done.load(Ordering::SeqCst),
+        sh.n_caches
+    ))
+}
+
+fn shared_addrs(sh: &Shared) -> usize {
+    sh.n_addrs
+}
+
+/// Runs the service to quiescence and reports what it measured.
+///
+/// `cache`/`dir` are the generated FSMs to execute (the very ones the
+/// model checker verified); see [`ServeConfig`] for the knobs.
+///
+/// # Errors
+///
+/// [`ServeError::Config`] for rejected configurations, and the
+/// violation-class errors ([`ServeError::UnexpectedMessage`],
+/// [`ServeError::Exec`], [`ServeError::Deadline`]) when the live run
+/// breaks — all of which the `protogen serve` CLI turns into a non-zero
+/// exit.
+pub fn serve(cache: &Fsm, dir: &Fsm, cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
+    cfg.validate()?;
+    let per_core = cfg.total_ops.div_ceil(cfg.n_caches);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let schedules = cfg
+        .workload
+        .schedules(cfg.n_caches, cfg.n_addrs, per_core, &mut rng)
+        .map_err(|e| ServeError::Config(e.to_string()))?;
+
+    let nodes = cfg.n_caches + cfg.dir_shards;
+    let sh = Shared {
+        cache_fsm: cache,
+        dir_fsm: dir,
+        cache_idx: FsmIndex::new(cache),
+        dir_idx: FsmIndex::new(dir),
+        fabric: Fabric::new(nodes, cfg.mailbox_cap),
+        n_caches: cfg.n_caches,
+        dir_shards: cfg.dir_shards,
+        n_addrs: cfg.n_addrs,
+        in_flight: AtomicU64::new(0),
+        cores_done: AtomicUsize::new(0),
+        done: AtomicBool::new(false),
+        failure: Mutex::new(None),
+        deadline: Instant::now() + Duration::from_secs_f64(cfg.max_seconds),
+    };
+
+    let start = Instant::now();
+    let outs: Vec<WorkerOut> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nodes);
+        for (id, schedule) in schedules.into_iter().enumerate() {
+            let sh = &sh;
+            handles.push(scope.spawn(move || CacheWorker::new(sh, id, schedule).run()));
+        }
+        for shard in 0..cfg.dir_shards {
+            let sh = &sh;
+            handles.push(scope.spawn(move || DirWorker::new(sh, shard).run()));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    let seconds = start.elapsed().as_secs_f64();
+
+    if let Some(e) = sh.failure.lock().unwrap().take() {
+        return Err(e);
+    }
+
+    let mut coverage = PairSet::new();
+    let mut miss_latency = Histogram::new();
+    let mut report = ServeReport {
+        n_caches: cfg.n_caches,
+        dir_shards: cfg.dir_shards,
+        n_addrs: cfg.n_addrs,
+        ops: 0,
+        hits: 0,
+        misses: 0,
+        messages: 0,
+        seconds,
+        miss_latency: Histogram::new(),
+        peak_queue_depths: Vec::with_capacity(nodes),
+        coverage: PairSet::new(),
+    };
+    for out in &outs {
+        out.coverage.merge_into(out.tag, &mut coverage);
+        for &ns in &out.miss_latency_ns {
+            miss_latency.record(ns);
+        }
+        report.hits += out.hits;
+        report.misses += out.misses;
+        report.messages += out.messages;
+        report.peak_queue_depths.push(out.peak_queue_depth);
+    }
+    report.ops = report.hits + report.misses;
+    report.miss_latency = miss_latency;
+    report.coverage = coverage;
+    Ok(report)
+}

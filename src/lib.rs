@@ -13,6 +13,7 @@
 //! | [`runtime`] | `protogen-runtime` | Executable FSM semantics |
 //! | [`mc`] | `protogen-mc` | Explicit-state model checker (Murϕ substrate) |
 //! | [`sim`] | `protogen-sim` | Simulation subsystem: networks, workloads, sweeps |
+//! | [`serve`] | `protogen-serve` | Live multi-threaded cache service inside the verified envelope |
 //! | [`protocols`] | `protogen-protocols` | MSI, MESI, MOSI, Upgrade, unordered, TSO-CC |
 //! | [`fuzz`] | `protogen-fuzz` | Mutation-based fuzzing of the generate→check pipeline |
 //! | [`backend`] | `protogen-backend` | Tables, DOT, Murϕ text, diffing |
@@ -43,5 +44,6 @@ pub use protogen_fuzz as fuzz;
 pub use protogen_mc as mc;
 pub use protogen_protocols as protocols;
 pub use protogen_runtime as runtime;
+pub use protogen_serve as serve;
 pub use protogen_sim as sim;
 pub use protogen_spec as spec;
