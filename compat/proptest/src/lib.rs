@@ -204,6 +204,36 @@ macro_rules! prop_assert_ne {
     ($($t:tt)*) => { assert_ne!($($t)*) };
 }
 
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// The strategy returned by [`vec()`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A strategy producing `Vec`s of `element` values with a length
+    /// drawn from `size` (the real API's `Into<SizeRange>` is narrowed
+    /// to the `Range<usize>` form the workspace uses).
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.gen_range(self.size.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
 /// One-stop import, mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::{

@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use protogen_core::{generate, GenConfig};
-use protogen_mc::{McConfig, ModelChecker};
+use protogen_mc::{McConfig, ModelChecker, PropertySet};
 use std::hint::black_box;
 
 fn verify_all(c: &mut Criterion) {
@@ -24,10 +24,7 @@ fn verify_all(c: &mut Criterion) {
             let g = generate(&ssp, &cfg).unwrap();
             let mut mc_cfg = McConfig::with_caches(3);
             mc_cfg.ordered = ssp.network_ordered;
-            if ssp.name == "TSO-CC" {
-                mc_cfg.check_swmr = false;
-                mc_cfg.check_data_value = false;
-            }
+            mc_cfg.properties = PropertySet::promised(ssp.consistency);
             let r = ModelChecker::new(&g.cache, &g.directory, mc_cfg.clone()).run();
             println!(
                 "{:<14} {:<13} {:>6} {:>6} {:>10} {:>8} {:>7.2}s",

@@ -29,51 +29,112 @@ pub fn cores_available() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
-/// Whether a multi-thread-speedup assertion at `threads` workers is
-/// meaningful on this host, plus the decision string the report JSON
-/// records. A host with fewer cores than workers measures scheduling
-/// overhead, not parallel speedup — BENCH_mc's seed baseline was recorded
-/// on a 1-core box, where the old gate asserted an impossible 1.8× and
-/// misfired by design. The decision is written into the report either way
-/// so a skipped gate is visible, never silent.
-pub fn speedup_gate(threads: usize) -> (bool, String) {
-    let cores = cores_available();
-    if cores >= threads {
-        (true, format!("enforced ({cores} cores >= {threads} threads)"))
-    } else {
-        (false, format!("skipped: cores_available ({cores}) < threads ({threads})"))
+/// The up-front verdict on a `*_scaling` bench's speedup assertion:
+/// whether this host can measure it, and what to do when it cannot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalingGate {
+    /// Enforcement requested and the host has enough cores: assert the
+    /// speedup threshold at the end of the run.
+    Enforce,
+    /// Enforcement not requested: measure, record, gate nothing.
+    RecordOnly,
+    /// Enforcement explicitly requested (`*_ENFORCE_SCALING`) on a host
+    /// with fewer cores than the bench's workers. The run cannot measure
+    /// what it was asked to gate, so it must **fail loudly** — a silent
+    /// skip here is a nightly that gates nothing while looking green.
+    FailUndersized,
+}
+
+/// Decides, **up front**, whether a multi-thread-speedup assertion at
+/// `threads` workers is meaningful on this host, and returns the decision
+/// string the report JSON records under its `speedup_gate` key. A host
+/// with fewer cores than workers measures scheduling overhead, not
+/// parallel speedup — BENCH_mc's seed baseline was recorded on a 1-core
+/// box, where an unconditional gate asserted an impossible 1.8× and
+/// misfired by design. When the caller did not request enforcement the
+/// gate degrades to record-only; when it *did* (`enforce_requested`), an
+/// undersized host is a hard failure, never a skip.
+pub fn speedup_gate(threads: usize, enforce_requested: bool) -> (ScalingGate, String) {
+    speedup_gate_with_cores(threads, cores_available(), enforce_requested)
+}
+
+/// [`speedup_gate`] with the core count injected, so every quadrant of
+/// the decision is unit-testable regardless of the host running the
+/// tests.
+pub fn speedup_gate_with_cores(
+    threads: usize,
+    cores: usize,
+    enforce_requested: bool,
+) -> (ScalingGate, String) {
+    match (cores >= threads, enforce_requested) {
+        (true, true) => {
+            (ScalingGate::Enforce, format!("enforced ({cores} cores >= {threads} threads)"))
+        }
+        (true, false) => (
+            ScalingGate::RecordOnly,
+            format!(
+                "recorded only ({cores} cores >= {threads} threads, enforcement not requested)"
+            ),
+        ),
+        (false, true) => (
+            ScalingGate::FailUndersized,
+            format!(
+                "unsatisfiable: scaling enforcement requested but cores_available \
+                 ({cores}) < threads ({threads})"
+            ),
+        ),
+        (false, false) => (
+            ScalingGate::RecordOnly,
+            format!("recorded only: cores_available ({cores}) < threads ({threads})"),
+        ),
     }
 }
 
 /// Applies a multi-thread-speedup assertion uniformly for the `*_scaling`
-/// benches: honours the [`speedup_gate`] decision (printing a skipped
-/// gate rather than failing it), treats missing measurement points as a
-/// structured failure, and enforces `speedup > threshold` otherwise.
+/// benches, honouring the up-front [`speedup_gate`] decision:
+///
+/// * [`ScalingGate::RecordOnly`] prints the decision and passes — the
+///   measurement is informational;
+/// * [`ScalingGate::FailUndersized`] **fails** regardless of the measured
+///   ratio: enforcement was requested on a host that cannot measure it,
+///   and the fix is a bigger runner or unsetting the toggle, not a skip;
+/// * [`ScalingGate::Enforce`] treats missing measurement points as a
+///   structured failure and enforces `speedup > threshold` otherwise.
+///
 /// Returns `true` when the gate failed.
 pub fn enforce_scaling(
-    gate_on: bool,
+    gate: ScalingGate,
     decision: &str,
     speedup: Option<f64>,
     threshold: f64,
     label: &str,
 ) -> bool {
-    if !gate_on {
-        println!("scaling check {decision}");
-        return false;
-    }
-    match speedup {
-        None => {
-            eprintln!("SCALING FAILURE: {label} needs both 1- and 4-worker points");
-            true
-        }
-        Some(s) if s > threshold => {
-            println!("scaling check OK: {s:.2}× > {threshold}×");
+    match gate {
+        ScalingGate::RecordOnly => {
+            println!("scaling check {decision}");
             false
         }
-        Some(s) => {
-            eprintln!("SCALING FAILURE: {label} speedup {s:.2}× ≤ {threshold}×");
+        ScalingGate::FailUndersized => {
+            eprintln!(
+                "SCALING FAILURE: {decision} — provision a runner with at least as many \
+                 cores as the bench's workers, or unset the *_ENFORCE_SCALING toggle"
+            );
             true
         }
+        ScalingGate::Enforce => match speedup {
+            None => {
+                eprintln!("SCALING FAILURE: {label} needs both 1- and 4-worker points");
+                true
+            }
+            Some(s) if s > threshold => {
+                println!("scaling check OK: {s:.2}× > {threshold}×");
+                false
+            }
+            Some(s) => {
+                eprintln!("SCALING FAILURE: {label} speedup {s:.2}× ≤ {threshold}×");
+                true
+            }
+        },
     }
 }
 
@@ -272,6 +333,35 @@ pub fn enforce_baseline(baseline_path: &Path, checks: &[BaselineCheck]) -> bool 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scaling_gate_fails_rather_than_skips_when_enforcement_is_unsatisfiable() {
+        // Enforcement requested on an undersized host: hard failure, even
+        // when the (meaningless) measured ratio would clear the threshold.
+        let (gate, decision) = speedup_gate_with_cores(4, 2, true);
+        assert_eq!(gate, ScalingGate::FailUndersized);
+        assert!(decision.contains("unsatisfiable"), "{decision}");
+        assert!(enforce_scaling(gate, &decision, Some(3.0), 1.5, "4-thread"));
+        // Same host without the toggle: informational, never fails.
+        let (gate, decision) = speedup_gate_with_cores(4, 2, false);
+        assert_eq!(gate, ScalingGate::RecordOnly);
+        assert!(!enforce_scaling(gate, &decision, Some(0.5), 1.5, "4-thread"));
+    }
+
+    #[test]
+    fn scaling_gate_enforces_threshold_on_a_big_enough_host() {
+        let (gate, decision) = speedup_gate_with_cores(4, 8, true);
+        assert_eq!(gate, ScalingGate::Enforce);
+        assert!(decision.starts_with("enforced"), "{decision}");
+        assert!(!enforce_scaling(gate, &decision, Some(2.0), 1.5, "4-thread"));
+        assert!(enforce_scaling(gate, &decision, Some(1.2), 1.5, "4-thread"));
+        // Missing points under enforcement are a structured failure.
+        assert!(enforce_scaling(gate, &decision, None, 1.5, "4-thread"));
+        // Enforcement not requested: recorded, not gated.
+        let (gate, decision) = speedup_gate_with_cores(4, 8, false);
+        assert_eq!(gate, ScalingGate::RecordOnly);
+        assert!(!enforce_scaling(gate, &decision, Some(1.0), 1.5, "4-thread"));
+    }
 
     #[test]
     fn extract_number_reads_flat_keys() {

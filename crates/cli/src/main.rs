@@ -18,6 +18,8 @@
 //! protogen fuzz    [--seed N] [--mutants N] [--threads N] [--budget N]
 //!                  [--protocols a,b] [--out DIR] [--json]
 //! protogen fuzz    --replay FILE [--budget N]
+//! protogen litmus  [protocol|all] [--tests SB,MP] [--threads N] [--seed N]
+//!                  [--depth N] [--markdown]
 //! protogen stats   [--stalling]
 //! protogen compile <file.pgen> [--stalling] [--caches N] [--threads N] [--max-states N]
 //! ```
@@ -45,12 +47,22 @@
 //! the service executes `--ops` operations and any live dispatch outside
 //! that coverage — or any invariant violation — exits non-zero.
 //!
+//! `litmus` classifies each protocol's observable memory model by
+//! exhaustively enumerating the classical litmus tests (SB, MP, LB, IRIW,
+//! CoRR) through the generated FSMs and comparing against executable SC
+//! and TSO reference models. The exit code is non-zero unless every
+//! protocol is classified exactly as its specification promises.
+//! `--depth` bounds the per-(protocol, test) state space; `--seed` only
+//! perturbs exploration order (the enumeration is exhaustive, so outcomes
+//! are seed-invariant).
+//!
 //! `<protocol>` is one of: msi, mesi, mosi, msi-upgrade, msi-unordered,
-//! tso-cc.
+//! tso-cc, si-sd.
 
 use protogen_backend::{render_table, to_dot, to_murphi, TableOptions};
 use protogen_core::{generate, GenConfig, Generated};
-use protogen_mc::{McConfig, ModelChecker, StoreMode};
+use protogen_litmus::{run_suite, Limits};
+use protogen_mc::{McConfig, ModelChecker, PropertySet, StoreMode};
 use protogen_serve::{checked_envelope, pair_label, serve, ServeConfig, ServeError};
 use protogen_sim::{
     parse_trace, run_sweep, simulate, Json, LatencyDist, NetModel, SimConfig, SweepConfig, Workload,
@@ -99,6 +111,9 @@ impl Args {
                         | "store"
                         | "spill-chunk"
                         | "replay"
+                        | "property"
+                        | "tests"
+                        | "depth"
                 );
                 if needs_value {
                     let v = it.next().unwrap_or_default();
@@ -155,6 +170,22 @@ fn parse_bytes(v: &str) -> Option<usize> {
     digits.parse::<usize>().ok()?.checked_shl(shift)
 }
 
+/// Resolves the `--property` flag: a named contract (`sc`, `tso`, `weak`,
+/// `none`) or a `+`-combination of individual properties; defaults to the
+/// set the protocol's declared memory model promises.
+fn property_set(ssp: &Ssp, args: &Args) -> PropertySet {
+    match args.value("property") {
+        None => PropertySet::promised(ssp.consistency),
+        Some(v) => match v.parse() {
+            Ok(set) => set,
+            Err(e) => {
+                eprintln!("bad --property: {e}");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
 fn verify(g: &Generated, ssp: &Ssp, args: &Args, n: usize, threads: usize) -> bool {
     let mut cfg = McConfig::with_caches(n);
     cfg.ordered = ssp.network_ordered;
@@ -206,10 +237,10 @@ fn verify(g: &Generated, ssp: &Ssp, args: &Args, n: usize, threads: usize) -> bo
             }
         }
     }
-    if ssp.name == "TSO-CC" {
-        cfg.check_swmr = false;
-        cfg.check_data_value = false;
-    }
+    // Default to the property contract the protocol declares; `--property`
+    // overrides it (e.g. `--property sc` to demonstrate that TSO-CC
+    // really does trade SWMR away).
+    cfg.properties = property_set(ssp, args);
     let fp_only = cfg.store == StoreMode::FpOnly;
     let r = ModelChecker::new(&g.cache, &g.directory, cfg).run();
     println!(
@@ -409,12 +440,9 @@ fn serve_cmd(ssp: &Ssp, g: &Generated, args: &Args, caches: usize, threads: usiz
     let mut mc_cfg = McConfig::with_caches(caches);
     mc_cfg.ordered = ssp.network_ordered;
     mc_cfg.threads = threads;
-    if ssp.name == "TSO-CC" {
-        // TSO-CC trades SWMR for performance by design (§VII); the
-        // envelope relaxes exactly what `verify` relaxes.
-        mc_cfg.check_swmr = false;
-        mc_cfg.check_data_value = false;
-    }
+    // The envelope enforces exactly the contract `verify` enforces: the
+    // property set the protocol's memory model promises (or --property).
+    mc_cfg.properties = property_set(ssp, args);
     eprintln!("model-checking the {caches}-cache envelope for {}…", ssp.name);
     let envelope = match checked_envelope(&g.cache, &g.directory, mc_cfg) {
         Ok(p) => p,
@@ -700,6 +728,12 @@ fn fuzz(args: &Args, threads: usize) -> ExitCode {
             if count > 0 {
                 println!("  {label:<22} {count:>6}");
             }
+            if label == "rejected-by-checker" {
+                // The property-aware breakdown of what the checker caught.
+                for (family, n) in report.checker_families() {
+                    println!("    {family:<20} {n:>6}");
+                }
+            }
         }
         for c in &report.controls {
             println!(
@@ -724,11 +758,80 @@ fn fuzz(args: &Args, threads: usize) -> ExitCode {
     }
 }
 
+/// `protogen litmus`: classify protocols against the litmus suite and
+/// fail unless every one matches its promised memory model.
+fn litmus_cmd(args: &Args, threads: usize) -> ExitCode {
+    let which = args.positional.get(1).map(String::as_str).unwrap_or("all");
+    let ssps: Vec<Ssp> = if which == "all" {
+        protogen_protocols::all()
+    } else {
+        match protocol(which) {
+            Some(ssp) => vec![ssp],
+            None => {
+                eprintln!(
+                    "unknown protocol `{which}` (try all, msi, mesi, mosi, msi-upgrade, \
+                     msi-unordered, tso-cc, si-sd)"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    };
+    let all_tests = protogen_litmus::bundled();
+    let tests: Vec<_> = match args.value("tests") {
+        None => all_tests,
+        Some(list) => {
+            let mut picked = Vec::new();
+            for name in list.split(',') {
+                match all_tests.iter().find(|t| t.name.eq_ignore_ascii_case(name.trim())) {
+                    Some(t) => picked.push(t.clone()),
+                    None => {
+                        let known: Vec<&str> = all_tests.iter().map(|t| t.name.as_str()).collect();
+                        eprintln!("unknown litmus test `{name}` (known: {})", known.join(", "));
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            picked
+        }
+    };
+    let mut limits = Limits::default();
+    if let Some(d) = args.value("depth").and_then(|v| v.parse().ok()) {
+        limits.max_states = d;
+    }
+    if let Some(s) = args.value("seed").and_then(|v| v.parse().ok()) {
+        limits.seed = s;
+    }
+    let workers = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    };
+    match run_suite(&ssps, &tests, &limits, workers) {
+        Err(e) => {
+            eprintln!("litmus: {e}");
+            ExitCode::FAILURE
+        }
+        Ok(report) => {
+            if args.flag("markdown") {
+                print!("{}", report.render_markdown());
+            } else {
+                print!("{}", report.render_text());
+            }
+            if report.passed() {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("litmus: observed memory model differs from the specification's promise");
+                ExitCode::FAILURE
+            }
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args = Args::parse();
     let Some(cmd) = args.positional.first().map(String::as_str) else {
         eprintln!(
-            "usage: protogen <table|verify|dot|murphi|sim|serve|sweep|fuzz|simulate|stats|compile> …"
+            "usage: protogen <table|verify|dot|murphi|sim|serve|sweep|fuzz|litmus|simulate|stats|compile> …"
         );
         return ExitCode::from(2);
     };
@@ -765,6 +868,7 @@ fn main() -> ExitCode {
         }
         "sweep" => sweep(&args, threads),
         "fuzz" => fuzz(&args, threads),
+        "litmus" => litmus_cmd(&args, threads),
         "table" | "verify" | "dot" | "murphi" | "sim" | "serve" | "simulate" => {
             let Some(name) = args.positional.get(1) else {
                 eprintln!("usage: protogen {cmd} <protocol> [flags]");
@@ -773,7 +877,7 @@ fn main() -> ExitCode {
             let Some(ssp) = protocol(name) else {
                 eprintln!(
                     "unknown protocol `{name}` (try msi, mesi, mosi, msi-upgrade, \
-                     msi-unordered, tso-cc)"
+                     msi-unordered, tso-cc, si-sd)"
                 );
                 return ExitCode::from(2);
             };

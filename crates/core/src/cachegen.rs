@@ -5,9 +5,9 @@ use crate::config::{Concurrency, GenConfig, TransientAccessPolicy};
 use crate::error::GenError;
 use crate::report::Reinterpretation;
 use protogen_spec::{
-    Access, AckSrc, Action, Arc, ArcKind, ArcNote, ChainLink, Dst, Effect, Event, Fsm, FsmState,
-    FsmStateId, FsmStateKind, MachineKind, MsgId, Perm, ReqField, Ssp, StableId, TransientMeta,
-    Trigger, WaitTo,
+    Access, AckSrc, Action, Arc, ArcKind, ArcNote, ChainLink, Dst, Effect, EntryNote, Event, Fsm,
+    FsmState, FsmStateId, FsmStateKind, MachineKind, MsgId, Perm, ReqField, Ssp, StableId,
+    TransientMeta, Trigger, WaitTo,
 };
 use std::collections::{HashMap, VecDeque};
 
@@ -151,15 +151,23 @@ impl<'a> CacheGen<'a> {
         for access in Access::ALL {
             let entries = self.ssp.cache.entries_for(s, Trigger::Access(access));
             let Some(e) = entries.first() else { continue };
+            // SI/SD provenance survives generation so memory-model tooling
+            // (the litmus harness) can find the spontaneous sync arcs in
+            // the concurrent FSM.
+            let note = match e.note {
+                EntryNote::Demand => ArcNote::Ssp,
+                EntryNote::SelfInvalidate => ArcNote::SelfInv,
+                EntryNote::SelfDowngrade => ArcNote::SelfDown,
+            };
             match &e.effect {
                 Effect::Local { actions, next } => {
                     let to = next.map_or(id, |n| self.intern(Key::Stable(n)));
-                    self.push(id, Event::Access(access), vec![], actions.clone(), to, ArcNote::Ssp);
+                    self.push(id, Event::Access(access), vec![], actions.clone(), to, note);
                 }
                 Effect::Issue { request, .. } => {
                     let txn = self.an.txn_by_trigger[&(s, access)];
                     let to = self.intern(Key::Wait { txn, w: 0, chain: vec![] });
-                    self.push(id, Event::Access(access), vec![], request.clone(), to, ArcNote::Ssp);
+                    self.push(id, Event::Access(access), vec![], request.clone(), to, note);
                 }
             }
         }

@@ -7,6 +7,11 @@ pub struct Spec {
     pub name: String,
     /// `network ordered;` / `network unordered;` (default ordered).
     pub ordered: bool,
+    /// `consistency sc|tso|weak;` (default `sc`).
+    pub consistency: String,
+    /// `si epoch;` — self-invalidations fire as whole-cache epochs
+    /// (default per-line, `si line;`).
+    pub si_epoch: bool,
     /// Message declarations.
     pub messages: Vec<MessageDecl>,
     /// Cache state declarations.

@@ -24,10 +24,12 @@ pub mod ast;
 mod lexer;
 mod lower;
 mod parser;
+mod render;
 
 pub use lexer::{tokenize, Token, TokenKind};
 pub use lower::{lower, LowerError};
 pub use parser::{parse, ParseError};
+pub use render::render;
 
 use std::error::Error;
 use std::fmt;
@@ -55,6 +57,10 @@ pub const MSI_UNORDERED_PGEN: &str = include_str!("../protocols/msi_unordered.pg
 /// The bundled simplified TSO-CC source (§VI-D; equivalent to
 /// `protogen_protocols::tso_cc()`).
 pub const TSO_CC_PGEN: &str = include_str!("../protocols/tso_cc.pgen");
+
+/// The bundled self-invalidate/self-downgrade source (VIPS-M family;
+/// equivalent to `protogen_protocols::si_sd()`).
+pub const SI_SD_PGEN: &str = include_str!("../protocols/si_sd.pgen");
 
 /// Front-end errors.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -2,9 +2,9 @@
 
 use crate::ast::*;
 use protogen_spec::{
-    Access, AckSrc, Action, DataSrc, Dst, Effect, Guard, MachineKind, MachineSsp, MsgClass,
-    MsgDecl, MsgId, Perm, ReqField, SendSpec, SspEntry, StableDecl, Trigger, VirtualNet, WaitArc,
-    WaitChain, WaitNode, WaitTo,
+    Access, AckSrc, Action, DataSrc, Dst, Effect, EntryNote, Guard, MachineKind, MachineSsp,
+    MemoryModel, MsgClass, MsgDecl, MsgId, Perm, ReqField, SendSpec, SspEntry, StableDecl, Trigger,
+    VirtualNet, WaitArc, WaitChain, WaitNode, WaitTo,
 };
 
 /// Lowering error.
@@ -72,12 +72,15 @@ pub fn lower(spec: &Spec) -> Result<protogen_spec::Ssp, LowerError> {
             .collect()
     };
 
+    let consistency: MemoryModel = spec.consistency.parse().map_err(LowerError)?;
     let mut ssp = protogen_spec::Ssp {
         name: spec.name.clone(),
         messages,
         cache: MachineSsp::new(MachineKind::Cache),
         directory: MachineSsp::new(MachineKind::Directory),
         network_ordered: spec.ordered,
+        consistency,
+        si_epoch: spec.si_epoch,
     };
     ssp.cache.states = lower_states(&spec.cache_states)?;
     ssp.directory.states = lower_states(&spec.dir_states)?;
@@ -102,11 +105,17 @@ fn lower_procs(
         let state = machine
             .state_by_name(&p.state)
             .ok_or_else(|| LowerError(format!("unknown state `{}`", p.state)))?;
-        let trigger = match p.trigger.as_str() {
-            "load" => Trigger::Access(Access::Load),
-            "store" => Trigger::Access(Access::Store),
-            "replacement" => Trigger::Access(Access::Replacement),
-            name => Trigger::Msg(msg_id(ssp, name)?),
+        // The SI/SD primitives are spelled as their own triggers in the DSL
+        // (`process(S, self_invalidate)`) but are replacement transitions
+        // with a provenance note underneath: spontaneous evictions and
+        // downgrades reuse the whole replacement machinery.
+        let (trigger, note) = match p.trigger.as_str() {
+            "load" => (Trigger::Access(Access::Load), EntryNote::Demand),
+            "store" => (Trigger::Access(Access::Store), EntryNote::Demand),
+            "replacement" => (Trigger::Access(Access::Replacement), EntryNote::Demand),
+            "self_invalidate" => (Trigger::Access(Access::Replacement), EntryNote::SelfInvalidate),
+            "self_downgrade" => (Trigger::Access(Access::Replacement), EntryNote::SelfDowngrade),
+            name => (Trigger::Msg(msg_id(ssp, name)?), EntryNote::Demand),
         };
         let guards = p.guards.iter().map(|g| guard(g)).collect::<Result<Vec<_>, _>>()?;
         let actions = p.body.iter().map(|s| stmt(ssp, kind, s)).collect::<Result<Vec<_>, _>>()?;
@@ -156,7 +165,7 @@ fn lower_procs(
             }
             Effect::Issue { request: actions, chain: WaitChain { nodes } }
         };
-        out.push(SspEntry { state, trigger, guards, effect });
+        out.push(SspEntry { state, trigger, guards, effect, note });
     }
     Ok(out)
 }

@@ -85,6 +85,8 @@ pub fn parse(src: &str) -> Result<Spec, ParseError> {
     let mut spec = Spec {
         name,
         ordered: true,
+        consistency: "sc".to_string(),
+        si_epoch: false,
         messages: vec![],
         cache_states: vec![],
         dir_states: vec![],
@@ -105,6 +107,33 @@ pub fn parse(src: &str) -> Result<Spec, ParseError> {
                         other => {
                             return Err(ParseError(format!(
                                 "network must be ordered|unordered, found `{other}`"
+                            )))
+                        }
+                    };
+                    p.expect(&TokenKind::Semi)?;
+                }
+                "consistency" => {
+                    p.bump();
+                    let model = p.ident()?;
+                    match model.as_str() {
+                        "sc" | "tso" | "weak" => spec.consistency = model,
+                        other => {
+                            return Err(ParseError(format!(
+                                "consistency must be sc|tso|weak, found `{other}`"
+                            )))
+                        }
+                    }
+                    p.expect(&TokenKind::Semi)?;
+                }
+                "si" => {
+                    p.bump();
+                    let mode = p.ident()?;
+                    spec.si_epoch = match mode.as_str() {
+                        "epoch" => true,
+                        "line" => false,
+                        other => {
+                            return Err(ParseError(format!(
+                                "si must be epoch|line, found `{other}`"
                             )))
                         }
                     };

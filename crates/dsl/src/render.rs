@@ -1,0 +1,148 @@
+//! Pretty-printer from the AST back to DSL source.
+//!
+//! The inverse of [`crate::parse`] up to formatting: rendering a parsed
+//! [`Spec`] and reparsing the result yields the same AST (and therefore
+//! the same lowered SSP). Statements are emitted in the canonical order
+//! every bundled source already uses — body, final-state arrow, await
+//! blocks — so the round trip is exact for any spec the parser produced
+//! from canonically-ordered source. The property tests drive every
+//! bundled `.pgen` through parse → render → reparse → lower.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Renders a parsed spec back to parseable DSL source.
+pub fn render(spec: &Spec) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "protocol {};", spec.name);
+    let _ = writeln!(s, "network {};", if spec.ordered { "ordered" } else { "unordered" });
+    let _ = writeln!(s, "consistency {};", spec.consistency);
+    let _ = writeln!(s, "si {};", if spec.si_epoch { "epoch" } else { "line" });
+    s.push('\n');
+    for m in &spec.messages {
+        let _ = write!(s, "message {} : {}", m.name, m.class);
+        if !m.fields.is_empty() {
+            let _ = write!(s, " {{ {} }}", m.fields.join(", "));
+        }
+        if let Some(v) = &m.vnet {
+            let _ = write!(s, " on {v}");
+        }
+        s.push_str(";\n");
+    }
+    s.push('\n');
+    render_states(&mut s, "cache", &spec.cache_states);
+    s.push('\n');
+    render_states(&mut s, "directory", &spec.dir_states);
+    s.push('\n');
+    render_arch(&mut s, "cache", &spec.cache_procs);
+    s.push('\n');
+    render_arch(&mut s, "directory", &spec.dir_procs);
+    s
+}
+
+fn render_states(s: &mut String, which: &str, states: &[StateDecl]) {
+    let _ = writeln!(s, "{which} {{");
+    for st in states {
+        let _ = write!(s, "    state {}", st.name);
+        if st.perm != "none" {
+            let _ = write!(s, " {}", st.perm);
+        }
+        if st.data {
+            s.push_str(" data");
+        }
+        s.push_str(";\n");
+    }
+    s.push_str("}\n");
+}
+
+fn render_guards(s: &mut String, guards: &[String]) {
+    if !guards.is_empty() {
+        let _ = write!(s, " if {}", guards.join(" && "));
+    }
+}
+
+fn render_stmt(s: &mut String, indent: &str, stmt: &Stmt) {
+    match stmt {
+        Stmt::Send { msg, args, dst } => {
+            let _ = write!(s, "{indent}send {msg}");
+            if !args.is_empty() {
+                let _ = write!(s, "({})", args.join(", "));
+            }
+            let _ = writeln!(s, " to {dst};");
+        }
+        Stmt::Word(w) => {
+            let _ = writeln!(s, "{indent}{w};");
+        }
+    }
+}
+
+fn render_arch(s: &mut String, which: &str, procs: &[Process]) {
+    let _ = writeln!(s, "architecture {which} {{");
+    for p in procs {
+        let _ = write!(s, "    process({}, {})", p.state, p.trigger);
+        render_guards(s, &p.guards);
+        s.push_str(" {\n");
+        for stmt in &p.body {
+            render_stmt(s, "        ", stmt);
+        }
+        if let Some(next) = &p.next {
+            let _ = writeln!(s, "        -> {next};");
+        }
+        for a in &p.awaits {
+            let _ = writeln!(s, "        await {} {{", a.tag);
+            for w in &a.whens {
+                let _ = write!(s, "            when {}", w.msg);
+                render_guards(s, &w.guards);
+                s.push(':');
+                s.push('\n');
+                for stmt in &w.stmts {
+                    render_stmt(s, "                ", stmt);
+                }
+                match &w.target {
+                    WhenTarget::Done(st) => {
+                        let _ = writeln!(s, "                -> {st};");
+                    }
+                    WhenTarget::Wait(tag) => {
+                        let _ = writeln!(s, "                => {tag};");
+                    }
+                }
+            }
+            s.push_str("        }\n");
+        }
+        s.push_str("    }\n");
+    }
+    s.push_str("}\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn every_bundled_source_round_trips_through_render() {
+        for (name, src) in [
+            ("MSI", crate::MSI_PGEN),
+            ("MESI", crate::MESI_PGEN),
+            ("MOSI", crate::MOSI_PGEN),
+            ("MSI_Upgrade", crate::MSI_UPGRADE_PGEN),
+            ("MSI_unordered", crate::MSI_UNORDERED_PGEN),
+            ("TSO_CC", crate::TSO_CC_PGEN),
+            ("SI_SD", crate::SI_SD_PGEN),
+        ] {
+            let ast = parse(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let rendered = render(&ast);
+            let again =
+                parse(&rendered).unwrap_or_else(|e| panic!("{name} rendered: {e}\n{rendered}"));
+            assert_eq!(ast, again, "{name}: render/reparse changed the AST");
+        }
+    }
+
+    #[test]
+    fn rendering_is_idempotent() {
+        let ast = parse(crate::SI_SD_PGEN).unwrap();
+        let once = render(&ast);
+        let twice = render(&parse(&once).unwrap());
+        assert_eq!(once, twice);
+    }
+}

@@ -12,7 +12,7 @@
 
 use crate::mutate::{apply_all, Mutation};
 use protogen_core::{generate, GenConfig};
-use protogen_mc::{McConfig, ModelChecker, ViolationKind};
+use protogen_mc::{McConfig, ModelChecker, PropertySet, ViolationKind};
 use protogen_spec::Ssp;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -36,9 +36,19 @@ pub enum Outcome {
     /// message names the stage.
     GeneratorPanic(String),
     /// The model checker found a protocol violation (SWMR, data value,
-    /// deadlock, unexpected message, channel overflow): the oracle caught
-    /// the mutant. Carries the rendered violation kind.
-    Caught(String),
+    /// deadlock, unexpected message, channel overflow, a named custom
+    /// property): the oracle caught the mutant. Carries the violated
+    /// property's family label (the property-aware taxonomy key) and the
+    /// rendered violation kind.
+    Caught {
+        /// Which property family fired: `swmr`, `data-value`,
+        /// `deadlock`, `unexpected-message`, `channel-overflow`,
+        /// `illegal-action`, or `property:<name>` for a custom
+        /// [`protogen_mc::Predicate`].
+        family: String,
+        /// The rendered violation kind.
+        detail: String,
+    },
     /// The checker hit a [`ViolationKind::Exec`] violation: the runtime
     /// rejected an action the generator emitted — an unexpected
     /// generator bug surfaced at run time.
@@ -66,7 +76,7 @@ impl Outcome {
             Outcome::RejectedAtBuild(_) => "rejected-at-build",
             Outcome::RejectedByGenerator(_) => "rejected-by-generator",
             Outcome::GeneratorPanic(_) => "generator-panic",
-            Outcome::Caught(_) => "rejected-by-checker",
+            Outcome::Caught { .. } => "rejected-by-checker",
             Outcome::ExecViolation(_) => "exec-violation",
             Outcome::CheckerPanic(_) => "checker-panic",
             Outcome::ResourceExhausted(_) => "resource-exhausted",
@@ -83,6 +93,16 @@ impl Outcome {
         )
     }
 
+    /// The violated property's family label — the property-aware
+    /// taxonomy key (`swmr`, `deadlock`, `property:<name>`, …) — when
+    /// the checker caught this mutant; `None` for every other outcome.
+    pub fn family(&self) -> Option<&str> {
+        match self {
+            Outcome::Caught { family, .. } => Some(family),
+            _ => None,
+        }
+    }
+
     /// The outcome's detail line (violation kind, error message, …).
     pub fn detail(&self) -> String {
         match self {
@@ -90,7 +110,7 @@ impl Outcome {
             | Outcome::RejectedAtBuild(d)
             | Outcome::RejectedByGenerator(d)
             | Outcome::GeneratorPanic(d)
-            | Outcome::Caught(d)
+            | Outcome::Caught { detail: d, .. }
             | Outcome::ExecViolation(d)
             | Outcome::CheckerPanic(d)
             | Outcome::ResourceExhausted(d) => d.clone(),
@@ -112,6 +132,25 @@ pub struct RunResult {
     pub trace: Vec<String>,
 }
 
+/// The property-aware taxonomy key for a caught violation: which
+/// checker property family fired. Built-in invariants get a fixed slug;
+/// custom predicates get `property:<name>` so report distributions
+/// distinguish *which* property did the catching.
+fn violation_family(kind: &ViolationKind) -> String {
+    match kind {
+        ViolationKind::Swmr(_) => "swmr".to_string(),
+        ViolationKind::DataValue(_) => "data-value".to_string(),
+        ViolationKind::Deadlock => "deadlock".to_string(),
+        ViolationKind::UnexpectedMessage(_) => "unexpected-message".to_string(),
+        ViolationKind::ChannelOverflow(_) => "channel-overflow".to_string(),
+        ViolationKind::IllegalAction(_) => "illegal-action".to_string(),
+        ViolationKind::Property { property, .. } => format!("property:{property}"),
+        // `Exec` is classified as `Outcome::ExecViolation` before this
+        // function is ever consulted.
+        ViolationKind::Exec(_) => "exec".to_string(),
+    }
+}
+
 /// Renders a captured panic payload.
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -124,19 +163,20 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 }
 
 /// The budgeted quick-check configuration for `ssp`: 2 caches, one
-/// worker, `budget` states. Mutants derived from an invariant-relaxing
-/// base (TSO-CC, per [`protogen_protocols::trades_swmr`]) are checked
-/// against the invariants it actually promises, exactly as the
-/// conformance matrix does; `full_invariants` forces the complete set
-/// anyway (the relaxation negative control).
+/// worker, `budget` states. Mutants are checked against the property set
+/// their base spec's memory model promises
+/// ([`protogen_mc::PropertySet::promised`]), exactly as the conformance
+/// matrix does; `full_invariants` forces the complete SC set anyway (the
+/// relaxation negative control).
 pub fn quick_check_config(ssp: &Ssp, budget: usize, full_invariants: bool) -> McConfig {
     let mut cfg = McConfig::with_caches(2);
     cfg.threads = 1;
     cfg.max_states = budget.max(1);
     cfg.ordered = ssp.network_ordered;
-    if protogen_protocols::trades_swmr(ssp) && !full_invariants {
-        cfg.check_swmr = false;
-        cfg.check_data_value = false;
+    if !full_invariants {
+        // Check the properties the mutated spec's base model promises —
+        // SC mutants keep the full set, weak-memory mutants get theirs.
+        cfg.properties = PropertySet::promised(ssp.consistency);
     }
     cfg
 }
@@ -190,7 +230,9 @@ pub fn run_mutant(
             if let Some(v) = r.violation {
                 let outcome = match &v.kind {
                     ViolationKind::Exec(d) => Outcome::ExecViolation(d.clone()),
-                    kind => Outcome::Caught(kind.to_string()),
+                    kind => {
+                        Outcome::Caught { family: violation_family(kind), detail: kind.to_string() }
+                    }
                 };
                 RunResult { outcome, trace: v.trace }
             } else if let Some(limit) = r.limit {
@@ -226,7 +268,8 @@ mod tests {
     fn tso_cc_full_invariants_are_caught() {
         let ssp = protogen_protocols::tso_cc();
         let r = run_mutant(&ssp, &[], &GenConfig::non_stalling(), 200_000, true);
-        assert!(matches!(r.outcome, Outcome::Caught(_)), "{:?}", r.outcome);
+        assert!(matches!(r.outcome, Outcome::Caught { .. }), "{:?}", r.outcome);
+        assert!(r.outcome.family().is_some(), "caught outcomes carry a property family");
         assert!(!r.trace.is_empty(), "caught outcomes carry the counterexample");
         // …and with its own contract it passes.
         let r = run_mutant(&ssp, &[], &GenConfig::non_stalling(), 200_000, false);
@@ -259,7 +302,8 @@ mod tests {
             crate::mutate::Mutation { op: MutOp::RetargetForward, site: 0 },
         ];
         let r = run_mutant(&ssp, &muts, &GenConfig::stalling(), 50_000, false);
-        assert!(matches!(r.outcome, Outcome::Caught(_)), "{:?}", r.outcome);
+        assert!(matches!(r.outcome, Outcome::Caught { .. }), "{:?}", r.outcome);
+        assert_eq!(r.outcome.family(), Some("illegal-action"));
         assert!(r.outcome.detail().contains("illegal action"), "{}", r.outcome.detail());
         assert!(!r.outcome.is_unexpected());
     }

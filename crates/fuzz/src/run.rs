@@ -175,6 +175,9 @@ pub struct ControlRecord {
     pub name: &'static str,
     /// Outcome label the run produced.
     pub outcome: String,
+    /// Property family that caught the control (`swmr`,
+    /// `property:<name>`, …), when the checker did the catching.
+    pub family: Option<String>,
     /// Outcome detail (violation kind, …).
     pub detail: String,
     /// Whether the checker caught it (`outcome == "rejected-by-checker"`).
@@ -208,6 +211,10 @@ pub struct MutantRecord {
     pub mutations: Vec<Mutation>,
     /// Outcome label.
     pub outcome: String,
+    /// Property family that fired (`rejected-by-checker` outcomes only):
+    /// a built-in invariant slug or `property:<name>` for a custom
+    /// predicate.
+    pub family: Option<String>,
     /// Outcome detail.
     pub detail: String,
     /// Present exactly when the outcome was unexpected.
@@ -256,6 +263,20 @@ impl FuzzReport {
         self.records.iter().filter(|r| r.shrunk.is_some()).collect()
     }
 
+    /// `(family, count)` over the checker-caught mutants: the
+    /// property-aware refinement of the `rejected-by-checker` row.
+    /// Families are sorted by name, so the breakdown is deterministic for
+    /// any thread count.
+    pub fn checker_families(&self) -> Vec<(String, usize)> {
+        let mut counts: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+        for r in &self.records {
+            if let Some(f) = r.family.as_deref() {
+                *counts.entry(f).or_insert(0) += 1;
+            }
+        }
+        counts.into_iter().map(|(f, c)| (f.to_string(), c)).collect()
+    }
+
     /// Whether every negative control was caught.
     pub fn all_controls_caught(&self) -> bool {
         self.controls.iter().all(|c| c.caught)
@@ -270,6 +291,9 @@ impl FuzzReport {
                 .map(|(l, c)| (l.to_string(), Json::U64(c as u64)))
                 .collect(),
         );
+        let families = Json::Obj(
+            self.checker_families().into_iter().map(|(f, c)| (f, Json::U64(c as u64))).collect(),
+        );
         let controls = Json::Arr(
             self.controls
                 .iter()
@@ -277,6 +301,7 @@ impl FuzzReport {
                     Json::obj([
                         ("name", Json::Str(c.name.to_string())),
                         ("outcome", Json::Str(c.outcome.clone())),
+                        ("family", Json::Str(c.family.clone().unwrap_or_default())),
                         ("detail", Json::Str(c.detail.clone())),
                         ("caught", Json::Bool(c.caught)),
                     ])
@@ -312,6 +337,7 @@ impl FuzzReport {
                         ("config", Json::Str(r.config.to_string())),
                         ("mutations", Json::Str(muts)),
                         ("outcome", Json::Str(r.outcome.clone())),
+                        ("family", Json::Str(r.family.clone().unwrap_or_default())),
                         ("detail", Json::Str(r.detail.clone())),
                     ])
                 })
@@ -323,6 +349,7 @@ impl FuzzReport {
             ("budget", Json::U64(self.budget as u64)),
             ("protocols", Json::Arr(self.protocols.iter().cloned().map(Json::Str).collect())),
             ("distribution", dist),
+            ("checker_families", families),
             ("controls_caught", Json::Bool(self.all_controls_caught())),
             ("controls", controls),
             ("unexpected", unexpected),
@@ -337,6 +364,7 @@ fn run_control(c: &Control, bases: &dyn Fn(&str) -> Option<Ssp>, budget: usize) 
         return ControlRecord {
             name: c.name,
             outcome: "unknown-protocol".into(),
+            family: None,
             detail: c.script.protocol.clone(),
             caught: false,
         };
@@ -346,8 +374,9 @@ fn run_control(c: &Control, bases: &dyn Fn(&str) -> Option<Ssp>, budget: usize) 
     ControlRecord {
         name: c.name,
         outcome: r.outcome.label().to_string(),
+        family: r.outcome.family().map(str::to_string),
         detail: r.outcome.detail(),
-        caught: matches!(r.outcome, Outcome::Caught(_)),
+        caught: matches!(r.outcome, Outcome::Caught { .. }),
     }
 }
 
@@ -415,6 +444,7 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> Result<FuzzReport, String> {
                     config: if spec.stalling { "stalling" } else { "non-stalling" },
                     mutations: spec.mutations,
                     outcome: r.outcome.label().to_string(),
+                    family: r.outcome.family().map(str::to_string),
                     detail: r.outcome.detail(),
                     shrunk,
                 }
@@ -471,6 +501,20 @@ mod tests {
         for c in negative_controls() {
             let rec = run_control(&c, &|n| protogen_protocols::by_name(n), 200_000);
             assert!(rec.caught, "{}: {} — {}", c.name, rec.outcome, rec.detail);
+            assert!(rec.family.is_some(), "{}: caught without a property family", c.name);
+        }
+    }
+
+    #[test]
+    fn controls_are_caught_by_the_expected_property_families() {
+        // The taxonomy is property-aware: each seeded bug names *which*
+        // invariant family fired, not just that something did.
+        let expected =
+            [("msi-s-gains-write-permission", "swmr"), ("msi-inv-ack-never-sent", "deadlock")];
+        for (name, family) in expected {
+            let c = negative_controls().into_iter().find(|c| c.name == name).unwrap();
+            let rec = run_control(&c, &|n| protogen_protocols::by_name(n), 200_000);
+            assert_eq!(rec.family.as_deref(), Some(family), "{name}: {}", rec.detail);
         }
     }
 

@@ -1,6 +1,6 @@
 //! Verify every built-in protocol in every configuration (§VI).
 use protogen_core::{generate, GenConfig};
-use protogen_mc::{McConfig, ModelChecker};
+use protogen_mc::{McConfig, ModelChecker, PropertySet};
 
 fn main() {
     let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2);
@@ -17,12 +17,10 @@ fn main() {
             };
             let mut mc_cfg = McConfig::with_caches(n);
             mc_cfg.ordered = ssp.network_ordered;
-            if ssp.name == "TSO-CC" {
-                // TSO-CC breaks physical SWMR by design; check single-writer
-                // via a custom pass below and skip data-value staleness.
-                mc_cfg.check_swmr = false;
-                mc_cfg.check_data_value = false;
-            }
+            // Check the contract each protocol promises: SC protocols get
+            // SWMR + data-value, TSO-CC gets single-writer, SI/SD gets
+            // deadlock freedom only.
+            mc_cfg.properties = PropertySet::promised(ssp.consistency);
             let mc = ModelChecker::new(&g.cache, &g.directory, mc_cfg);
             let r = mc.run();
             println!(

@@ -19,12 +19,13 @@
 
 use crate::canon::Canonicalizer;
 use crate::frontier::{CandBatch, CandMeta, Coordinator, Decision, Inbox, Outboxes, VioCand};
+use crate::property::{materialize, Property, PropertyCtx, PropertySet};
 use crate::store::{Gid, ShardStore, StateRec, STEP_NONE};
 use crate::system::SysState;
 use protogen_runtime::{
     apply_into, select_arc_indexed, ApplyOutcome, FsmIndex, MachineCtx, MachineTag, NodeId, PairSet,
 };
-use protogen_spec::{Access, Event, Fsm, Perm};
+use protogen_spec::{Access, Event, Fsm};
 use std::fmt;
 use std::sync::atomic::Ordering::Relaxed;
 use std::time::Instant;
@@ -46,12 +47,12 @@ pub struct McConfig {
     pub channel_cap: usize,
     /// Point-to-point ordered channels (`true`) or arbitrary reordering.
     pub ordered: bool,
-    /// Check the single-writer/multiple-reader invariant over permission
-    /// states.
-    pub check_swmr: bool,
-    /// Check that loads performed with read permission return the most
-    /// recent store (ghost memory).
-    pub check_data_value: bool,
+    /// Which built-in correctness properties to enforce (defaults to the
+    /// SC contract: SWMR + data-value + deadlock freedom). Weak-memory
+    /// protocols select the contract they actually promise via
+    /// [`PropertySet::promised`]; custom [`crate::Property`] objects are
+    /// attached with [`ModelChecker::add_property`].
+    pub properties: PropertySet,
     /// Canonicalize states under cache-id permutation (Murϕ scalarsets).
     pub symmetry: bool,
     /// Worker threads (= visited-set shards). `0` — the default — means
@@ -145,8 +146,7 @@ impl Default for McConfig {
             value_domain: 2,
             channel_cap: 8,
             ordered: true,
-            check_swmr: true,
-            check_data_value: true,
+            properties: PropertySet::sc(),
             symmetry: true,
             threads: 0,
             collect_pair_coverage: false,
@@ -316,6 +316,14 @@ pub enum ViolationKind {
     /// structure (absent message context, bad deferred slot): a generator
     /// bug.
     Exec(String),
+    /// A custom [`crate::Property`] (e.g. a per-litmus assertion) reported
+    /// a violation.
+    Property {
+        /// The property's name.
+        property: String,
+        /// What it saw.
+        detail: String,
+    },
 }
 
 /// Deterministic ordering key over violation kinds (rank, detail) so the
@@ -329,6 +337,7 @@ fn kind_key(kind: &ViolationKind) -> (u8, &str) {
         ViolationKind::ChannelOverflow(d) => (4, d),
         ViolationKind::IllegalAction(d) => (5, d),
         ViolationKind::Exec(d) => (6, d),
+        ViolationKind::Property { detail, .. } => (7, detail),
     }
 }
 
@@ -358,6 +367,9 @@ impl fmt::Display for ViolationKind {
             ViolationKind::ChannelOverflow(d) => write!(f, "channel overflow: {d}"),
             ViolationKind::IllegalAction(d) => write!(f, "illegal action: {d}"),
             ViolationKind::Exec(d) => write!(f, "execution error: {d}"),
+            ViolationKind::Property { property, detail } => {
+                write!(f, "property '{property}' violated: {detail}")
+            }
         }
     }
 }
@@ -556,8 +568,9 @@ impl FrontierBuf {
 }
 
 /// The model checker: explores every reachable state of N caches + the
-/// directory running the generated FSMs, checking SWMR, the data-value
-/// invariant, deadlock freedom, and protocol completeness.
+/// directory running the generated FSMs, checking the configured
+/// [`PropertySet`] (SWMR, data-value, single-writer, deadlock freedom)
+/// plus protocol completeness, which is structural and always on.
 ///
 /// Exploration is multi-threaded (see [`McConfig::threads`]) but the
 /// result is thread-count- and interleaving-independent.
@@ -568,6 +581,10 @@ pub struct ModelChecker<'a> {
     cfg: McConfig,
     cache_idx: FsmIndex,
     dir_idx: FsmIndex,
+    /// The materialized property objects: the built-ins selected by
+    /// `cfg.properties`, in deterministic order, plus any custom ones
+    /// attached via [`ModelChecker::add_property`].
+    props: Vec<Box<dyn Property>>,
 }
 
 /// Per-thread exploration state: one visited-set shard, the current and
@@ -808,18 +825,19 @@ impl<'w, 'a> Worker<'w, 'a> {
                     }
                 }
             }
-            // Deadlock: pending work with no deliverable message. New
+            // Liveness hook: no deliverable message from this state. New
             // accesses can only add transactions, never unblock existing
-            // ones, so they do not count as progress.
-            if !any_delivery
-                && (self.state.messages_in_flight() > 0 || self.state.has_pending_access())
-            {
-                self.violations.push(VioCand {
-                    parent: gid,
-                    parent_fp: e.fp,
-                    step: STEP_NONE,
-                    kind: ViolationKind::Deadlock,
-                });
+            // ones, so they do not count as progress; the DeadlockFree
+            // property flags the state if work is still pending.
+            if !any_delivery {
+                if let Some(kind) = self.mc.check_quiescence(&self.state) {
+                    self.violations.push(VioCand {
+                        parent: gid,
+                        parent_fp: e.fp,
+                        step: STEP_NONE,
+                        kind,
+                    });
+                }
             }
         }
         // Seal and deliver every open batch (end of this epoch's
@@ -1071,7 +1089,36 @@ impl<'a> ModelChecker<'a> {
     pub fn new(cache_fsm: &'a Fsm, dir_fsm: &'a Fsm, cfg: McConfig) -> Self {
         let cache_idx = FsmIndex::new(cache_fsm);
         let dir_idx = FsmIndex::new(dir_fsm);
-        ModelChecker { cache_fsm, dir_fsm, cfg, cache_idx, dir_idx }
+        let props = materialize(cfg.properties);
+        ModelChecker { cache_fsm, dir_fsm, cfg, cache_idx, dir_idx, props }
+    }
+
+    /// Attaches a custom property (checked after the built-ins, in
+    /// attachment order). The per-litmus-assertion hook.
+    pub fn add_property(&mut self, p: Box<dyn Property>) {
+        self.props.push(p);
+    }
+
+    /// Names of the properties this checker enforces, in check order.
+    pub fn property_names(&self) -> Vec<&str> {
+        self.props.iter().map(|p| p.name()).collect()
+    }
+
+    fn property_ctx(&self) -> PropertyCtx<'_> {
+        PropertyCtx { cache_fsm: self.cache_fsm, dir_fsm: self.dir_fsm }
+    }
+
+    /// First violation any property reports on a load hit, in check order.
+    fn check_load_hit(&self, cache: u8, value: u8, ghost: u8) -> Option<ViolationKind> {
+        let cx = self.property_ctx();
+        self.props.iter().find_map(|p| p.check_load_hit(&cx, cache, value, ghost))
+    }
+
+    /// First violation any property reports on a quiescent (no deliverable
+    /// message) state, in check order.
+    fn check_quiescence(&self, state: &SysState) -> Option<ViolationKind> {
+        let cx = self.property_ctx();
+        self.props.iter().find_map(|p| p.check_quiescence(&cx, state))
     }
 
     /// Runs breadth-first exploration until exhaustion, a violation, or the
@@ -1446,11 +1493,10 @@ impl<'a> ModelChecker<'a> {
         .map_err(exec_violation)?;
         match outcome.performed {
             Some((Access::Store, _)) => succ.ghost = store_value,
-            Some((Access::Load, Some(v))) if self.cfg.check_data_value && v != state.ghost => {
-                return Err(ViolationKind::DataValue(format!(
-                    "cache n{cache} load hit returned {v}, expected {}",
-                    state.ghost
-                )));
+            Some((Access::Load, Some(v))) => {
+                if let Some(kind) = self.check_load_hit(cache, v, state.ghost) {
+                    return Err(kind);
+                }
             }
             _ => {}
         }
@@ -1475,50 +1521,11 @@ impl<'a> ModelChecker<'a> {
         Ok(())
     }
 
-    /// State-level invariants (checked on every new state).
+    /// State-level properties (checked on every new state): the first
+    /// violation any configured property reports, in check order.
     fn check_state(&self, state: &SysState) -> Option<ViolationKind> {
-        if self.cfg.check_swmr {
-            let mut writer: Option<usize> = None;
-            let mut reader: Option<usize> = None;
-            for (i, c) in state.caches.iter().enumerate() {
-                match self.cache_fsm.state(c.state).perm {
-                    Perm::ReadWrite => {
-                        if let Some(w) = writer {
-                            return Some(ViolationKind::Swmr(format!(
-                                "caches n{w} and n{i} both hold write permission"
-                            )));
-                        }
-                        writer = Some(i);
-                    }
-                    Perm::Read => reader = Some(i),
-                    Perm::None => {}
-                }
-            }
-            if let (Some(w), Some(r)) = (writer, reader) {
-                return Some(ViolationKind::Swmr(format!(
-                    "cache n{w} holds write permission while n{r} holds read permission"
-                )));
-            }
-        }
-        if self.cfg.check_data_value {
-            // Every readable stable copy must equal the latest store.
-            for (i, c) in state.caches.iter().enumerate() {
-                let st = self.cache_fsm.state(c.state);
-                if st.is_stable()
-                    && st.perm >= Perm::Read
-                    && st.data_valid
-                    && c.data != Some(state.ghost)
-                {
-                    return Some(ViolationKind::DataValue(format!(
-                        "cache n{i} in {} holds {:?}, expected {}",
-                        st.full_name(),
-                        c.data,
-                        state.ghost
-                    )));
-                }
-            }
-        }
-        None
+        let cx = self.property_ctx();
+        self.props.iter().find_map(|p| p.check_state(&cx, state))
     }
 
     /// A breadth-first sample of reachable canonical representatives
@@ -1659,7 +1666,7 @@ mod tests {
     #[test]
     fn worker_panic_propagates_instead_of_hanging() {
         use protogen_spec::{
-            Arc, ArcKind, ArcNote, FsmState, FsmStateId, FsmStateKind, MachineKind, StableId,
+            Arc, ArcKind, ArcNote, FsmState, FsmStateId, FsmStateKind, MachineKind, Perm, StableId,
         };
         let state = |name: &str| FsmState {
             name: name.into(),

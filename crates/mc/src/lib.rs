@@ -51,6 +51,7 @@ mod canon;
 mod delta;
 mod explore;
 mod frontier;
+mod property;
 mod spill;
 mod store;
 mod system;
@@ -59,6 +60,9 @@ pub use canon::{cache_sort_key, Canonicalizer};
 pub use delta::{apply_delta, encode_delta};
 pub use explore::{
     CheckResult, McConfig, ModelChecker, ResourceLimit, Step, StoreMode, Violation, ViolationKind,
+};
+pub use property::{
+    DataValue, DeadlockFree, Predicate, Property, PropertyCtx, PropertySet, SingleWriter, Swmr,
 };
 pub use store::{
     fingerprint_bytes, Fingerprinter, FpPassthroughHasher, MAX_SHARDS, SHARD_CAPACITY,

@@ -12,6 +12,7 @@
 //! | [`msi_upgrade`] | MSI + Upgrade requests (reinterpretation, §V-D1) | §V-D1 |
 //! | [`msi_unordered`] | MSI with handshakes for unordered networks | §VI-C |
 //! | [`tso_cc`] | Simplified TSO-CC (no sharer tracking) | §VI-D |
+//! | [`si_sd`] | Self-invalidate/self-downgrade (VIPS-M family) | related work |
 //!
 //! # Example
 //!
@@ -29,6 +30,7 @@ mod msi;
 mod msi_unordered;
 mod msi_upgrade;
 mod sanity;
+mod si_sd;
 mod tso_cc;
 
 pub use mesi::mesi;
@@ -37,25 +39,27 @@ pub use msi::msi;
 pub use msi_unordered::msi_unordered;
 pub use msi_upgrade::msi_upgrade;
 pub use sanity::{sim_sanity, SimSanity};
+pub use si_sd::si_sd;
 pub use tso_cc::tso_cc;
 
-use protogen_spec::Ssp;
+use protogen_spec::{MemoryModel, Ssp};
 
 /// All built-in protocols, for sweeps and benchmarks.
 pub fn all() -> Vec<Ssp> {
-    vec![msi(), mesi(), mosi(), msi_upgrade(), msi_unordered(), tso_cc()]
+    vec![msi(), mesi(), mosi(), msi_upgrade(), msi_unordered(), tso_cc(), si_sd()]
 }
 
 /// The CLI names of the built-in protocols, in [`all`]'s order.
-pub const NAMES: [&str; 6] = ["msi", "mesi", "mosi", "msi-upgrade", "msi-unordered", "tso-cc"];
+pub const NAMES: [&str; 7] =
+    ["msi", "mesi", "mosi", "msi-upgrade", "msi-unordered", "tso-cc", "si-sd"];
 
 /// Whether a protocol intentionally trades physical SWMR and data-value
-/// freshness (§VI-D): TSO-CC self-invalidates lazily, so those two
-/// invariants must be relaxed when checking it — and *only* it. The one
-/// authoritative predicate for the conformance matrix and the fuzzer
-/// (either front-end spelling of the name).
+/// freshness (§VI-D): TSO-CC and the SI/SD family self-invalidate lazily,
+/// so those invariants must be relaxed when checking them. Derived from
+/// the declared memory model — any non-SC spec trades some of the SC
+/// contract; the checker's `PropertySet::promised` says which part.
 pub fn trades_swmr(ssp: &Ssp) -> bool {
-    ssp.name == "TSO-CC" || ssp.name == "TSO_CC"
+    ssp.consistency != MemoryModel::Sc
 }
 
 /// Looks a protocol up by its CLI name (see [`NAMES`]).
@@ -67,6 +71,7 @@ pub fn by_name(name: &str) -> Option<Ssp> {
         "msi-upgrade" => msi_upgrade(),
         "msi-unordered" => msi_unordered(),
         "tso-cc" => tso_cc(),
+        "si-sd" => si_sd(),
         _ => return None,
     })
 }

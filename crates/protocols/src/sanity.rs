@@ -45,6 +45,14 @@ pub fn sim_sanity(name: &str) -> Option<SimSanity> {
             private_misses_per_core: None,
             min_msgs_per_miss: 2.0,
         },
+        // SI/SD: private blocks still self-invalidate/self-downgrade
+        // spontaneously, so neither stall freedom nor a miss count is
+        // guaranteed; every miss is at least a request + grant.
+        "si-sd" => SimSanity {
+            private_stall_free: true,
+            private_misses_per_core: None,
+            min_msgs_per_miss: 2.0,
+        },
         _ => return None,
     })
 }

@@ -1,0 +1,170 @@
+//! A self-invalidate / self-downgrade (SI/SD) stable state protocol.
+//!
+//! The VIPS-M / "mending fences" protocol family (Ros & Kaxiras, PACT ’12;
+//! related work in PAPERS.md) removes *both* halves of the directory's
+//! coherence work: readers self-invalidate their copies at
+//! synchronization points instead of being invalidated, and writers
+//! self-downgrade — write back and drop to read-only — instead of being
+//! probed. The directory degenerates into an owner registry plus memory:
+//! it never forwards, never invalidates, and never stalls; every request
+//! is granted immediately from the directory's (possibly stale) copy.
+//!
+//! The price is the memory model: between sync points a reader may see
+//! arbitrarily stale data and two writers may coexist, so the protocol
+//! promises only `weak` consistency — deadlock freedom is checked by the
+//! model checker, and the litmus harness (`crates/litmus`) verifies the
+//! sync-point story: self-downgrade publishes, self-invalidate acquires.
+//!
+//! Self-invalidations here are *per line* (`si_epoch = false`), unlike
+//! TSO-CC's whole-cache epoch decay: SI/SD designs track sync points per
+//! block (or flash-clear selectively), and per-line decay is exactly what
+//! makes the family weaker than TSO on MP-shaped tests.
+
+use protogen_spec::{Access, Action, Guard, MemoryModel, MsgClass, Perm, Ssp, SspBuilder};
+
+/// Builds the SI/SD stable state protocol.
+///
+/// Cache states: I, S (self-invalidating), M (self-downgrading).
+/// Directory states: I (memory owns the block), M (some cache owns it —
+/// the directory's copy may be stale).
+///
+/// # Example
+///
+/// ```
+/// let ssp = protogen_protocols::si_sd();
+/// // The directory never forwards or invalidates: no forward-class
+/// // message exists at all.
+/// assert!(ssp.messages.iter().all(|m| m.class != protogen_spec::MsgClass::Forward));
+/// assert_eq!(ssp.consistency, protogen_spec::MemoryModel::Weak);
+/// ```
+pub fn si_sd() -> Ssp {
+    let mut b = SspBuilder::new("SI-SD");
+    b.consistency(MemoryModel::Weak);
+    // Per-line self-invalidation (see the module docs).
+    b.si_epoch(false);
+
+    let get_s = b.message("GetS", MsgClass::Request);
+    let get_m = b.message("GetM", MsgClass::Request);
+    let wb_data = b.data_message("WbData", MsgClass::Request);
+    let data = b.data_message("Data", MsgClass::Response);
+    let wb_ack = b.message("WbAck", MsgClass::Response);
+
+    let i = b.cache_state("I", Perm::None);
+    let s = b.cache_state("S", Perm::Read);
+    let m = b.cache_state("M", Perm::ReadWrite);
+
+    let di = b.dir_state("I");
+    let dm = b.dir_state("M");
+
+    // ----- cache -----
+    let req = b.send_req(get_s);
+    let chain = b.await_data(data, s);
+    b.cache_issue(i, Access::Load, req, chain);
+    let req = b.send_req(get_m);
+    let chain = b.await_data(data, m);
+    b.cache_issue(i, Access::Store, req, chain);
+    // Loads in S may return stale data — the SI/SD trade. Freshness is
+    // recovered by self-invalidating and re-fetching at a sync point.
+    b.cache_hit(s, Access::Load);
+    let req = b.send_req(get_m);
+    let chain = b.await_data(data, m);
+    b.cache_issue(s, Access::Store, req, chain);
+    b.cache_hit(m, Access::Load);
+    b.cache_hit(m, Access::Store);
+    // Self-invalidation: the acquire half. Silent; per line.
+    b.cache_self_invalidate(s, i);
+    // Self-downgrade: the release half. Write back, keep a read copy.
+    let req = b.send_req_data(wb_data);
+    let chain = b.await_ack(wb_ack, s);
+    b.cache_self_downgrade(m, req, chain);
+
+    // ----- directory: an owner registry that always grants -----
+    // The directory handles every message in every state immediately (no
+    // transient states, no stalls), so deadlock freedom is structural.
+    let d = b.send_data_to_req(data);
+    b.dir_react(di, get_s, vec![d], None);
+    let d = b.send_data_to_req(data);
+    b.dir_react(di, get_m, vec![d, Action::SetOwnerToReq], Some(dm));
+    // A late writeback from an owner that was already superseded and
+    // acknowledged away: ack it again, nothing to record.
+    let ack = b.send_to_req(wb_ack);
+    b.dir_react(di, wb_data, vec![ack], None);
+    // Owned block: grant the (possibly stale) directory copy — readers
+    // self-invalidate to observe the owner's writes after it downgrades.
+    let d = b.send_data_to_req(data);
+    b.dir_react(dm, get_s, vec![d], None);
+    // A second writer: reassign ownership without probing the first. Two
+    // write-permission copies may now coexist — `weak` promises neither
+    // SWMR nor single-writer; the last writeback wins.
+    let d = b.send_data_to_req(data);
+    b.dir_react(dm, get_m, vec![d, Action::SetOwnerToReq], None);
+    // The current owner's writeback publishes its data.
+    let ack = b.send_to_req(wb_ack);
+    b.dir_react_guarded(
+        dm,
+        wb_data,
+        Guard::ReqIsOwner,
+        vec![Action::CopyDataFromMsg, ack, Action::ClearOwner],
+        Some(di),
+    );
+    // A superseded owner's writeback: acknowledge (its await must
+    // complete) but discard — the newer owner's data wins.
+    let ack = b.send_to_req(wb_ack);
+    b.dir_react_guarded(dm, wb_data, Guard::ReqIsNotOwner, vec![ack], None);
+
+    b.build().expect("SI-SD SSP is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protogen_spec::{EntryNote, Trigger};
+
+    #[test]
+    fn si_sd_is_valid() {
+        si_sd().validate().unwrap();
+    }
+
+    #[test]
+    fn declares_weak_per_line_semantics() {
+        let ssp = si_sd();
+        assert_eq!(ssp.consistency, MemoryModel::Weak);
+        assert!(!ssp.si_epoch);
+    }
+
+    #[test]
+    fn si_and_sd_entries_carry_their_notes() {
+        let ssp = si_sd();
+        let s = ssp.cache.state_by_name("S").unwrap();
+        let m = ssp.cache.state_by_name("M").unwrap();
+        let si = ssp.cache.entries_for(s, Trigger::Access(Access::Replacement));
+        assert_eq!(si.len(), 1);
+        assert_eq!(si[0].note, EntryNote::SelfInvalidate);
+        let sd = ssp.cache.entries_for(m, Trigger::Access(Access::Replacement));
+        assert_eq!(sd.len(), 1);
+        assert_eq!(sd[0].note, EntryNote::SelfDowngrade);
+        // SD is a transaction (the writeback awaits its ack), SI is local.
+        assert!(matches!(sd[0].effect, protogen_spec::Effect::Issue { .. }));
+        assert!(matches!(si[0].effect, protogen_spec::Effect::Local { .. }));
+    }
+
+    #[test]
+    fn directory_never_forwards_or_invalidates() {
+        let ssp = si_sd();
+        assert!(ssp.messages.iter().all(|m| m.class != MsgClass::Forward));
+        // Every directory entry is Local (no transient directory states)
+        // and never sends to anyone but the requestor.
+        for e in &ssp.directory.entries {
+            match &e.effect {
+                protogen_spec::Effect::Local { actions, .. } => {
+                    for a in actions {
+                        if let Action::Send(sp) = a {
+                            assert_eq!(sp.dst, protogen_spec::Dst::Req, "directory sent {a}");
+                        }
+                    }
+                }
+                other => panic!("directory has a transient effect: {other:?}"),
+            }
+        }
+    }
+}

@@ -34,6 +34,13 @@ use protogen_spec::{Access, Action, Guard, MsgClass, Perm, Ssp, SspBuilder, Virt
 /// ```
 pub fn tso_cc() -> Ssp {
     let mut b = SspBuilder::new("TSO-CC");
+    // TSO-CC promises TSO, not SC, and its self-invalidations model an
+    // epoch: the real design's timestamp expiry drops *all* shared lines
+    // acquired in an expired epoch, so the litmus harness fires the decay
+    // cache-wide rather than per line (that distinction is load-bearing:
+    // per-line decay would admit non-TSO outcomes on MP).
+    b.consistency(protogen_spec::MemoryModel::Tso);
+    b.si_epoch(true);
 
     let get_s = b.message("GetS", MsgClass::Request);
     let get_m = b.message("GetM", MsgClass::Request);
@@ -69,7 +76,7 @@ pub fn tso_cc() -> Ssp {
     // Self-invalidation: shared copies are dropped silently (no PutS, no
     // sharer list to clean). The checker exercises this nondeterministically
     // at every opportunity, over-approximating any timeout/acquire policy.
-    b.cache_react_silent_replacement(s, i);
+    b.cache_self_invalidate(s, i);
     b.cache_hit(m, Access::Load);
     b.cache_hit(m, Access::Store);
     let req = b.send_req_data(put_m);

@@ -6,8 +6,8 @@ use crate::guard::Guard;
 use crate::ids::{MsgId, StableId};
 use crate::msg::{MsgClass, MsgDecl};
 use crate::ssp::{
-    Access, Effect, MachineKind, MachineSsp, Perm, SspEntry, StableDecl, Trigger, WaitArc,
-    WaitChain, WaitNode, WaitTo,
+    Access, Effect, EntryNote, MachineKind, MachineSsp, MemoryModel, Perm, SspEntry, StableDecl,
+    Trigger, WaitArc, WaitChain, WaitNode, WaitTo,
 };
 use crate::Ssp;
 
@@ -26,6 +26,8 @@ pub struct SspBuilder {
     cache: MachineSsp,
     directory: MachineSsp,
     network_ordered: bool,
+    consistency: MemoryModel,
+    si_epoch: bool,
 }
 
 impl SspBuilder {
@@ -37,6 +39,8 @@ impl SspBuilder {
             cache: MachineSsp::new(MachineKind::Cache),
             directory: MachineSsp::new(MachineKind::Directory),
             network_ordered: true,
+            consistency: MemoryModel::Sc,
+            si_epoch: false,
         }
     }
 
@@ -44,6 +48,23 @@ impl SspBuilder {
     /// (the default is `true`; §VI-C protocols set `false`).
     pub fn network_ordered(&mut self, ordered: bool) -> &mut Self {
         self.network_ordered = ordered;
+        self
+    }
+
+    /// Declares the memory model the protocol promises (default
+    /// [`MemoryModel::Sc`]). Weak-memory protocols relax SWMR/data-value
+    /// coherence and must declare the model they *do* preserve so the
+    /// checker and litmus harness know what to hold them to.
+    pub fn consistency(&mut self, model: MemoryModel) -> &mut Self {
+        self.consistency = model;
+        self
+    }
+
+    /// Declares that self-invalidations fire as whole-cache epochs (all
+    /// self-invalidating lines drop together), like TSO-CC's timestamp
+    /// rollover. The default is per-line self-invalidation.
+    pub fn si_epoch(&mut self, epoch: bool) -> &mut Self {
+        self.si_epoch = epoch;
         self
     }
 
@@ -131,6 +152,7 @@ impl SspBuilder {
             trigger: Trigger::Access(access),
             guards: vec![],
             effect: Effect::Local { actions: vec![Action::PerformAccess], next: None },
+            note: EntryNote::Demand,
         });
         self
     }
@@ -142,6 +164,7 @@ impl SspBuilder {
             trigger: Trigger::Access(access),
             guards: vec![],
             effect: Effect::Local { actions: vec![Action::PerformAccess], next: Some(next) },
+            note: EntryNote::Demand,
         });
         self
     }
@@ -158,6 +181,48 @@ impl SspBuilder {
                 actions: vec![Action::PerformAccess, Action::InvalidateData],
                 next: Some(to),
             },
+            note: EntryNote::Demand,
+        });
+        self
+    }
+
+    /// Adds a *self-invalidation*: the cache may spontaneously drop its
+    /// readable copy of `state`, silently, at any sync point. Semantically a
+    /// silent replacement, but tagged [`EntryNote::SelfInvalidate`] so the
+    /// litmus harness treats it as a memory-model step rather than a
+    /// capacity eviction (per-line, or whole-cache when [`Self::si_epoch`]
+    /// is set).
+    pub fn cache_self_invalidate(&mut self, state: StableId, to: StableId) -> &mut Self {
+        self.cache.entries.push(SspEntry {
+            state,
+            trigger: Trigger::Access(Access::Replacement),
+            guards: vec![],
+            effect: Effect::Local {
+                actions: vec![Action::PerformAccess, Action::InvalidateData],
+                next: Some(to),
+            },
+            note: EntryNote::SelfInvalidate,
+        });
+        self
+    }
+
+    /// Adds a *self-downgrade*: the cache may spontaneously give up write
+    /// ownership of `state`, performing the `request` actions (typically a
+    /// data writeback to the directory) and entering `chain`. Tagged
+    /// [`EntryNote::SelfDowngrade`]; the chain usually completes into a
+    /// still-readable state (M→S), unlike a demand eviction's M→I.
+    pub fn cache_self_downgrade(
+        &mut self,
+        state: StableId,
+        request: Vec<Action>,
+        chain: WaitChain,
+    ) -> &mut Self {
+        self.cache.entries.push(SspEntry {
+            state,
+            trigger: Trigger::Access(Access::Replacement),
+            guards: vec![],
+            effect: Effect::Issue { request, chain },
+            note: EntryNote::SelfDowngrade,
         });
         self
     }
@@ -175,6 +240,7 @@ impl SspBuilder {
             trigger: Trigger::Msg(msg),
             guards: vec![],
             effect: Effect::Local { actions, next },
+            note: EntryNote::Demand,
         });
         self
     }
@@ -193,6 +259,7 @@ impl SspBuilder {
             trigger: Trigger::Access(access),
             guards: vec![],
             effect: Effect::Issue { request, chain },
+            note: EntryNote::Demand,
         });
         self
     }
@@ -210,6 +277,7 @@ impl SspBuilder {
             trigger: Trigger::Msg(msg),
             guards: vec![],
             effect: Effect::Local { actions, next },
+            note: EntryNote::Demand,
         });
         self
     }
@@ -229,6 +297,7 @@ impl SspBuilder {
             trigger: Trigger::Msg(msg),
             guards: vec![guard],
             effect: Effect::Local { actions, next },
+            note: EntryNote::Demand,
         });
         self
     }
@@ -249,6 +318,7 @@ impl SspBuilder {
             trigger: Trigger::Msg(msg),
             guards,
             effect: Effect::Local { actions, next },
+            note: EntryNote::Demand,
         });
         self
     }
@@ -267,6 +337,7 @@ impl SspBuilder {
             trigger: Trigger::Msg(msg),
             guards: vec![],
             effect: Effect::Issue { request, chain },
+            note: EntryNote::Demand,
         });
         self
     }
@@ -285,6 +356,7 @@ impl SspBuilder {
             trigger: Trigger::Msg(msg),
             guards: vec![guard],
             effect: Effect::Issue { request, chain },
+            note: EntryNote::Demand,
         });
         self
     }
@@ -557,6 +629,8 @@ impl SspBuilder {
             cache: self.cache,
             directory: self.directory,
             network_ordered: self.network_ordered,
+            consistency: self.consistency,
+            si_epoch: self.si_epoch,
         };
         ssp.validate()?;
         Ok(ssp)

@@ -85,6 +85,12 @@ pub enum ArcNote {
     /// Defensive handler for forwards made possible only by stale directory
     /// auxiliary state (design note N6).
     Defensive,
+    /// A self-invalidation primitive ([`crate::EntryNote::SelfInvalidate`]):
+    /// the cache may spontaneously drop this copy at a sync point.
+    SelfInv,
+    /// A self-downgrade primitive ([`crate::EntryNote::SelfDowngrade`]):
+    /// the cache may spontaneously write back ownership.
+    SelfDown,
 }
 
 impl fmt::Display for ArcNote {
@@ -99,6 +105,8 @@ impl fmt::Display for ArcNote {
             ArcNote::Reinterpret => "reinterpret",
             ArcNote::LivelockFix => "livelock-fix",
             ArcNote::Defensive => "defensive",
+            ArcNote::SelfInv => "self-inv",
+            ArcNote::SelfDown => "self-down",
         };
         f.write_str(s)
     }

@@ -65,8 +65,8 @@ pub use guard::Guard;
 pub use ids::{MsgId, StableId};
 pub use msg::{MsgClass, MsgDecl, VirtualNet};
 pub use ssp::{
-    Access, Effect, MachineKind, MachineSsp, Perm, SspEntry, StableDecl, Trigger, WaitArc,
-    WaitChain, WaitNode, WaitTo,
+    Access, Effect, EntryNote, MachineKind, MachineSsp, MemoryModel, Perm, SspEntry, StableDecl,
+    Trigger, WaitArc, WaitChain, WaitNode, WaitTo,
 };
 pub use validate::validate;
 
@@ -90,6 +90,16 @@ pub struct Ssp {
     pub directory: MachineSsp,
     /// Whether the interconnect guarantees point-to-point ordering.
     pub network_ordered: bool,
+    /// The memory model this protocol promises to preserve. Drives the
+    /// default checker property set and the expected litmus verdict.
+    pub consistency: MemoryModel,
+    /// Whether self-invalidations fire as whole-cache *epochs* rather than
+    /// per line. TSO-CC's timestamp machinery invalidates every stale
+    /// shared line at once when an epoch turns over; modelling the decay
+    /// per-line would over-approximate it into a weaker protocol (a line
+    /// could be refreshed while an older copy of another line survives,
+    /// which the timestamps forbid).
+    pub si_epoch: bool,
 }
 
 impl Ssp {

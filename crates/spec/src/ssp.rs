@@ -106,6 +106,76 @@ pub struct StableDecl {
     pub data_valid: bool,
 }
 
+/// The memory model a protocol promises to preserve (§VI-D and the
+/// weak-memory protocol families of ROADMAP).
+///
+/// The model names the *contract*: which checker properties apply (see
+/// `protogen-mc`'s property set) and which litmus verdict the protocol must
+/// earn. SC protocols keep per-access SWMR; TSO protocols may buffer stores
+/// behind stale shared copies but never reorder them; weak protocols only
+/// promise eventual coherence at self-invalidation/self-downgrade points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemoryModel {
+    /// Sequential consistency: physical SWMR plus data-value coherence.
+    Sc,
+    /// Total store order: a single writer at a time, stale readers allowed.
+    Tso,
+    /// Weaker than TSO: coherence only at explicit sync/SI/SD points.
+    Weak,
+}
+
+impl fmt::Display for MemoryModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryModel::Sc => f.write_str("sc"),
+            MemoryModel::Tso => f.write_str("tso"),
+            MemoryModel::Weak => f.write_str("weak"),
+        }
+    }
+}
+
+impl std::str::FromStr for MemoryModel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "sc" => Ok(MemoryModel::Sc),
+            "tso" => Ok(MemoryModel::Tso),
+            "weak" => Ok(MemoryModel::Weak),
+            other => Err(format!("unknown memory model `{other}` (expected sc|tso|weak)")),
+        }
+    }
+}
+
+/// Provenance annotation on an SSP entry: is this a demand transition or
+/// one of the self-* primitives of SI/SD protocol families?
+///
+/// Self-invalidations and self-downgrades reuse the `Replacement` trigger —
+/// they *are* spontaneous evictions/downgrades semantically — but the note
+/// survives generation (as an `ArcNote`) so memory-model tooling (the litmus
+/// harness) can distinguish "the protocol may drop this copy at any sync
+/// point" from an ordinary capacity eviction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EntryNote {
+    /// An ordinary demand transition (the default for every entry).
+    #[default]
+    Demand,
+    /// A self-invalidation: the cache spontaneously drops a readable copy.
+    SelfInvalidate,
+    /// A self-downgrade: the cache spontaneously writes back ownership.
+    SelfDowngrade,
+}
+
+impl fmt::Display for EntryNote {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EntryNote::Demand => f.write_str("demand"),
+            EntryNote::SelfInvalidate => f.write_str("self-invalidate"),
+            EntryNote::SelfDowngrade => f.write_str("self-downgrade"),
+        }
+    }
+}
+
 /// What causes an SSP entry to fire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Trigger {
@@ -219,6 +289,8 @@ pub struct SspEntry {
     pub guards: Vec<Guard>,
     /// The effect.
     pub effect: Effect,
+    /// Demand transition or SI/SD primitive (see [`EntryNote`]).
+    pub note: EntryNote,
 }
 
 /// The SSP of a single machine (cache or directory).

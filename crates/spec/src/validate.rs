@@ -3,7 +3,7 @@
 use crate::action::{Action, Dst};
 use crate::error::SpecError;
 use crate::msg::MsgClass;
-use crate::ssp::{Effect, MachineKind, MachineSsp, Trigger, WaitTo};
+use crate::ssp::{Access, Effect, EntryNote, MachineKind, MachineSsp, Trigger, WaitTo};
 use crate::Ssp;
 
 /// Validates an SSP's structure.
@@ -31,6 +31,13 @@ pub fn validate(ssp: &Ssp) -> Result<(), SpecError> {
     }
     validate_machine(ssp, &ssp.cache)?;
     validate_machine(ssp, &ssp.directory)?;
+    // `si epoch` without a single self-invalidating entry is a spec bug:
+    // the author asked for epoch-granular decay of nothing.
+    if ssp.si_epoch && !ssp.cache.entries.iter().any(|e| e.note == EntryNote::SelfInvalidate) {
+        return Err(SpecError::Invalid(
+            "si_epoch set but no cache entry is marked self-invalidate".into(),
+        ));
+    }
     Ok(())
 }
 
@@ -87,6 +94,35 @@ fn validate_machine(ssp: &Ssp, m: &MachineSsp) -> Result<(), SpecError> {
                     }
                     _ => {}
                 }
+            }
+        }
+        if e.note != EntryNote::Demand {
+            if m.kind == MachineKind::Directory {
+                return Err(ctx(format!("directory entries cannot be {}", e.note)));
+            }
+            if e.trigger != Trigger::Access(Access::Replacement) {
+                return Err(ctx(format!(
+                    "{} entries must trigger on replacement (they are spontaneous)",
+                    e.note
+                )));
+            }
+            match (e.note, &e.effect) {
+                // A self-invalidation drops a copy nobody is told about:
+                // it must be silent, or it is really a demand writeback.
+                (EntryNote::SelfInvalidate, Effect::Local { actions, .. }) => {
+                    if actions.iter().any(|a| matches!(a, Action::Send(_))) {
+                        return Err(ctx("self-invalidation must be silent (no sends)".into()));
+                    }
+                }
+                (EntryNote::SelfInvalidate, Effect::Issue { .. }) => {
+                    return Err(ctx("self-invalidation cannot start a transaction".into()));
+                }
+                // A self-downgrade gives up dirty ownership: the directory
+                // must learn about it, so it has to be a real transaction.
+                (EntryNote::SelfDowngrade, Effect::Local { .. }) => {
+                    return Err(ctx("self-downgrade must write back through a transaction".into()));
+                }
+                (EntryNote::SelfDowngrade, Effect::Issue { .. }) | (EntryNote::Demand, _) => {}
             }
         }
         match &e.effect {
@@ -238,6 +274,7 @@ mod tests {
             trigger: Trigger::Access(Access::Load),
             guards: vec![],
             effect: Effect::Local { actions: vec![], next: None },
+            note: EntryNote::Demand,
         });
         let err = ssp.validate().unwrap_err();
         assert!(err.to_string().contains("accesses"));
@@ -265,6 +302,7 @@ mod tests {
             trigger: Trigger::Access(Access::Load),
             guards: vec![],
             effect: Effect::Local { actions: vec![], next: None },
+            note: EntryNote::Demand,
         });
         assert!(ssp.validate().is_err());
     }

@@ -7,7 +7,7 @@
 //! ```
 
 use protogen::gen::{generate, GenConfig};
-use protogen::mc::{McConfig, ModelChecker};
+use protogen::mc::{McConfig, ModelChecker, PropertySet};
 
 fn main() {
     let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(2);
@@ -23,12 +23,10 @@ fn main() {
             let g = generate(&ssp, &cfg).expect("generation succeeds");
             let mut mc_cfg = McConfig::with_caches(n);
             mc_cfg.ordered = ssp.network_ordered;
-            if ssp.name == "TSO-CC" {
-                // TSO-CC trades physical-time SWMR for TSO (§VI-D); check
-                // its actual guarantees.
-                mc_cfg.check_swmr = false;
-                mc_cfg.check_data_value = false;
-            }
+            // Check the contract each protocol declares (§VI-D): SC gets
+            // SWMR + data-value, TSO gets single-writer, weak gets
+            // deadlock freedom only.
+            mc_cfg.properties = PropertySet::promised(ssp.consistency);
             let r = ModelChecker::new(&g.cache, &g.directory, mc_cfg).run();
             all_ok &= r.passed();
             println!(

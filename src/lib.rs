@@ -14,7 +14,8 @@
 //! | [`mc`] | `protogen-mc` | Explicit-state model checker (Murϕ substrate) |
 //! | [`sim`] | `protogen-sim` | Simulation subsystem: networks, workloads, sweeps |
 //! | [`serve`] | `protogen-serve` | Live multi-threaded cache service inside the verified envelope |
-//! | [`protocols`] | `protogen-protocols` | MSI, MESI, MOSI, Upgrade, unordered, TSO-CC |
+//! | [`protocols`] | `protogen-protocols` | MSI, MESI, MOSI, Upgrade, unordered, TSO-CC, SI/SD |
+//! | [`litmus`] | `protogen-litmus` | Litmus harness: SC/TSO/weak classification |
 //! | [`fuzz`] | `protogen-fuzz` | Mutation-based fuzzing of the generate→check pipeline |
 //! | [`backend`] | `protogen-backend` | Tables, DOT, Murϕ text, diffing |
 //!
@@ -41,6 +42,7 @@ pub use protogen_backend as backend;
 pub use protogen_core as gen;
 pub use protogen_dsl as dsl;
 pub use protogen_fuzz as fuzz;
+pub use protogen_litmus as litmus;
 pub use protogen_mc as mc;
 pub use protogen_protocols as protocols;
 pub use protogen_runtime as runtime;

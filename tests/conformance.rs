@@ -11,7 +11,7 @@
 //! a conformance matrix that silently relaxed checks would be worthless.
 
 use protogen::gen::{generate, Concurrency, GenConfig};
-use protogen::mc::{McConfig, ModelChecker};
+use protogen::mc::{McConfig, ModelChecker, PropertySet};
 use protogen::spec::Ssp;
 
 fn config_label(cfg: &GenConfig) -> &'static str {
@@ -24,12 +24,10 @@ fn config_label(cfg: &GenConfig) -> &'static str {
 fn mc_config_for(ssp: &Ssp) -> McConfig {
     let mut mc = McConfig::with_caches(2);
     mc.ordered = ssp.network_ordered;
-    // TSO-CC (either front-end spelling) intentionally breaks physical
-    // SWMR; the one authoritative predicate lives in the protocols crate.
-    if protogen::protocols::trades_swmr(ssp) {
-        mc.check_swmr = false;
-        mc.check_data_value = false;
-    }
+    // Each protocol is held to the contract its spec declares: SC
+    // protocols get the full SWMR + data-value set, TSO-CC gets
+    // single-writer, SI/SD gets deadlock freedom only.
+    mc.properties = PropertySet::promised(ssp.consistency);
     mc
 }
 
@@ -48,7 +46,7 @@ fn assert_conformance(ssp: &Ssp, origin: &str) {
 #[test]
 fn all_builder_protocols_conform() {
     let protocols = protogen::protocols::all();
-    assert_eq!(protocols.len(), 6, "the bundled protocol suite grew or shrank");
+    assert_eq!(protocols.len(), 7, "the bundled protocol suite grew or shrank");
     for ssp in &protocols {
         assert_conformance(ssp, "builder");
     }
@@ -66,6 +64,7 @@ fn all_dsl_protocols_conform() {
         ("MSI_Upgrade", protogen::dsl::MSI_UPGRADE_PGEN),
         ("MSI_unordered", protogen::dsl::MSI_UNORDERED_PGEN),
         ("TSO_CC", protogen::dsl::TSO_CC_PGEN),
+        ("SI_SD", protogen::dsl::SI_SD_PGEN),
     ] {
         let ssp = protogen::dsl::parse_protocol(src)
             .unwrap_or_else(|e| panic!("bundled {name} source: {e}"));
@@ -86,6 +85,7 @@ fn dsl_and_builder_agree_for_every_protocol() {
         (protogen::protocols::msi_upgrade(), protogen::dsl::MSI_UPGRADE_PGEN),
         (protogen::protocols::msi_unordered(), protogen::dsl::MSI_UNORDERED_PGEN),
         (protogen::protocols::tso_cc(), protogen::dsl::TSO_CC_PGEN),
+        (protogen::protocols::si_sd(), protogen::dsl::SI_SD_PGEN),
     ] {
         let from_dsl = protogen::dsl::parse_protocol(src).unwrap();
         for cfg in [GenConfig::stalling(), GenConfig::non_stalling()] {
@@ -181,6 +181,62 @@ fn tso_cc_relaxation_is_load_bearing() {
         r.violation.is_some(),
         "TSO-CC passed full SWMR + data-value checks; the conformance relaxation is stale"
     );
+}
+
+/// The property system selects what each protocol promises (ISSUE 8's
+/// acceptance check): TSO-CC *fails* SWMR under the SC contract and
+/// *passes* under its own TSO contract — same machines, different
+/// [`PropertySet`].
+#[test]
+fn property_sets_select_what_each_protocol_promises() {
+    use protogen::mc::ViolationKind;
+    let ssp = protogen::protocols::tso_cc();
+    let g = generate(&ssp, &GenConfig::non_stalling()).unwrap();
+    let run = |properties: PropertySet| {
+        let mut mc = McConfig::with_caches(2);
+        mc.properties = properties;
+        ModelChecker::new(&g.cache, &g.directory, mc).run()
+    };
+    let sc = run(PropertySet::sc());
+    assert!(
+        matches!(
+            sc.violation.as_ref().map(|v| &v.kind),
+            Some(ViolationKind::Swmr(_) | ViolationKind::DataValue(_))
+        ),
+        "TSO-CC under the SC contract should fail SWMR/data-value, got {:?}",
+        sc.violation
+    );
+    let tso = run(PropertySet::tso());
+    assert!(tso.passed(), "TSO-CC under its own contract failed: {:?}", tso.violation);
+    // The promised-set resolution is what the conformance matrix uses.
+    assert_eq!(PropertySet::promised(ssp.consistency), PropertySet::tso());
+}
+
+/// Custom closure properties attach to a checker and surface as
+/// `ViolationKind::Property` with the predicate's name — the per-litmus
+/// assertion hook.
+#[test]
+fn custom_predicate_properties_report_violations() {
+    use protogen::mc::{Predicate, ViolationKind};
+    let ssp = protogen::protocols::msi();
+    let g = generate(&ssp, &GenConfig::non_stalling()).unwrap();
+    let mut mc = ModelChecker::new(&g.cache, &g.directory, McConfig::with_caches(2));
+    // A deliberately false invariant: MSI certainly reaches a writer.
+    mc.add_property(Box::new(Predicate::new("no-writer-ever", |cx, state| {
+        state
+            .caches
+            .iter()
+            .any(|c| cx.cache_fsm.state(c.state).perm == protogen::spec::Perm::ReadWrite)
+            .then(|| "a cache reached write permission".to_string())
+    })));
+    let r = mc.run();
+    match r.violation.map(|v| v.kind) {
+        Some(ViolationKind::Property { property, detail }) => {
+            assert_eq!(property, "no-writer-ever");
+            assert!(detail.contains("write permission"), "{detail}");
+        }
+        other => panic!("expected the custom property to fire, got {other:?}"),
+    }
 }
 
 /// The sharded explorer is thread-count-invariant: for every bundled
@@ -330,6 +386,32 @@ fn counterexample_traces_are_deterministic() {
     assert_eq!(single.kind, reference.kind, "violation kind differs at 1 thread");
     assert_eq!(single.trace, reference.trace, "trace bytes differ at 1 thread");
     assert!(!reference.trace.is_empty(), "violation carries no trace");
+}
+
+/// Litmus verdicts follow the same sweep discipline as sim and fuzz:
+/// the full classification report — outcome sets included — is
+/// byte-identical for any worker count and any exploration seed.
+/// Enumeration is exhaustive, so neither shard scheduling nor successor
+/// ordering may ever change what a protocol can observably do. The
+/// subset here is the weak-memory pair on the tests that separate the
+/// models (the full matrix is PR CI's litmus job).
+#[test]
+fn litmus_verdicts_are_thread_count_and_seed_invariant() {
+    use protogen::litmus::{bundled, run_suite, Limits, Verdict};
+    let ssps = vec![protogen::protocols::tso_cc(), protogen::protocols::si_sd()];
+    let tests: Vec<_> =
+        bundled().into_iter().filter(|t| matches!(t.name.as_str(), "SB" | "MP")).collect();
+    assert_eq!(tests.len(), 2, "the bundled litmus suite lost SB or MP");
+    let reference = run_suite(&ssps, &tests, &Limits::default(), 1).unwrap();
+    for (workers, seed) in [(3, 0u64), (1, 99), (4, 1 << 40)] {
+        let limits = Limits { seed, ..Limits::default() };
+        let r = run_suite(&ssps, &tests, &limits, workers).unwrap();
+        assert_eq!(reference, r, "litmus report diverged at workers={workers}, seed={seed}");
+    }
+    // The subset is not vacuous: TSO-CC shows store buffering on SB and
+    // SI/SD breaks message passing.
+    assert_eq!(reference.protocols[0].verdict(), Verdict::Tso);
+    assert_eq!(reference.protocols[1].verdict(), Verdict::Weak);
 }
 
 /// `ModelChecker::steps` enumerates scheduling decisions in a canonical

@@ -4,7 +4,7 @@
 
 use protogen::backend::{diff, render_ssp_table, render_table, TableOptions};
 use protogen::gen::{generate, Concurrency, GenConfig};
-use protogen::mc::{McConfig, ModelChecker};
+use protogen::mc::{McConfig, ModelChecker, PropertySet};
 use protogen::spec::{Event, MachineKind};
 
 fn non_stalling_msi() -> protogen::gen::Generated {
@@ -231,8 +231,9 @@ fn e12_tso_cc_verifies() {
     for cfg in [GenConfig::stalling(), GenConfig::non_stalling()] {
         let g = generate(&ssp, &cfg).unwrap();
         let mut mc = McConfig::with_caches(2);
-        mc.check_swmr = false; // physical SWMR is broken by design
-        mc.check_data_value = false; // stale reads until self-invalidation
+        // Physical SWMR and data-value freshness are broken by design;
+        // single-writer and deadlock freedom are what TSO-CC promises.
+        mc.properties = PropertySet::promised(ssp.consistency);
         let r = ModelChecker::new(&g.cache, &g.directory, mc).run();
         assert!(r.passed(), "{:?}: {:?}", cfg.concurrency, r.violation);
     }
@@ -289,10 +290,7 @@ fn full_sweep_all_protocols_verify() {
             let g = generate(&ssp, &cfg).unwrap();
             let mut mc = McConfig::with_caches(2);
             mc.ordered = ssp.network_ordered;
-            if ssp.name == "TSO-CC" {
-                mc.check_swmr = false;
-                mc.check_data_value = false;
-            }
+            mc.properties = PropertySet::promised(ssp.consistency);
             let r = ModelChecker::new(&g.cache, &g.directory, mc).run();
             assert!(
                 r.passed(),

@@ -132,6 +132,41 @@ proptest! {
         prop_assert_eq!(r.completed, 90);
     }
 
+    /// Every bundled DSL source — the SI/SD and TSO-CC weak-memory specs
+    /// included — round-trips through parse → render → reparse → lower:
+    /// the AST survives rendering unchanged, the lowered SSPs are
+    /// identical, and randomly injected comment lines (formatting noise)
+    /// are invisible to the front-end.
+    #[test]
+    fn dsl_sources_round_trip_through_parse_lower_render(
+        pi in 0usize..7,
+        noise in proptest::collection::vec((any::<u16>(), any::<u64>()), 0..8),
+    ) {
+        let src = [
+            protogen::dsl::MSI_PGEN,
+            protogen::dsl::MESI_PGEN,
+            protogen::dsl::MOSI_PGEN,
+            protogen::dsl::MSI_UPGRADE_PGEN,
+            protogen::dsl::MSI_UNORDERED_PGEN,
+            protogen::dsl::TSO_CC_PGEN,
+            protogen::dsl::SI_SD_PGEN,
+        ][pi];
+        let ast = protogen::dsl::parse(src).expect("bundled source parses");
+        let rendered = protogen::dsl::render(&ast);
+        let mut lines: Vec<String> = rendered.lines().map(str::to_string).collect();
+        for (pos, text) in &noise {
+            let at = (*pos as usize) % (lines.len() + 1);
+            lines.insert(at, format!("// noise {text:016x}"));
+        }
+        let noisy = lines.join("\n");
+        let again = protogen::dsl::parse(&noisy)
+            .expect("rendered source reparses under comment noise");
+        prop_assert_eq!(&ast, &again, "render/reparse changed the AST");
+        let direct = protogen::dsl::lower(&ast).expect("bundled source lowers");
+        let round = protogen::dsl::lower(&again).expect("round-tripped source lowers");
+        prop_assert_eq!(direct, round);
+    }
+
     /// Every synthetic workload generator emits only operations that are
     /// valid for the configured system — addresses within `n_addrs`, one
     /// schedule per core of exactly the requested length — and expansion
