@@ -40,10 +40,96 @@ pub fn to_dot(fsm: &Fsm) -> String {
     out
 }
 
+/// Renders the topology of a composed stack as a DOT digraph: one cluster
+/// per machine level (leaf caches at the bottom, the root directory at the
+/// top), a solid edge from every node to the directory serving it, and a
+/// dashed glue edge per hosting node labelled with the outer acquisition
+/// its inner requests force (DESIGN.md §12).
+pub fn to_dot_composed(c: &protogen_core::Composed) -> String {
+    let depth = c.depth();
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}_topology\" {{", c.name);
+    let _ = writeln!(out, "  rankdir=BT;");
+    for jm in 0..=depth {
+        let _ = writeln!(out, "  subgraph cluster_m{jm} {{");
+        let label = if jm == depth {
+            "root directory".to_string()
+        } else {
+            let l = &c.levels[jm];
+            format!("{} — {} (fanout {})", l.label, l.generated.cache.protocol, l.fanout)
+        };
+        let _ = writeln!(out, "    label=\"{label}\";");
+        for g in 0..c.node_count(jm) {
+            let role = if jm == depth {
+                format!("dir {}", c.levels[depth - 1].label)
+            } else if jm == 0 {
+                format!("{} cache", c.levels[0].label)
+            } else {
+                // Interior nodes are both sides at once.
+                format!("{} dir / {} cache", c.levels[jm - 1].label, c.levels[jm].label)
+            };
+            let _ = writeln!(out, "    m{jm}_{g} [label=\"L{jm}.{g}\\n{role}\", shape=box];");
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    // Subnet membership: each node talks to the directory its parent hosts.
+    for jm in 0..depth {
+        let fanout = c.levels[jm].fanout;
+        for g in 0..c.node_count(jm) {
+            let _ = writeln!(out, "  m{jm}_{g} -> m{}_{};", jm + 1, g / fanout);
+        }
+    }
+    // Glue: a node hosting the level-`j` directory acquires through its
+    // own outer cache machine before inner requests may be delivered.
+    for (j, glue) in c.glue.iter().enumerate() {
+        let inner = &c.levels[j].generated.directory;
+        let mut needs: Vec<String> = Vec::new();
+        for (i, perm) in glue.needed_perm.iter().enumerate() {
+            if *perm != protogen_spec::Perm::None {
+                needs.push(format!("{}⇒{perm}", inner.msg(protogen_spec::MsgId(i as u16)).name));
+            }
+        }
+        let jm = j + 1;
+        let fanout = c.levels[jm].fanout;
+        for g in 0..c.node_count(jm) {
+            let _ = writeln!(
+                out,
+                "  m{jm}_{g} -> m{}_{} [label=\"glue: {}\", style=dashed];",
+                jm + 1,
+                g / fanout,
+                needs.join(", ")
+            );
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use protogen_core::{generate, GenConfig};
+    use protogen_core::{compose, generate, GenConfig};
+
+    #[test]
+    fn composed_dot_emits_level_clusters_and_dashed_glue() {
+        let comp = protogen_protocols::msi_under_mesi(2, 2);
+        let c = compose(&comp, &GenConfig::stalling()).unwrap();
+        let d = to_dot_composed(&c);
+        assert!(d.starts_with("digraph"));
+        // One cluster per machine level plus the root.
+        assert!(d.contains("subgraph cluster_m0"));
+        assert!(d.contains("subgraph cluster_m1"));
+        assert!(d.contains("subgraph cluster_m2"));
+        assert!(d.contains("l1 — MSI (fanout 2)"));
+        assert!(d.contains("llc — MESI (fanout 2)"));
+        // Four leaves feed two interior nodes feeding one root.
+        assert!(d.contains("m0_3 -> m1_1;"));
+        assert!(d.contains("m1_1 -> m2_0;"));
+        // Glue edges are dashed and name the forced acquisition.
+        assert!(d.contains("style=dashed"));
+        assert!(d.contains("glue: "), "{d}");
+        assert!(d.trim_end().ends_with('}'));
+    }
 
     #[test]
     fn dot_output_is_wellformed() {

@@ -4,7 +4,9 @@
 //!   (Tables I, II and VI);
 //! * [`diff`] — structural comparison of two controllers (the §VI-B
 //!   generated-vs-primer methodology);
-//! * [`to_dot`] — Graphviz diagrams (Figures 1 and 2);
+//! * [`to_dot`] / [`to_dot_composed`] — Graphviz diagrams (Figures 1 and
+//!   2; composed-stack topology with dashed glue edges);
+//! * [`render_composed_table`] — one table section per composition level;
 //! * [`to_murphi`] — Murϕ model text (§IV-B's verification back-end).
 //!
 //! # Example
@@ -27,6 +29,6 @@ mod murphi;
 mod table;
 
 pub use diff::{diff, FsmDiff};
-pub use dot::to_dot;
+pub use dot::{to_dot, to_dot_composed};
 pub use murphi::to_murphi;
-pub use table::{render_ssp_table, render_table, TableOptions};
+pub use table::{render_composed_table, render_ssp_table, render_table, TableOptions};

@@ -264,10 +264,67 @@ fn first_send_name_ssp(
     })
 }
 
+/// Renders a composed stack as one table section per level, leaf-first:
+/// the level header, the cache- and directory-side tables, and (for
+/// non-root levels) the derived glue — which outer permission each inner
+/// message needs at the hosting node before it may be delivered.
+pub fn render_composed_table(c: &protogen_core::Composed, opts: &TableOptions) -> String {
+    let mut out = String::new();
+    for (j, l) in c.levels.iter().enumerate() {
+        let title = format!(
+            "level {j}: {} — {} (fanout {}, {} node{})",
+            l.label,
+            l.generated.cache.protocol,
+            l.fanout,
+            c.node_count(j),
+            if c.node_count(j) == 1 { "" } else { "s" }
+        );
+        if opts.markdown {
+            out.push_str(&format!("## {title}\n\n### cache side\n\n"));
+        } else {
+            out.push_str(&format!("=== {title} ===\n\n--- cache side ---\n"));
+        }
+        out.push_str(&render_table(&l.generated.cache, opts));
+        out.push_str(if opts.markdown {
+            "\n### directory side\n\n"
+        } else {
+            "\n--- directory side ---\n"
+        });
+        out.push_str(&render_table(&l.generated.directory, opts));
+        if let Some(glue) = c.glue.get(j) {
+            out.push_str(if opts.markdown {
+                "\n### glue (outer permission gate)\n\n"
+            } else {
+                "\n--- glue (outer permission gate) ---\n"
+            });
+            let dir = &l.generated.directory;
+            for (i, perm) in glue.needed_perm.iter().enumerate() {
+                let mid = protogen_spec::MsgId(i as u16);
+                let name = &dir.msg(mid).name;
+                let line = match perm {
+                    protogen_spec::Perm::None => format!("{name}: always deliverable"),
+                    p => format!(
+                        "{name}: hosting node must hold {p} in {} (acquired by {:?})",
+                        c.levels[j + 1].label,
+                        glue.acquire_access(mid).unwrap()
+                    ),
+                };
+                if opts.markdown {
+                    out.push_str(&format!("- {line}\n"));
+                } else {
+                    out.push_str(&format!("  {line}\n"));
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use protogen_core::{generate, GenConfig};
+    use protogen_core::{compose, generate, GenConfig};
 
     #[test]
     fn table_contains_paper_states_and_cells() {
@@ -291,6 +348,20 @@ mod tests {
         assert!(t.contains("GetS"));
         let s_row: &str = t.lines().find(|l| l.starts_with("S ")).unwrap();
         assert!(s_row.contains("hit"));
+    }
+
+    #[test]
+    fn composed_table_has_one_section_per_level_with_glue() {
+        let comp = protogen_protocols::msi_under_msi(2, 2);
+        let c = compose(&comp, &GenConfig::stalling()).unwrap();
+        let t = render_composed_table(&c, &TableOptions::default());
+        assert!(t.contains("=== level 0: l1 — MSI (fanout 2, 4 nodes) ==="), "{t}");
+        assert!(t.contains("=== level 1: llc — MSI (fanout 2, 2 nodes) ==="), "{t}");
+        // The leaf level carries the glue gate; the root level has none.
+        assert!(t.contains("glue (outer permission gate)"));
+        assert!(t.contains("must hold RW in llc"), "{t}");
+        assert_eq!(t.matches("--- cache side ---").count(), 2);
+        assert_eq!(t.matches("glue (outer permission gate)").count(), 1);
     }
 
     #[test]

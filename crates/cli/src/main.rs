@@ -4,6 +4,7 @@
 //! protogen table   <protocol> [--stalling] [--machine cache|dir] [--markdown]
 //! protogen verify  <protocol> [--stalling] [--caches N] [--threads N] [--max-states N]
 //!                  [--mem-budget BYTES] [--store full|delta|fp-only] [--spill-chunk BYTES]
+//! protogen verify  --compose l1=msi:2,llc=mesi [--stalling] [--max-states N]
 //! protogen dot     <protocol> [--stalling] [--machine cache|dir]
 //! protogen murphi  <protocol> [--stalling] [--caches N]
 //! protogen sim     <protocol> [--stalling] [--caches N] [--addrs N] [--accesses N]
@@ -26,6 +27,16 @@
 //!
 //! `--threads` sets the worker count (default: all available cores);
 //! verification and sweep results are identical for every thread count.
+//!
+//! `--compose` points `verify`, `table`, or `dot` at a *hierarchical
+//! composition* instead of a flat protocol: a comma-separated stack of
+//! `label=protocol[:fanout]` levels, leaf-first (fanout defaults to 1).
+//! `verify --compose` model-checks the whole tree — per-level SWMR,
+//! leaf-level data-value, deadlock freedom — single-threaded with
+//! per-level symmetry reduction; `table`/`dot --compose` render one
+//! section (or cluster) per level with the derived glue. `compile` on a
+//! `.pgen` file carrying a `compose { … }` block does the same after
+//! resolving the referenced protocol names.
 //!
 //! `verify --mem-budget` caps the checker's accounted RAM (suffixes K/M/G,
 //! binary): over budget, cold frontier bytes and frozen visited records
@@ -59,15 +70,17 @@
 //! `<protocol>` is one of: msi, mesi, mosi, msi-upgrade, msi-unordered,
 //! tso-cc, si-sd.
 
-use protogen_backend::{render_table, to_dot, to_murphi, TableOptions};
-use protogen_core::{generate, GenConfig, Generated};
+use protogen_backend::{
+    render_composed_table, render_table, to_dot, to_dot_composed, to_murphi, TableOptions,
+};
+use protogen_core::{compose, generate, Composed, GenConfig, Generated};
 use protogen_litmus::{run_suite, Limits};
-use protogen_mc::{McConfig, ModelChecker, PropertySet, StoreMode};
+use protogen_mc::{HierChecker, HierConfig, McConfig, ModelChecker, PropertySet, StoreMode};
 use protogen_serve::{checked_envelope, pair_label, serve, ServeConfig, ServeError};
 use protogen_sim::{
     parse_trace, run_sweep, simulate, Json, LatencyDist, NetModel, SimConfig, SweepConfig, Workload,
 };
-use protogen_spec::Ssp;
+use protogen_spec::{Composition, LevelSpec, Ssp};
 use std::process::ExitCode;
 
 struct Args {
@@ -111,6 +124,7 @@ impl Args {
                         | "store"
                         | "spill-chunk"
                         | "replay"
+                        | "compose"
                         | "property"
                         | "tests"
                         | "depth"
@@ -283,6 +297,129 @@ fn verify(g: &Generated, ssp: &Ssp, args: &Args, n: usize, threads: usize) -> bo
         println!("stopped early: {l} — partial stats only (raise --max-states to go further)");
     }
     r.passed()
+}
+
+/// Builds a [`Composition`] from `label=protocol[:fanout]` level specs,
+/// leaf-first. Fanout defaults to 1.
+fn build_composition(
+    name: &str,
+    levels: impl Iterator<Item = Result<(String, String, usize), String>>,
+) -> Result<Composition, String> {
+    let mut out = Vec::new();
+    for level in levels {
+        let (label, proto, fanout) = level?;
+        let ssp = protocol(&proto).ok_or(format!(
+            "unknown protocol `{proto}` in composition (try msi, mesi, mosi, msi-upgrade, \
+             msi-unordered, tso-cc, si-sd)"
+        ))?;
+        out.push(LevelSpec { label, ssp, fanout });
+    }
+    if out.is_empty() {
+        return Err("composition has no levels".into());
+    }
+    Ok(Composition { name: name.to_string(), levels: out })
+}
+
+/// Parses the `--compose l1=msi:2,llc=mesi` level list.
+fn parse_compose_flag(spec: &str) -> Result<Composition, String> {
+    build_composition(
+        spec,
+        spec.split(',').map(|part| {
+            let (label, rest) = part
+                .split_once('=')
+                .ok_or(format!("bad level `{part}` (want label=protocol[:fanout])"))?;
+            let (proto, fanout) = match rest.split_once(':') {
+                Some((p, f)) => {
+                    (p, f.parse().map_err(|_| format!("bad fanout `{f}` in `{part}`"))?)
+                }
+                None => (rest, 1),
+            };
+            Ok((label.to_string(), proto.to_string(), fanout))
+        }),
+    )
+}
+
+/// Generates a composition or exits with a usage error, mirroring
+/// [`generate_or_exit`] for the composed pipeline.
+fn compose_or_exit(comp: &Composition, args: &Args) -> Composed {
+    match compose(comp, &gen_config(args)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("composition failed: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `verify --compose`: model-check the whole stack with the hierarchical
+/// checker (per-level SWMR, leaf data-value, deadlock freedom).
+fn verify_composed(composed: &Composed, comp: &Composition, args: &Args) -> bool {
+    let mut cfg = HierConfig::default();
+    if let Some(v) = args.value("max-states") {
+        match v.parse() {
+            Ok(n) if n > 0 => cfg.max_states = n,
+            _ => {
+                eprintln!("bad --max-states `{v}` (a positive state budget)");
+                std::process::exit(2);
+            }
+        }
+    }
+    // The property contract comes from the leaf protocol — inner levels
+    // are where cores live; `--property` overrides as for flat verify.
+    cfg.properties = property_set(&comp.levels[0].ssp, args);
+    let hc = HierChecker::new(composed, cfg);
+    let (counts, _) = hc.topology();
+    let r = hc.check();
+    println!(
+        "{}: {} — {} states, {} transitions, {:.2}s ({:.0} states/s); {} levels, {} nodes, \
+         symmetry group {}",
+        comp.name,
+        if r.passed() { "PASSED" } else { "FAILED" },
+        r.states,
+        r.transitions,
+        r.seconds,
+        r.states as f64 / r.seconds.max(1e-9),
+        composed.depth(),
+        counts.iter().sum::<usize>(),
+        hc.group_size(),
+    );
+    if let Some(v) = &r.violation {
+        println!("violation: {}", v.kind);
+        for line in &v.trace {
+            println!("  {line}");
+        }
+    }
+    if r.hit_state_limit {
+        println!("stopped early: state budget — partial stats only (raise --max-states)");
+    }
+    r.passed()
+}
+
+/// Dispatches `verify`/`table`/`dot` over a resolved composition.
+fn compose_cmd(cmd: &str, comp: &Composition, args: &Args) -> ExitCode {
+    let composed = compose_or_exit(comp, args);
+    match cmd {
+        "verify" => {
+            if verify_composed(&composed, comp, args) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        "table" => {
+            let opts = TableOptions { markdown: args.flag("markdown"), ..TableOptions::default() };
+            print!("{}", render_composed_table(&composed, &opts));
+            ExitCode::SUCCESS
+        }
+        "dot" => {
+            print!("{}", to_dot_composed(&composed));
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("--compose supports verify, table, and dot (not `{other}`)");
+            ExitCode::from(2)
+        }
+    }
 }
 
 /// Builds a [`SimConfig`] from CLI flags, warning (and clamping to FIFO
@@ -870,6 +1007,16 @@ fn main() -> ExitCode {
         "fuzz" => fuzz(&args, threads),
         "litmus" => litmus_cmd(&args, threads),
         "table" | "verify" | "dot" | "murphi" | "sim" | "serve" | "simulate" => {
+            if let Some(spec) = args.value("compose") {
+                let comp = match parse_compose_flag(spec) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("bad --compose: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                return compose_cmd(cmd, &comp, &args);
+            }
             let Some(name) = args.positional.get(1) else {
                 eprintln!("usage: protogen {cmd} <protocol> [flags]");
                 return ExitCode::from(2);
@@ -925,7 +1072,38 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
-            let ssp = match protogen_dsl::parse_protocol(&src) {
+            let ast = match protogen_dsl::parse(&src) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            };
+            // A `compose { … }` block makes this a composition source:
+            // resolve the referenced protocols and run the composed
+            // pipeline (table + verify) instead of the flat one.
+            if !ast.compose.is_empty() {
+                let comp = match build_composition(
+                    &ast.name,
+                    ast.compose.iter().map(|l| {
+                        Ok((l.label.clone(), l.protocol.clone(), l.fanout.unwrap_or(1) as usize))
+                    }),
+                ) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("bad compose block in {path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                let composed = compose_or_exit(&comp, &args);
+                print!("{}", render_composed_table(&composed, &TableOptions::default()));
+                return if verify_composed(&composed, &comp, &args) {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                };
+            }
+            let ssp = match protogen_dsl::lower(&ast) {
                 Ok(s) => s,
                 Err(e) => {
                     eprintln!("{e}");

@@ -61,6 +61,7 @@
 
 mod analysis;
 mod cachegen;
+mod compose;
 mod config;
 mod dirgen;
 mod error;
@@ -69,6 +70,7 @@ mod preprocess;
 mod report;
 
 pub use analysis::{Analysis, DirTxnInfo, TxnInfo};
+pub use compose::{compose, Composed, ComposedLevel, GlueSpec};
 pub use config::{Concurrency, GenConfig, ResponsePolicy, TransientAccessPolicy};
 pub use error::GenError;
 pub use minimize::minimize;

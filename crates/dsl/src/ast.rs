@@ -22,6 +22,26 @@ pub struct Spec {
     pub cache_procs: Vec<Process>,
     /// Directory behaviour (`architecture directory { … }`).
     pub dir_procs: Vec<Process>,
+    /// Hierarchy levels from a `compose { … }` block, leaf-first
+    /// (empty for a flat protocol spec).
+    pub compose: Vec<ComposeLevel>,
+}
+
+/// One level of a `compose { l1: msi(2); llc: mesi; }` block.
+///
+/// The protocol is referenced *by name* — this crate has no protocol
+/// registry, so resolution to a concrete SSP (and from there to a
+/// `protogen_spec::Composition`) happens in the caller, which knows
+/// where its protocols live.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComposeLevel {
+    /// Level label (`l1`, `llc`).
+    pub label: String,
+    /// Name of the protocol instantiated at this level.
+    pub protocol: String,
+    /// Nodes of this level per next-level parent (`msi(2)`); `None`
+    /// means unspecified, which resolvers treat as 1.
+    pub fanout: Option<u64>,
 }
 
 /// `message Data : response { data, acks } on forward_net;`

@@ -26,6 +26,13 @@ impl std::error::Error for LowerError {}
 /// Returns a [`LowerError`] for unknown names, malformed send arguments,
 /// or a specification the IR validator rejects.
 pub fn lower(spec: &Spec) -> Result<protogen_spec::Ssp, LowerError> {
+    if !spec.compose.is_empty() {
+        return Err(LowerError(
+            "composition specs do not lower to a single SSP; resolve the `compose` levels \
+             against a protocol registry (see `parse_composition`)"
+                .into(),
+        ));
+    }
     let mut messages = Vec::new();
     for m in &spec.messages {
         let class = match m.class.as_str() {

@@ -92,6 +92,7 @@ pub fn parse(src: &str) -> Result<Spec, ParseError> {
         dir_states: vec![],
         cache_procs: vec![],
         dir_procs: vec![],
+        compose: vec![],
     };
 
     loop {
@@ -151,6 +152,10 @@ pub fn parse(src: &str) -> Result<Spec, ParseError> {
                     p.bump();
                     spec.dir_states = parse_states(&mut p)?;
                 }
+                "compose" => {
+                    p.bump();
+                    parse_compose(&mut p, &mut spec.compose)?;
+                }
                 "architecture" => {
                     p.bump();
                     let which = p.ident()?;
@@ -176,6 +181,39 @@ pub fn parse(src: &str) -> Result<Spec, ParseError> {
         }
     }
     Ok(spec)
+}
+
+/// `compose { l1: msi(2); llc: mesi; }` — levels leaf-first, each a
+/// label, a protocol name, and an optional parenthesized fanout. All
+/// words are contextual identifiers, so labels or protocols named
+/// `compose` (or any other keyword) parse fine.
+fn parse_compose(p: &mut Parser, out: &mut Vec<ComposeLevel>) -> Result<(), ParseError> {
+    p.expect(&TokenKind::LBrace)?;
+    while *p.peek() != TokenKind::RBrace {
+        let label = p.ident()?;
+        p.expect(&TokenKind::Colon)?;
+        let protocol = p.ident()?;
+        let fanout = if *p.peek() == TokenKind::LParen {
+            p.bump();
+            let v = match p.bump() {
+                TokenKind::Int(v) => v,
+                other => {
+                    return Err(ParseError(format!(
+                        "expected fanout integer, found {other} at {}",
+                        p.here()
+                    )))
+                }
+            };
+            p.expect(&TokenKind::RParen)?;
+            Some(v)
+        } else {
+            None
+        };
+        p.expect(&TokenKind::Semi)?;
+        out.push(ComposeLevel { label, protocol, fanout });
+    }
+    p.expect(&TokenKind::RBrace)?;
+    Ok(())
 }
 
 fn parse_message(p: &mut Parser) -> Result<MessageDecl, ParseError> {
@@ -427,5 +465,43 @@ mod tests {
     fn reports_position_on_error() {
         let err = parse("protocol X;\nbogus").unwrap_err();
         assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn parses_compose_block() {
+        let spec = parse("protocol H; compose { l1: msi(2); llc: mesi; }").unwrap();
+        assert_eq!(
+            spec.compose,
+            vec![
+                ComposeLevel { label: "l1".into(), protocol: "msi".into(), fanout: Some(2) },
+                ComposeLevel { label: "llc".into(), protocol: "mesi".into(), fanout: None },
+            ]
+        );
+    }
+
+    #[test]
+    fn compose_stays_contextual_as_an_identifier() {
+        // `compose` is only a keyword at the top level: states, messages,
+        // triggers, labels, and protocol names may all use the word.
+        let src = r#"
+            protocol compose;
+            message compose : request;
+            cache { state compose readwrite; }
+            directory { state I; }
+            compose { compose: compose(3); state: compose; }
+        "#;
+        let spec = parse(src).unwrap();
+        assert_eq!(spec.name, "compose");
+        assert_eq!(spec.cache_states[0].name, "compose");
+        assert_eq!(spec.compose.len(), 2);
+        assert_eq!(spec.compose[0].label, "compose");
+        assert_eq!(spec.compose[1].label, "state");
+    }
+
+    #[test]
+    fn rejects_malformed_compose_levels() {
+        assert!(parse("protocol H; compose { l1 msi; }").is_err());
+        assert!(parse("protocol H; compose { l1: msi(x); }").is_err());
+        assert!(parse("protocol H; compose { l1: msi(2) }").is_err());
     }
 }

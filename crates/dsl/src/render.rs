@@ -7,6 +7,12 @@
 //! blocks — so the round trip is exact for any spec the parser produced
 //! from canonically-ordered source. The property tests drive every
 //! bundled `.pgen` through parse → render → reparse → lower.
+//!
+//! Keywords in the grammar are *contextual*: every name position (state,
+//! message, trigger, compose label, protocol reference) is a bare
+//! identifier the parser never dispatches on, so names that collide with
+//! keywords — including the `compose` block header — need no escaping to
+//! round-trip. A test below pins that for the worst offenders.
 
 use crate::ast::*;
 use std::fmt::Write;
@@ -18,6 +24,18 @@ pub fn render(spec: &Spec) -> String {
     let _ = writeln!(s, "network {};", if spec.ordered { "ordered" } else { "unordered" });
     let _ = writeln!(s, "consistency {};", spec.consistency);
     let _ = writeln!(s, "si {};", if spec.si_epoch { "epoch" } else { "line" });
+    if !spec.compose.is_empty() {
+        s.push('\n');
+        s.push_str("compose {\n");
+        for l in &spec.compose {
+            let _ = write!(s, "    {}: {}", l.label, l.protocol);
+            if let Some(f) = l.fanout {
+                let _ = write!(s, "({f})");
+            }
+            s.push_str(";\n");
+        }
+        s.push_str("}\n");
+    }
     s.push('\n');
     for m in &spec.messages {
         let _ = write!(s, "message {} : {}", m.name, m.class);
@@ -144,5 +162,60 @@ mod tests {
         let once = render(&ast);
         let twice = render(&parse(&once).unwrap());
         assert_eq!(once, twice);
+    }
+
+    /// A spec with a `compose` block — placed at the *end* of the source,
+    /// away from the renderer's canonical position — round-trips exactly,
+    /// and rendering it is idempotent.
+    #[test]
+    fn compose_blocks_round_trip_through_render() {
+        let src = r#"
+            protocol Stack;
+            network unordered;
+            message Get : request;
+            message Data : response { data };
+            cache { state I; state V read; }
+            directory { state I; state V; }
+            architecture cache {
+                process(I, load) {
+                    send Get to dir;
+                    await D { when Data: copy_data; perform; -> V; }
+                }
+            }
+            architecture directory {
+                process(I, Get) { send Data(data) to req; -> V; }
+            }
+            compose { l1: msi(2); llc: mesi; }
+        "#;
+        let ast = parse(src).unwrap();
+        assert_eq!(ast.compose.len(), 2);
+        let rendered = render(&ast);
+        let again = parse(&rendered).unwrap_or_else(|e| panic!("{e}\n{rendered}"));
+        assert_eq!(ast, again, "render/reparse changed the AST");
+        assert_eq!(rendered, render(&again), "rendering not idempotent");
+    }
+
+    /// Names colliding with keywords — old and new (`compose`) — survive
+    /// the round trip without escaping, because every name position in
+    /// the grammar is contextual.
+    #[test]
+    fn keyword_colliding_names_round_trip() {
+        let src = r#"
+            protocol compose;
+            message compose : request;
+            message state : response { data };
+            cache { state compose readwrite; state state; }
+            directory { state process; }
+            architecture cache {
+                process(compose, load) { perform; }
+                process(state, compose) { perform; -> compose; }
+            }
+            architecture directory { }
+            compose { compose: compose(2); state: state; }
+        "#;
+        let ast = parse(src).unwrap();
+        let rendered = render(&ast);
+        let again = parse(&rendered).unwrap_or_else(|e| panic!("{e}\n{rendered}"));
+        assert_eq!(ast, again, "keyword-colliding names changed across render/reparse");
     }
 }

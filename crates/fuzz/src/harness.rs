@@ -136,7 +136,7 @@ pub struct RunResult {
 /// checker property family fired. Built-in invariants get a fixed slug;
 /// custom predicates get `property:<name>` so report distributions
 /// distinguish *which* property did the catching.
-fn violation_family(kind: &ViolationKind) -> String {
+pub(crate) fn violation_family(kind: &ViolationKind) -> String {
     match kind {
         ViolationKind::Swmr(_) => "swmr".to_string(),
         ViolationKind::DataValue(_) => "data-value".to_string(),
@@ -152,7 +152,7 @@ fn violation_family(kind: &ViolationKind) -> String {
 }
 
 /// Renders a captured panic payload.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

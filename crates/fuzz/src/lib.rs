@@ -24,8 +24,9 @@
 //! Batches fan across threads with index-derived seeds (the sweep-sharding
 //! discipline of `protogen-sim`): reports are **byte-identical at any
 //! thread count**. Seeded negative controls — the TSO-CC invariant
-//! relaxation plus four hand-planted protocol bugs — calibrate every run:
-//! a campaign that misses one is broken by construction.
+//! relaxation, four hand-planted protocol bugs, and a composed stack with
+//! a weakened glue gate ([`mod@compose`]) — calibrate every run: a
+//! campaign that misses one is broken by construction.
 //!
 //! # Example
 //!
@@ -46,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compose;
 pub mod harness;
 pub mod mutate;
 pub mod script;
@@ -53,11 +55,12 @@ pub mod shrink;
 
 mod run;
 
+pub use compose::{apply_glue, glue_control, run_composed_mutant, GlueMutation};
 pub use harness::{quick_check_config, run_mutant, Outcome, RunResult};
 pub use mutate::{apply, apply_all, site_count, Inapplicable, MutOp, Mutation};
 pub use run::{
-    derive_mutant, negative_controls, run_fuzz, Control, ControlRecord, FuzzConfig, FuzzReport,
-    MutantRecord, MutantSpec, ShrunkCase, LABELS,
+    derive_mutant, negative_controls, run_fuzz, run_glue_control, Control, ControlRecord,
+    FuzzConfig, FuzzReport, MutantRecord, MutantSpec, ShrunkCase, LABELS,
 };
 pub use script::{Script, ScriptError};
 pub use shrink::{shrink, Shrunk};

@@ -8,6 +8,7 @@
 //! **byte-identical for any thread count**. CI diffs the JSON to enforce
 //! exactly that.
 
+use crate::compose::{glue_control, run_composed_mutant};
 use crate::harness::{run_mutant, Outcome};
 use crate::mutate::{apply, site_count, MutOp, Mutation};
 use crate::script::Script;
@@ -380,6 +381,22 @@ fn run_control(c: &Control, bases: &dyn Fn(&str) -> Option<Ssp>, budget: usize) 
     }
 }
 
+/// Runs the composed negative control: MSI-under-MSI 2×2 with the `GetM`
+/// glue gate weakened `ReadWrite → Read` (see [`crate::compose`]), checked
+/// hierarchically. The flat controls calibrate the flat pipeline; this one
+/// calibrates the composition pass and the hierarchical checker.
+pub fn run_glue_control(budget: usize) -> ControlRecord {
+    let (comp, m) = glue_control();
+    let r = run_composed_mutant(&comp, &[m], &protogen_core::GenConfig::stalling(), budget);
+    ControlRecord {
+        name: "msi-under-msi-glue-getm-weakened",
+        outcome: r.outcome.label().to_string(),
+        family: r.outcome.family().map(str::to_string),
+        detail: r.outcome.detail(),
+        caught: matches!(r.outcome, Outcome::Caught { .. }),
+    }
+}
+
 /// Runs a full fuzzing campaign: every negative control, then `mutants`
 /// seeded mutants fanned across [`FuzzConfig::effective_threads`]
 /// workers, with every unexpected outcome shrunk to a minimal
@@ -400,10 +417,11 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> Result<FuzzReport, String> {
         return Err("no base protocols configured".into());
     }
 
-    let controls: Vec<ControlRecord> = negative_controls()
+    let mut controls: Vec<ControlRecord> = negative_controls()
         .iter()
         .map(|c| run_control(c, &|n| protogen_protocols::by_name(n), cfg.budget))
         .collect();
+    controls.push(run_glue_control(cfg.budget));
 
     let threads = cfg.effective_threads();
     let bases_ref = &bases;

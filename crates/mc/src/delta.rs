@@ -5,11 +5,15 @@
 //! siblings) share most of their bytes too — so storing every frontier
 //! state as a full [`crate::SysState::encode`] string wastes most of the
 //! arena on repetition. This module exploits the encoding's *sectioned*
-//! structure instead of running a generic byte matcher: an encoding for
+//! structure instead of running a generic byte matcher: a flat encoding for
 //! `n` caches is, in order, `n` cache-block sections, one directory
 //! section, `(n+1)²` channel-queue sections, and the one-byte ghost
 //! value, and every section's length is recoverable from its own bytes
 //! (the length prefixes [`crate::SysState::encode_permuted_to`] emits).
+//! A leveled encoding ([`crate::HierChecker`]) is the same four groups
+//! with different counts, so the walker is parameterized by a
+//! [`SectionMap`] derived from either topology rather than hard-coding
+//! the flat `n + 2 + (n+1)²` layout.
 //!
 //! The delta of `target` against `base` is a section bitmask (one bit per
 //! section, set = changed) followed by the raw bytes of exactly the
@@ -31,25 +35,12 @@ enum Kind {
     /// One cache block: 7 fixed bytes (u16 state, data, acks received,
     /// acks expected, pending, chain-slot count) + 2 per chain slot.
     Cache,
-    /// The directory: 6 fixed bytes + 2 per chain slot.
+    /// One directory entry: 6 fixed bytes + 2 per chain slot.
     Dir,
     /// One `(src, dst)` channel queue: 1 length byte + 7 per message.
     Channel,
     /// The ghost-memory value: 1 byte.
     Ghost,
-}
-
-/// Section kinds of an `n`-cache encoding, in encoding order.
-fn kinds(n: usize) -> impl Iterator<Item = Kind> {
-    std::iter::repeat_n(Kind::Cache, n)
-        .chain(std::iter::once(Kind::Dir))
-        .chain(std::iter::repeat_n(Kind::Channel, (n + 1) * (n + 1)))
-        .chain(std::iter::once(Kind::Ghost))
-}
-
-/// Number of sections in an `n`-cache encoding.
-fn section_count(n: usize) -> usize {
-    n + 2 + (n + 1) * (n + 1)
 }
 
 /// Length of the section of `kind` starting at `bytes[pos]`.
@@ -62,54 +53,115 @@ fn section_len(bytes: &[u8], pos: usize, kind: Kind) -> usize {
     }
 }
 
-/// Appends to `out` the delta that rewrites `base` into `target`. Both
-/// must be complete canonical encodings for `n_caches` caches (the layout
-/// of [`crate::SysState::encode`]). Returns the delta's length in bytes —
-/// callers fall back to storing `target` verbatim when the delta is not
-/// actually smaller.
-pub fn encode_delta(n_caches: usize, base: &[u8], target: &[u8], out: &mut Vec<u8>) -> usize {
-    let mask_start = out.len();
-    out.resize(mask_start + section_count(n_caches).div_ceil(8), 0);
-    let (mut bp, mut tp) = (0usize, 0usize);
-    for (i, kind) in kinds(n_caches).enumerate() {
-        let bl = section_len(base, bp, kind);
-        let tl = section_len(target, tp, kind);
-        if base[bp..bp + bl] != target[tp..tp + tl] {
-            out[mask_start + i / 8] |= 1 << (i % 8);
-            out.extend_from_slice(&target[tp..tp + tl]);
-        }
-        bp += bl;
-        tp += tl;
-    }
-    debug_assert_eq!(bp, base.len(), "base is not a complete encoding");
-    debug_assert_eq!(tp, target.len(), "target is not a complete encoding");
-    out.len() - mask_start
+/// The section layout of one encoding family. Both the flat encoding
+/// ([`crate::SysState::encode`]) and the leveled one
+/// ([`crate::HierChecker`]) group their sections the same way — every
+/// cache block first, then every directory entry, then every channel
+/// queue, then the ghost byte — so a layout is fully described by three
+/// counts. Copy-sized by design: the delta hot path builds one per call
+/// without allocating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionMap {
+    caches: usize,
+    dirs: usize,
+    channels: usize,
 }
 
-/// Appends to `out` the full encoding reconstructed from `base` and a
-/// `delta` produced by [`encode_delta`] against that same base.
-///
-/// # Panics
-///
-/// Panics (via slice bounds) when `delta` was not produced against
-/// `base` — deltas only ever travel inside the checker's frontier arenas,
-/// so a mismatch is a checker bug, not an input condition.
-pub fn apply_delta(n_caches: usize, base: &[u8], delta: &[u8], out: &mut Vec<u8>) {
-    let mask_len = section_count(n_caches).div_ceil(8);
-    let (mut bp, mut dp) = (0usize, mask_len);
-    for (i, kind) in kinds(n_caches).enumerate() {
-        let bl = section_len(base, bp, kind);
-        if delta[i / 8] & (1 << (i % 8)) != 0 {
-            let tl = section_len(delta, dp, kind);
-            out.extend_from_slice(&delta[dp..dp + tl]);
-            dp += tl;
-        } else {
-            out.extend_from_slice(&base[bp..bp + bl]);
-        }
-        bp += bl;
+impl SectionMap {
+    /// The flat `n`-cache layout: `n` cache sections, one directory,
+    /// `(n+1)²` channels.
+    pub fn flat(n_caches: usize) -> Self {
+        SectionMap { caches: n_caches, dirs: 1, channels: (n_caches + 1) * (n_caches + 1) }
     }
-    debug_assert_eq!(bp, base.len(), "base is not a complete encoding");
-    debug_assert_eq!(dp, delta.len(), "trailing bytes after a complete delta");
+
+    /// A leveled layout: `cache_counts[jm]` blocks per machine level and
+    /// one `(parents, fanout)` subnet shape per protocol level, each
+    /// contributing `parents` directory sections and `parents·(fanout+1)²`
+    /// channel sections (the shape [`crate::HierChecker::topology`]
+    /// reports). `SectionMap::leveled(&[n], &[(1, n)])` equals
+    /// [`SectionMap::flat`]`(n)` — the layouts coincide by construction.
+    pub fn leveled(cache_counts: &[usize], subnets: &[(usize, usize)]) -> Self {
+        SectionMap {
+            caches: cache_counts.iter().sum(),
+            dirs: subnets.iter().map(|&(p, _)| p).sum(),
+            channels: subnets.iter().map(|&(p, f)| p * (f + 1) * (f + 1)).sum(),
+        }
+    }
+
+    /// Number of sections in an encoding of this layout.
+    pub fn section_count(&self) -> usize {
+        self.caches + self.dirs + self.channels + 1
+    }
+
+    /// Section kinds in encoding order.
+    fn kinds(&self) -> impl Iterator<Item = Kind> {
+        std::iter::repeat_n(Kind::Cache, self.caches)
+            .chain(std::iter::repeat_n(Kind::Dir, self.dirs))
+            .chain(std::iter::repeat_n(Kind::Channel, self.channels))
+            .chain(std::iter::once(Kind::Ghost))
+    }
+
+    /// Appends to `out` the delta that rewrites `base` into `target`.
+    /// Both must be complete encodings of this layout. Returns the
+    /// delta's length in bytes — callers fall back to storing `target`
+    /// verbatim when the delta is not actually smaller.
+    pub fn encode_delta(&self, base: &[u8], target: &[u8], out: &mut Vec<u8>) -> usize {
+        let mask_start = out.len();
+        out.resize(mask_start + self.section_count().div_ceil(8), 0);
+        let (mut bp, mut tp) = (0usize, 0usize);
+        for (i, kind) in self.kinds().enumerate() {
+            let bl = section_len(base, bp, kind);
+            let tl = section_len(target, tp, kind);
+            if base[bp..bp + bl] != target[tp..tp + tl] {
+                out[mask_start + i / 8] |= 1 << (i % 8);
+                out.extend_from_slice(&target[tp..tp + tl]);
+            }
+            bp += bl;
+            tp += tl;
+        }
+        debug_assert_eq!(bp, base.len(), "base is not a complete encoding");
+        debug_assert_eq!(tp, target.len(), "target is not a complete encoding");
+        out.len() - mask_start
+    }
+
+    /// Appends to `out` the full encoding reconstructed from `base` and a
+    /// `delta` produced by [`SectionMap::encode_delta`] against that same
+    /// base.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via slice bounds) when `delta` was not produced against
+    /// `base` under this layout — deltas only ever travel inside the
+    /// checker's frontier arenas, so a mismatch is a checker bug, not an
+    /// input condition.
+    pub fn apply_delta(&self, base: &[u8], delta: &[u8], out: &mut Vec<u8>) {
+        let mask_len = self.section_count().div_ceil(8);
+        let (mut bp, mut dp) = (0usize, mask_len);
+        for (i, kind) in self.kinds().enumerate() {
+            let bl = section_len(base, bp, kind);
+            if delta[i / 8] & (1 << (i % 8)) != 0 {
+                let tl = section_len(delta, dp, kind);
+                out.extend_from_slice(&delta[dp..dp + tl]);
+                dp += tl;
+            } else {
+                out.extend_from_slice(&base[bp..bp + bl]);
+            }
+            bp += bl;
+        }
+        debug_assert_eq!(bp, base.len(), "base is not a complete encoding");
+        debug_assert_eq!(dp, delta.len(), "trailing bytes after a complete delta");
+    }
+}
+
+/// [`SectionMap::encode_delta`] over the flat `n`-cache layout — the
+/// explorer's hot-path entry point.
+pub fn encode_delta(n_caches: usize, base: &[u8], target: &[u8], out: &mut Vec<u8>) -> usize {
+    SectionMap::flat(n_caches).encode_delta(base, target, out)
+}
+
+/// [`SectionMap::apply_delta`] over the flat `n`-cache layout.
+pub fn apply_delta(n_caches: usize, base: &[u8], delta: &[u8], out: &mut Vec<u8>) {
+    SectionMap::flat(n_caches).apply_delta(base, delta, out)
 }
 
 #[cfg(test)]
@@ -136,8 +188,18 @@ mod tests {
         for n in 2..=6usize {
             let s = SysState::initial(n);
             let dlen = roundtrip(n, &s, &s);
-            assert_eq!(dlen, section_count(n).div_ceil(8), "n={n}");
+            assert_eq!(dlen, SectionMap::flat(n).section_count().div_ceil(8), "n={n}");
         }
+    }
+
+    #[test]
+    fn leveled_one_level_layout_equals_flat() {
+        for n in 1..=6usize {
+            assert_eq!(SectionMap::leveled(&[n], &[(1, n)]), SectionMap::flat(n), "n={n}");
+        }
+        // A 2×2 two-level stack: 4+2 caches, 2+1 dirs, 2·9+9 channels.
+        let m = SectionMap::leveled(&[4, 2], &[(2, 2), (1, 2)]);
+        assert_eq!(m.section_count(), 6 + 3 + 27 + 1);
     }
 
     #[test]
@@ -149,7 +211,7 @@ mod tests {
         target.caches[2].pending = Some(Access::Store);
         let dlen = roundtrip(n, &base, &target);
         // Mask + the one rewritten cache section (7 bytes).
-        assert_eq!(dlen, section_count(n).div_ceil(8) + 7);
+        assert_eq!(dlen, SectionMap::flat(n).section_count().div_ceil(8) + 7);
         assert!(dlen < base.encode().len() / 2, "delta not smaller than full encoding");
     }
 

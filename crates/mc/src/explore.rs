@@ -349,7 +349,7 @@ fn vio_key(v: &VioCand) -> (u64, u32, u8, &str) {
 /// Classifies a runtime execution failure: state-level impossibilities
 /// are protocol violations the checker caught; structural ones are
 /// generator bugs.
-fn exec_violation(e: protogen_runtime::ExecError) -> ViolationKind {
+pub(crate) fn exec_violation(e: protogen_runtime::ExecError) -> ViolationKind {
     if e.is_state_error() {
         ViolationKind::IllegalAction(e.to_string())
     } else {
@@ -1293,10 +1293,10 @@ impl<'a> ModelChecker<'a> {
                 Step::Deliver { src, dst, idx } => {
                     let msg = state.channels[src as usize][dst as usize][idx as usize];
                     if dst as usize == state.n_caches() {
-                        cov.insert((MachineTag::Directory, state.dir.state, Event::Msg(msg.mtype)));
+                        cov.insert((MachineTag::DIRECTORY, state.dir.state, Event::Msg(msg.mtype)));
                     } else {
                         cov.insert((
-                            MachineTag::Cache,
+                            MachineTag::CACHE,
                             state.caches[dst as usize].state,
                             Event::Msg(msg.mtype),
                         ));
@@ -1304,7 +1304,7 @@ impl<'a> ModelChecker<'a> {
                 }
                 Step::IssueAccess { cache, access } => {
                     cov.insert((
-                        MachineTag::Cache,
+                        MachineTag::CACHE,
                         state.caches[cache as usize].state,
                         Event::Access(access),
                     ));

@@ -1,0 +1,1285 @@
+//! Hierarchical model checking: a composed protocol stack explored as one
+//! leveled system (DESIGN.md §12).
+//!
+//! The flat checker ([`crate::ModelChecker`]) verifies one protocol level:
+//! `n` caches under one directory. This module verifies a
+//! [`protogen_core::Composed`] stack — every *machine level* `jm` hosts
+//! `counts[jm]` nodes, each running the cache side of protocol level `jm`
+//! against its parent's directory, while (for `jm ≥ 1`) also hosting the
+//! directory of protocol level `jm - 1` for its own children. The cache
+//! side of level N *is* the directory side of level N+1.
+//!
+//! The glue between levels is never hand-specified; it is synthesized here
+//! from the [`protogen_core::GlueSpec`] needed-permission table:
+//!
+//! * **acquire** (outer-miss → inner-request forwarding): a request into
+//!   an inner directory is deliverable only while the hosting node's
+//!   *outer* block is in a stable state with at least the needed
+//!   permission; while it is not, the hosting node issues the
+//!   corresponding access (`Store` under the exclusive-at-parent
+//!   discipline) on its outer machine;
+//! * **release** (copy draining): a forward-class outer message into a
+//!   node is deliverable only once the node's inner subnet holds no data —
+//!   no child block and no in-flight inner message carries a value — so a
+//!   parent never gives up permission its children still use;
+//! * **writeback** (inner-eviction → outer-writeback): a node whose inner
+//!   subnet is fully quiescent may issue `Replacement` on its outer
+//!   machine, carrying the (synced) data back out.
+//!
+//! Parents are *data-transparent*: the ghost-memory discipline — store
+//! values cycle through the domain, the data-value invariant compares
+//! copies against the latest store — applies at machine level 0 (the
+//! leaves) only. A parent performing its glue `Store` keeps the data value
+//! delivered by the outer protocol instead of minting a new one, and data
+//! is synced between a node's outer block and its inner directory in both
+//! directions, so a value written by a leaf in one subnet flows up through
+//! writebacks and back down into another subnet unchanged. SWMR is checked
+//! per level (it is a per-protocol invariant); data-value and load-hit
+//! checks are leaf-only.
+//!
+//! Symmetry reduction uses the *wreath product* of per-level sibling
+//! permutations: children may be permuted within a parent and parents
+//! within their own level (children moving with them), but never across
+//! subtrees. Canonicalization is an exact minimum over the whole group
+//! (bounded; falls back to no reduction past [`MAX_GROUP`]), so — like the
+//! flat checker's exact sweep — the orbit partition is exact and a
+//! one-level composition visits exactly as many canonical states as the
+//! flat checker at the same cache count (pinned by the conformance tests).
+
+use crate::explore::{exec_violation, Violation, ViolationKind};
+use crate::property::PropertySet;
+use crate::store::fingerprint_bytes;
+use protogen_core::Composed;
+use protogen_runtime::{
+    apply_into, select_arc_indexed, ApplyOutcome, CacheBlock, DirEntry, FsmIndex, MachineCtx, Msg,
+    NodeId, Val,
+};
+use protogen_spec::{Access, Event, Fsm, FsmStateId, MsgClass, Perm};
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Instant;
+
+/// Largest wreath-product group the canonicalizer sweeps exactly; stacks
+/// whose group is bigger run without symmetry reduction. 8! covers every
+/// single-level system the flat checker handles and all the bundled
+/// compositions (2×2 MSI-under-MSI has a group of 8).
+pub const MAX_GROUP: usize = 40_320;
+
+/// Hierarchical checker configuration. Channel ordering is per level —
+/// taken from each level's SSP — so it is not configured here.
+#[derive(Debug, Clone)]
+pub struct HierConfig {
+    /// Abort exploration after this many canonical states.
+    pub max_states: usize,
+    /// Store values cycle through `0..value_domain` (leaf stores only;
+    /// parents are data-transparent).
+    pub value_domain: u8,
+    /// Error out when any subnet channel exceeds this length.
+    pub channel_cap: usize,
+    /// Which built-in properties to enforce. `swmr`/`single_writer` are
+    /// checked per level; `data_value` at the leaves; `deadlock_free`
+    /// with glue issues and copy-draining evictions counted as progress.
+    pub properties: PropertySet,
+    /// Canonicalize under the per-level sibling permutation group.
+    pub symmetry: bool,
+}
+
+impl Default for HierConfig {
+    fn default() -> Self {
+        HierConfig {
+            max_states: 20_000_000,
+            value_domain: 2,
+            channel_cap: 8,
+            properties: PropertySet::sc(),
+            symmetry: true,
+        }
+    }
+}
+
+/// One protocol level at runtime.
+struct LevelRt {
+    label: String,
+    fanout: usize,
+    ordered: bool,
+    cache_fsm: Fsm,
+    dir_fsm: Fsm,
+    cache_idx: FsmIndex,
+    dir_idx: FsmIndex,
+    /// Message class by `MsgId`, for glue gating.
+    classes: Vec<MsgClass>,
+    /// Needed outer permission by `MsgId` — `None` for the root level,
+    /// whose directory is never gated.
+    needed: Option<Vec<Perm>>,
+}
+
+/// A complete configuration of the leveled system (one explored state).
+///
+/// Indexing: `caches[jm][g]` is the outer block of machine-level-`jm` node
+/// `g`; `dirs[j][p]` is the directory of protocol level `j` serving subnet
+/// `p` (hosted by machine-level-`j+1` node `p`); `chans[j][p][src][dst]`
+/// is the subnet-local FIFO, where ids `0..fanout` are the children and
+/// `fanout` is the directory.
+#[derive(Debug, PartialEq, Eq)]
+pub struct HierState {
+    /// Outer cache blocks per machine level.
+    pub caches: Vec<Vec<CacheBlock>>,
+    /// Directory entries per protocol level.
+    pub dirs: Vec<Vec<DirEntry>>,
+    /// Subnet channels per protocol level.
+    pub chans: Vec<Vec<Vec<Vec<Vec<Msg>>>>>,
+    /// Ghost memory: the value of the most recent *leaf* store.
+    pub ghost: Val,
+}
+
+impl Clone for HierState {
+    fn clone(&self) -> Self {
+        HierState {
+            caches: self.caches.clone(),
+            dirs: self.dirs.clone(),
+            chans: self.chans.clone(),
+            ghost: self.ghost,
+        }
+    }
+
+    fn clone_from(&mut self, src: &Self) {
+        self.caches.clone_from(&src.caches);
+        self.dirs.clone_from(&src.dirs);
+        self.chans.clone_from(&src.chans);
+        self.ghost = src.ghost;
+    }
+}
+
+impl HierState {
+    /// Total in-flight messages across every subnet.
+    pub fn messages_in_flight(&self) -> usize {
+        self.chans.iter().flatten().flatten().flatten().map(|q| q.len()).sum()
+    }
+
+    /// Whether any node at any level has an outstanding transaction.
+    pub fn has_pending_access(&self) -> bool {
+        self.caches.iter().flatten().any(|c| c.pending.is_some())
+    }
+}
+
+/// One step of the leveled system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HStep {
+    /// Deliver `chans[level][parent][src][dst][idx]`.
+    Deliver {
+        /// Protocol level of the subnet.
+        level: u8,
+        /// Subnet (= hosting parent) index.
+        parent: u8,
+        /// Subnet-local source id.
+        src: u8,
+        /// Subnet-local destination id (`fanout` = the directory).
+        dst: u8,
+        /// Queue position.
+        idx: u8,
+    },
+    /// Node `node` at machine level `mlevel` issues `access` on its outer
+    /// cache machine. Leaf issues model core accesses; parent issues are
+    /// glue (acquire/writeback).
+    Issue {
+        /// Machine level of the issuing node.
+        mlevel: u8,
+        /// Node index within the level.
+        node: u8,
+        /// The access issued.
+        access: Access,
+    },
+}
+
+impl fmt::Display for HStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HStep::Deliver { level, parent, src, dst, idx } => {
+                write!(f, "deliver L{level}/p{parent}: n{src} -> n{dst} [{idx}]")
+            }
+            HStep::Issue { mlevel, node, access } => {
+                write!(f, "node L{mlevel}.{node} issues {access:?}")
+            }
+        }
+    }
+}
+
+/// One element of the wreath-product symmetry group: a node-index map per
+/// machine level (the root's is trivially `[0]`), with children always
+/// moving with their parents.
+struct HierPerm {
+    /// `maps[jm][old] = new` node index at machine level `jm`.
+    maps: Vec<Vec<u8>>,
+    /// `invs[jm][new] = old`.
+    invs: Vec<Vec<u8>>,
+}
+
+/// Outcome of a hierarchical checking run.
+#[derive(Debug, Clone)]
+pub struct HierResult {
+    /// Distinct canonical states visited.
+    pub states: usize,
+    /// Transitions fired.
+    pub transitions: usize,
+    /// The first violation in deterministic BFS order, if any.
+    pub violation: Option<Violation>,
+    /// Whether the state budget stopped exploration early.
+    pub hit_state_limit: bool,
+    /// Wall-clock seconds spent exploring.
+    pub seconds: f64,
+}
+
+impl HierResult {
+    /// Whether the stack passed every check over the whole space.
+    pub fn passed(&self) -> bool {
+        self.violation.is_none() && !self.hit_state_limit
+    }
+}
+
+/// Explicit-state checker for a composed protocol stack.
+pub struct HierChecker {
+    levels: Vec<LevelRt>,
+    /// Node count per machine level (`counts[depth()] == 1`, the root).
+    counts: Vec<usize>,
+    cfg: HierConfig,
+    perms: Vec<HierPerm>,
+}
+
+impl HierChecker {
+    /// Builds a checker for `composed` under `cfg`.
+    pub fn new(composed: &Composed, cfg: HierConfig) -> Self {
+        let k = composed.depth();
+        let levels: Vec<LevelRt> = composed
+            .levels
+            .iter()
+            .enumerate()
+            .map(|(j, l)| {
+                let g = &l.generated;
+                LevelRt {
+                    label: l.label.clone(),
+                    fanout: l.fanout,
+                    ordered: g.ssp.network_ordered,
+                    cache_idx: FsmIndex::new(&g.cache),
+                    dir_idx: FsmIndex::new(&g.directory),
+                    cache_fsm: g.cache.clone(),
+                    dir_fsm: g.directory.clone(),
+                    classes: g.ssp.messages.iter().map(|m| m.class).collect(),
+                    needed: (j + 1 < k).then(|| composed.glue[j].needed_perm.clone()),
+                }
+            })
+            .collect();
+        let counts: Vec<usize> = (0..=k).map(|jm| composed.node_count(jm)).collect();
+        let perms = if cfg.symmetry {
+            wreath_group(&levels, &counts).unwrap_or_else(|| vec![identity_perm(&counts)])
+        } else {
+            vec![identity_perm(&counts)]
+        };
+        HierChecker { levels, counts, cfg, perms }
+    }
+
+    /// Number of protocol levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Node counts per machine level, leaves first (the last entry is the
+    /// root's 1).
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Size of the symmetry group actually in use (1 when reduction is off
+    /// or the group exceeded [`MAX_GROUP`]).
+    pub fn group_size(&self) -> usize {
+        self.perms.len()
+    }
+
+    /// Cache counts per machine level paired with each level's subnet
+    /// shape `(parents, fanout)` — the topology the delta store's section
+    /// map is derived from.
+    pub fn topology(&self) -> (Vec<usize>, Vec<(usize, usize)>) {
+        let k = self.depth();
+        let caches = self.counts[..k].to_vec();
+        let subnets = (0..k).map(|j| (self.counts[j + 1], self.levels[j].fanout)).collect();
+        (caches, subnets)
+    }
+
+    /// The delta-compression section layout of this stack's encodings.
+    pub fn section_map(&self) -> crate::delta::SectionMap {
+        let (caches, subnets) = self.topology();
+        crate::delta::SectionMap::leveled(&caches, &subnets)
+    }
+
+    /// The initial state: every block invalid, every directory initial
+    /// holding value 0, no messages.
+    pub fn initial(&self) -> HierState {
+        let k = self.depth();
+        HierState {
+            caches: (0..k).map(|jm| vec![CacheBlock::new(); self.counts[jm]]).collect(),
+            dirs: (0..k).map(|j| vec![DirEntry::new(0); self.counts[j + 1]]).collect(),
+            chans: (0..k)
+                .map(|j| {
+                    let total = self.levels[j].fanout + 1;
+                    vec![vec![vec![Vec::new(); total]; total]; self.counts[j + 1]]
+                })
+                .collect(),
+            ghost: 0,
+        }
+    }
+
+    /// The node's effective outer permission for glue gating: its stable
+    /// permission, or `None` while in a transient state. Gating on stable
+    /// states only keeps children from being granted copies mid-parent-
+    /// transaction.
+    fn eff_perm(&self, s: &HierState, jm: usize, node: usize) -> Perm {
+        let st = self.levels[jm].cache_fsm.state(s.caches[jm][node].state);
+        if st.is_stable() {
+            st.perm
+        } else {
+            Perm::None
+        }
+    }
+
+    /// Whether any data lives in the subnet of protocol level `j` under
+    /// parent `p` — in a child block or in any in-flight message. One
+    /// level down suffices: a node only drops its own data after its own
+    /// subnet drained, so "child data-free" implies "subtree data-free".
+    fn has_copies(&self, s: &HierState, j: usize, p: usize) -> bool {
+        let f = self.levels[j].fanout;
+        s.caches[j][p * f..(p + 1) * f].iter().any(|c| c.data.is_some())
+            || s.chans[j][p].iter().flatten().flatten().any(|m| m.data.is_some())
+    }
+
+    /// Whether node `node` (machine level `jm ≥ 1`) may write its line
+    /// back out: every child block back to initial, no in-flight inner
+    /// message, and its inner directory stable with no owner or sharers.
+    fn inner_quiescent(&self, s: &HierState, jm: usize, node: usize) -> bool {
+        let j = jm - 1;
+        let f = self.levels[j].fanout;
+        let initial = CacheBlock::new();
+        let dir = &s.dirs[j][node];
+        s.caches[j][node * f..(node + 1) * f].iter().all(|c| *c == initial)
+            && s.chans[j][node].iter().flatten().all(|q| q.is_empty())
+            && self.levels[j].dir_fsm.state(dir.state).is_stable()
+            && dir.owner.is_none()
+            && dir.sharers == 0
+            && dir.chain_slots.is_empty()
+    }
+
+    /// All candidate steps from `state`, in canonical order: deliveries by
+    /// `(level, parent, src, dst, idx)`, then leaf accesses by
+    /// `(node, access)`, then glue issues by `(mlevel, node)`. A pure
+    /// function of `state`, so traces are identical run to run. For a
+    /// one-level composition this is exactly the flat checker's order.
+    fn steps_into(&self, s: &HierState, out: &mut Vec<HStep>) {
+        out.clear();
+        let k = self.depth();
+        for j in 0..k {
+            let lvl = &self.levels[j];
+            let total = lvl.fanout + 1;
+            for p in 0..self.counts[j + 1] {
+                for src in 0..total {
+                    for dst in 0..total {
+                        let q = &s.chans[j][p][src][dst];
+                        if q.is_empty() {
+                            continue;
+                        }
+                        let last = if lvl.ordered { 1 } else { q.len() };
+                        for idx in 0..last {
+                            out.push(HStep::Deliver {
+                                level: j as u8,
+                                parent: p as u8,
+                                src: src as u8,
+                                dst: dst as u8,
+                                idx: idx as u8,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        for node in 0..self.counts[0] {
+            for access in Access::ALL {
+                out.push(HStep::Issue { mlevel: 0, node: node as u8, access });
+            }
+        }
+        // Glue issues: acquires for gated inner requests, writebacks for
+        // quiescent subnets. One outstanding outer transaction per node.
+        for jm in 1..k {
+            let j = jm - 1;
+            let f = self.levels[j].fanout;
+            let needed = self.levels[j].needed.as_ref().expect("non-root level has glue");
+            for node in 0..self.counts[jm] {
+                let block = &s.caches[jm][node];
+                if block.pending.is_some() {
+                    continue;
+                }
+                let eff = self.eff_perm(s, jm, node);
+                let (mut want_load, mut want_store) = (false, false);
+                for src in 0..=f {
+                    for m in &s.chans[j][node][src][f] {
+                        if self.levels[j].classes[m.mtype.as_usize()] != MsgClass::Request {
+                            continue;
+                        }
+                        match needed[m.mtype.as_usize()] {
+                            need if need <= eff => {}
+                            Perm::Read => want_load = true,
+                            Perm::ReadWrite => want_store = true,
+                            Perm::None => {}
+                        }
+                    }
+                }
+                if want_load {
+                    out.push(HStep::Issue {
+                        mlevel: jm as u8,
+                        node: node as u8,
+                        access: Access::Load,
+                    });
+                }
+                if want_store {
+                    out.push(HStep::Issue {
+                        mlevel: jm as u8,
+                        node: node as u8,
+                        access: Access::Store,
+                    });
+                }
+                let st = self.levels[jm].cache_fsm.state(block.state);
+                if st.is_stable()
+                    && block.state != FsmStateId(0)
+                    && self.inner_quiescent(s, jm, node)
+                {
+                    out.push(HStep::Issue {
+                        mlevel: jm as u8,
+                        node: node as u8,
+                        access: Access::Replacement,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Computes the successor of `state` for `step` into the scratch state
+    /// `succ`. Returns `Ok(false)` when the step is not enabled — gated by
+    /// glue, stalled, absent arc, busy node — and `succ` is garbage then.
+    fn successor_into(
+        &self,
+        state: &HierState,
+        step: HStep,
+        succ: &mut HierState,
+        outcome: &mut ApplyOutcome,
+    ) -> Result<bool, ViolationKind> {
+        match step {
+            HStep::Deliver { level, parent, src, dst, idx } => self.deliver_into(
+                state,
+                level as usize,
+                parent as usize,
+                src as usize,
+                dst as usize,
+                idx as usize,
+                succ,
+                outcome,
+            ),
+            HStep::Issue { mlevel, node, access } => {
+                self.issue_into(state, mlevel as usize, node as usize, access, succ, outcome)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn deliver_into(
+        &self,
+        state: &HierState,
+        j: usize,
+        p: usize,
+        src: usize,
+        dst: usize,
+        idx: usize,
+        succ: &mut HierState,
+        outcome: &mut ApplyOutcome,
+    ) -> Result<bool, ViolationKind> {
+        let lvl = &self.levels[j];
+        let f = lvl.fanout;
+        let msg = state.chans[j][p][src][dst][idx];
+        let event = Event::Msg(msg.mtype);
+        let k = self.depth();
+        if dst == f {
+            // Into the level-j directory, hosted by machine-level-(j+1)
+            // node p. Acquire gating: below the root, a request needs the
+            // hosting node to hold enough outer permission.
+            if j + 1 < k
+                && lvl.classes[msg.mtype.as_usize()] == MsgClass::Request
+                && lvl.needed.as_ref().expect("non-root level has glue")[msg.mtype.as_usize()]
+                    > self.eff_perm(state, j + 1, p)
+            {
+                return Ok(false);
+            }
+            let entry = &state.dirs[j][p];
+            let arc = select_arc_indexed(
+                &lvl.dir_fsm,
+                &lvl.dir_idx,
+                entry.state,
+                event,
+                Some(&msg),
+                None,
+                Some(entry),
+            );
+            let Some(arc) = arc else {
+                return Err(ViolationKind::UnexpectedMessage(format!(
+                    "{msg} at {} directory p{p} in {}",
+                    lvl.label,
+                    lvl.dir_fsm.state(entry.state).full_name()
+                )));
+            };
+            if arc.kind == protogen_spec::ArcKind::Stall {
+                return Ok(false);
+            }
+            succ.clone_from(state);
+            succ.chans[j][p][src][dst].remove(idx);
+            let pre_dir_data = state.dirs[j][p].data;
+            apply_into(
+                &lvl.dir_fsm,
+                arc,
+                Some(&msg),
+                MachineCtx::Dir { entry: &mut succ.dirs[j][p], self_id: NodeId(f as u8) },
+                (state.ghost + 1) % self.cfg.value_domain,
+                outcome,
+            )
+            .map_err(exec_violation)?;
+            // Writebacks landing in the directory refresh the hosting
+            // node's outer copy, so the value rides outer evictions and
+            // forwards unchanged.
+            if j + 1 < k
+                && succ.dirs[j][p].data != pre_dir_data
+                && succ.caches[j + 1][p].data.is_some()
+            {
+                succ.caches[j + 1][p].data = Some(succ.dirs[j][p].data);
+            }
+            self.route(succ, j, p, outcome)?;
+            Ok(true)
+        } else {
+            // Into the cache side of machine-level-j node g. Release
+            // gating: a forward must wait until g's inner subnet holds no
+            // data.
+            let g = p * f + dst;
+            if j >= 1
+                && lvl.classes[msg.mtype.as_usize()] == MsgClass::Forward
+                && self.has_copies(state, j - 1, g)
+            {
+                return Ok(false);
+            }
+            let block = &state.caches[j][g];
+            let arc = select_arc_indexed(
+                &lvl.cache_fsm,
+                &lvl.cache_idx,
+                block.state,
+                event,
+                Some(&msg),
+                Some(block),
+                None,
+            );
+            let Some(arc) = arc else {
+                return Err(ViolationKind::UnexpectedMessage(format!(
+                    "{msg} at node L{j}.{g} in {}",
+                    lvl.cache_fsm.state(block.state).full_name()
+                )));
+            };
+            if arc.kind == protogen_spec::ArcKind::Stall {
+                return Ok(false);
+            }
+            succ.clone_from(state);
+            succ.chans[j][p][src][dst].remove(idx);
+            let store_value = (state.ghost + 1) % self.cfg.value_domain;
+            let pre_data = state.caches[j][g].data;
+            apply_into(
+                &lvl.cache_fsm,
+                arc,
+                Some(&msg),
+                MachineCtx::Cache {
+                    block: &mut succ.caches[j][g],
+                    self_id: NodeId(dst as u8),
+                    dir_id: NodeId(f as u8),
+                },
+                if j == 0 { store_value } else { state.ghost },
+                outcome,
+            )
+            .map_err(exec_violation)?;
+            if j == 0 {
+                if let Some((Access::Store, _)) = outcome.performed {
+                    succ.ghost = store_value;
+                }
+            } else {
+                // Data-transparent parent: a completed glue Store keeps
+                // the value the outer protocol delivered instead of the
+                // minted store value, and never advances the ghost.
+                let blk = &mut succ.caches[j][g];
+                if let Some((Access::Store, _)) = outcome.performed {
+                    blk.data = msg.data.or(pre_data);
+                }
+                if blk.data != pre_data {
+                    if let Some(v) = blk.data {
+                        succ.dirs[j - 1][g].data = v;
+                    }
+                }
+            }
+            self.route(succ, j, p, outcome)?;
+            Ok(true)
+        }
+    }
+
+    fn issue_into(
+        &self,
+        state: &HierState,
+        jm: usize,
+        node: usize,
+        access: Access,
+        succ: &mut HierState,
+        outcome: &mut ApplyOutcome,
+    ) -> Result<bool, ViolationKind> {
+        let lvl = &self.levels[jm];
+        let f = lvl.fanout;
+        let block = &state.caches[jm][node];
+        let arc = select_arc_indexed(
+            &lvl.cache_fsm,
+            &lvl.cache_idx,
+            block.state,
+            Event::Access(access),
+            None,
+            Some(block),
+            None,
+        );
+        let Some(arc) = arc else { return Ok(false) };
+        if arc.kind == protogen_spec::ArcKind::Stall {
+            return Ok(false);
+        }
+        let is_hit = arc.actions.iter().any(|a| matches!(a, protogen_spec::Action::PerformAccess));
+        if !is_hit && block.pending.is_some() {
+            // One outstanding transaction per block per node (§V-F).
+            return Ok(false);
+        }
+        succ.clone_from(state);
+        let (local, parent) = (node % f, node / f);
+        let store_value = (state.ghost + 1) % self.cfg.value_domain;
+        let pre_data = block.data;
+        apply_into(
+            &lvl.cache_fsm,
+            arc,
+            None,
+            MachineCtx::Cache {
+                block: &mut succ.caches[jm][node],
+                self_id: NodeId(local as u8),
+                dir_id: NodeId(f as u8),
+            },
+            if jm == 0 { store_value } else { state.ghost },
+            outcome,
+        )
+        .map_err(exec_violation)?;
+        if jm == 0 {
+            match outcome.performed {
+                Some((Access::Store, _)) => succ.ghost = store_value,
+                Some((Access::Load, Some(v)))
+                    if self.cfg.properties.data_value && v != state.ghost =>
+                {
+                    return Err(ViolationKind::DataValue(format!(
+                        "leaf node L0.{node} load hit returned {v}, expected {}",
+                        state.ghost
+                    )));
+                }
+                _ => {}
+            }
+        } else {
+            let blk = &mut succ.caches[jm][node];
+            if let Some((Access::Store, _)) = outcome.performed {
+                blk.data = pre_data;
+            }
+            if blk.data != pre_data {
+                if let Some(v) = blk.data {
+                    succ.dirs[jm - 1][node].data = v;
+                }
+            }
+        }
+        self.route(succ, jm, parent, outcome)?;
+        Ok(true)
+    }
+
+    /// Injects the outcome's outgoing messages into the acting machine's
+    /// subnet, checking the capacity bound.
+    fn route(
+        &self,
+        succ: &mut HierState,
+        j: usize,
+        p: usize,
+        outcome: &ApplyOutcome,
+    ) -> Result<(), ViolationKind> {
+        for i in 0..outcome.outgoing.len() {
+            let m = outcome.outgoing[i];
+            let q = &mut succ.chans[j][p][m.src.as_usize()][m.dst.as_usize()];
+            q.push(m);
+            if q.len() > self.cfg.channel_cap {
+                return Err(ViolationKind::ChannelOverflow(format!(
+                    "channel L{j}/p{p} n{}→n{} exceeded {}",
+                    m.src.0, m.dst.0, self.cfg.channel_cap
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// State-level properties: per-level SWMR / single-writer, leaf-level
+    /// data-value.
+    fn check_state(&self, s: &HierState) -> Option<ViolationKind> {
+        let props = &self.cfg.properties;
+        if props.swmr || props.single_writer {
+            for (jm, lvl) in self.levels.iter().enumerate() {
+                let mut writer: Option<usize> = None;
+                let mut reader: Option<usize> = None;
+                for (i, c) in s.caches[jm].iter().enumerate() {
+                    match lvl.cache_fsm.state(c.state).perm {
+                        Perm::ReadWrite => {
+                            if let Some(w) = writer {
+                                return Some(ViolationKind::Swmr(format!(
+                                    "level {} nodes {w} and {i} both hold write permission",
+                                    lvl.label
+                                )));
+                            }
+                            writer = Some(i);
+                        }
+                        Perm::Read => reader = Some(i),
+                        Perm::None => {}
+                    }
+                }
+                if props.swmr {
+                    if let (Some(w), Some(r)) = (writer, reader) {
+                        return Some(ViolationKind::Swmr(format!(
+                            "level {} node {w} holds write permission while {r} holds read \
+                             permission",
+                            lvl.label
+                        )));
+                    }
+                }
+            }
+        }
+        if props.data_value {
+            let fsm = &self.levels[0].cache_fsm;
+            for (i, c) in s.caches[0].iter().enumerate() {
+                let st = fsm.state(c.state);
+                if st.is_stable()
+                    && st.perm >= Perm::Read
+                    && st.data_valid
+                    && c.data != Some(s.ghost)
+                {
+                    return Some(ViolationKind::DataValue(format!(
+                        "leaf node L0.{i} in {} holds {:?}, expected {}",
+                        st.full_name(),
+                        c.data,
+                        s.ghost
+                    )));
+                }
+            }
+        }
+        None
+    }
+
+    /// Streams the byte encoding of the state under `perm` into `sink`.
+    /// Sections are laid out exactly like the flat encoding — all cache
+    /// blocks (levels leaf-first), then all directory entries, then all
+    /// channels, then the ghost byte, with identical per-section byte
+    /// formats — so the delta store's section map generalizes over both.
+    fn encode_permuted(&self, s: &HierState, perm: &HierPerm, sink: &mut Vec<u8>) {
+        let k = self.depth();
+        for jm in 0..k {
+            let f = self.levels[jm].fanout;
+            for g2 in 0..self.counts[jm] {
+                let g = perm.invs[jm][g2] as usize;
+                let p = g / f;
+                let map_local = |id: NodeId| -> u8 {
+                    let c = id.as_usize();
+                    if c < f {
+                        perm.maps[jm][p * f + c] % f as u8
+                    } else {
+                        id.0
+                    }
+                };
+                let c = &s.caches[jm][g];
+                let state = u16::try_from(c.state.0).expect("state id exceeds u16");
+                sink.extend_from_slice(&state.to_le_bytes());
+                sink.push(c.data.map_or(0xff, |v| v));
+                sink.push(c.acks_received);
+                sink.push(c.acks_expected.map_or(0xff, |v| v));
+                sink.push(match c.pending {
+                    None => 0xff,
+                    Some(Access::Load) => 0,
+                    Some(Access::Store) => 1,
+                    Some(Access::Replacement) => 2,
+                });
+                sink.push(c.chain_slots.len() as u8);
+                for (nid, a) in &c.chain_slots {
+                    sink.push(map_local(*nid));
+                    sink.push(*a);
+                }
+            }
+        }
+        for j in 0..k {
+            let f = self.levels[j].fanout;
+            for p2 in 0..self.counts[j + 1] {
+                let p = perm.invs[j + 1][p2] as usize;
+                let map_local = |id: NodeId| -> u8 {
+                    let c = id.as_usize();
+                    if c < f {
+                        perm.maps[j][p * f + c] % f as u8
+                    } else {
+                        id.0
+                    }
+                };
+                let dir = &s.dirs[j][p];
+                let state = u16::try_from(dir.state.0).expect("state id exceeds u16");
+                sink.extend_from_slice(&state.to_le_bytes());
+                sink.push(dir.owner.map_or(0xff, &map_local));
+                let mut sharers = 0u8;
+                for c in 0..f {
+                    if dir.sharers & (1 << c) != 0 {
+                        sharers |= 1 << (perm.maps[j][p * f + c] % f as u8);
+                    }
+                }
+                sink.push(sharers);
+                sink.push(dir.data);
+                sink.push(dir.chain_slots.len() as u8);
+                for (nid, a) in &dir.chain_slots {
+                    sink.push(map_local(*nid));
+                    sink.push(*a);
+                }
+            }
+        }
+        for j in 0..k {
+            let f = self.levels[j].fanout;
+            for p2 in 0..self.counts[j + 1] {
+                let p = perm.invs[j + 1][p2] as usize;
+                let map_local = |id: NodeId| -> u8 {
+                    let c = id.as_usize();
+                    if c < f {
+                        perm.maps[j][p * f + c] % f as u8
+                    } else {
+                        id.0
+                    }
+                };
+                let inv_local = |c2: usize| -> usize {
+                    if c2 < f {
+                        perm.invs[j][p2 * f + c2] as usize % f
+                    } else {
+                        c2
+                    }
+                };
+                for s2 in 0..=f {
+                    let src = inv_local(s2);
+                    for d2 in 0..=f {
+                        let dst = inv_local(d2);
+                        let q = &s.chans[j][p][src][dst];
+                        sink.push(q.len() as u8);
+                        for m in q {
+                            sink.extend_from_slice(&m.mtype.0.to_le_bytes());
+                            sink.push(map_local(m.src));
+                            sink.push(map_local(m.dst));
+                            sink.push(map_local(m.req));
+                            sink.push(m.ack_count.map_or(0xff, |v| v));
+                            sink.push(m.data.map_or(0xff, |v| v));
+                        }
+                    }
+                }
+            }
+        }
+        sink.push(s.ghost);
+    }
+
+    /// Decodes an identity-permutation encoding back into `s`.
+    fn decode_into(&self, bytes: &[u8], s: &mut HierState) {
+        let mut pos = 0usize;
+        let next = |pos: &mut usize| {
+            let b = bytes[*pos];
+            *pos += 1;
+            b
+        };
+        let opt = |b: u8| if b == 0xff { None } else { Some(b) };
+        let k = self.depth();
+        for jm in 0..k {
+            for g in 0..self.counts[jm] {
+                let c = &mut s.caches[jm][g];
+                let lo = next(&mut pos);
+                let hi = next(&mut pos);
+                c.state = FsmStateId(u16::from_le_bytes([lo, hi]) as u32);
+                c.data = opt(next(&mut pos));
+                c.acks_received = next(&mut pos);
+                c.acks_expected = opt(next(&mut pos));
+                c.pending = match next(&mut pos) {
+                    0xff => None,
+                    0 => Some(Access::Load),
+                    1 => Some(Access::Store),
+                    2 => Some(Access::Replacement),
+                    b => panic!("bad pending-access byte {b}"),
+                };
+                let slots = next(&mut pos);
+                c.chain_slots.clear();
+                for _ in 0..slots {
+                    let nid = NodeId(next(&mut pos));
+                    let a = next(&mut pos);
+                    c.chain_slots.push((nid, a));
+                }
+            }
+        }
+        for j in 0..k {
+            for p in 0..self.counts[j + 1] {
+                let dir = &mut s.dirs[j][p];
+                let lo = next(&mut pos);
+                let hi = next(&mut pos);
+                dir.state = FsmStateId(u16::from_le_bytes([lo, hi]) as u32);
+                dir.owner = opt(next(&mut pos)).map(NodeId);
+                dir.sharers = next(&mut pos);
+                dir.data = next(&mut pos);
+                let slots = next(&mut pos);
+                dir.chain_slots.clear();
+                for _ in 0..slots {
+                    let nid = NodeId(next(&mut pos));
+                    let a = next(&mut pos);
+                    dir.chain_slots.push((nid, a));
+                }
+            }
+        }
+        for j in 0..k {
+            let f = self.levels[j].fanout;
+            for p in 0..self.counts[j + 1] {
+                for src in 0..=f {
+                    for dst in 0..=f {
+                        let q = &mut s.chans[j][p][src][dst];
+                        q.clear();
+                        let len = next(&mut pos);
+                        for _ in 0..len {
+                            let lo = next(&mut pos);
+                            let hi = next(&mut pos);
+                            q.push(Msg {
+                                mtype: protogen_spec::MsgId(u16::from_le_bytes([lo, hi])),
+                                src: NodeId(next(&mut pos)),
+                                dst: NodeId(next(&mut pos)),
+                                req: NodeId(next(&mut pos)),
+                                ack_count: opt(next(&mut pos)),
+                                data: opt(next(&mut pos)),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        s.ghost = next(&mut pos);
+        assert_eq!(pos, bytes.len(), "trailing bytes after a complete state decode");
+    }
+
+    /// The canonical (minimum over the symmetry group) encoding of `s`,
+    /// left in `best`. Exact: every group element is swept.
+    fn canonical_into(&self, s: &HierState, best: &mut Vec<u8>, cur: &mut Vec<u8>) {
+        best.clear();
+        self.encode_permuted(s, &self.perms[0], best);
+        for perm in &self.perms[1..] {
+            cur.clear();
+            self.encode_permuted(s, perm, cur);
+            if *cur < *best {
+                std::mem::swap(best, cur);
+            }
+        }
+    }
+
+    /// Runs breadth-first exploration until exhaustion, a violation, or
+    /// the state limit. Single-threaded and fully deterministic.
+    pub fn check(&self) -> HierResult {
+        let start = Instant::now();
+        let mut encs: Vec<Vec<u8>> = Vec::new();
+        let mut meta: Vec<(u32, Option<HStep>)> = Vec::new();
+        let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
+        let mut best = Vec::new();
+        let mut cur = Vec::new();
+        let mut state = self.initial();
+        let mut succ = self.initial();
+        let mut outcome = ApplyOutcome::default();
+        let mut steps_buf: Vec<HStep> = Vec::new();
+        let mut transitions = 0usize;
+        let mut violation: Option<Violation> = None;
+        let mut hit_limit = false;
+
+        self.canonical_into(&self.initial(), &mut best, &mut cur);
+        buckets.insert(fingerprint_bytes(&best), vec![0]);
+        encs.push(best.clone());
+        meta.push((0, None));
+
+        let mut at = 0usize;
+        'outer: while at < encs.len() {
+            self.decode_into(&encs[at], &mut state);
+            self.steps_into(&state, &mut steps_buf);
+            let mut progress = false;
+            let k = self.depth();
+            for &step in &steps_buf {
+                match self.successor_into(&state, step, &mut succ, &mut outcome) {
+                    Err(kind) => {
+                        violation = Some(self.build_violation(&meta, at, Some(step), kind));
+                        break 'outer;
+                    }
+                    Ok(false) => {}
+                    Ok(true) => {
+                        match step {
+                            HStep::Deliver { .. } => progress = true,
+                            HStep::Issue { mlevel, node, access } if k > 1 => {
+                                // Glue issues unblock gated work; so does a
+                                // leaf eviction draining a copy a gated
+                                // forward waits on. Fresh leaf demands
+                                // only add transactions.
+                                if mlevel >= 1
+                                    || (access == Access::Replacement
+                                        && state.caches[0][node as usize].data.is_some())
+                                {
+                                    progress = true;
+                                }
+                            }
+                            HStep::Issue { .. } => {}
+                        }
+                        transitions += 1;
+                        if let Some(kind) = self.check_state(&succ) {
+                            violation = Some(self.build_violation(&meta, at, Some(step), kind));
+                            break 'outer;
+                        }
+                        self.canonical_into(&succ, &mut best, &mut cur);
+                        let fp = fingerprint_bytes(&best);
+                        let bucket = buckets.entry(fp).or_default();
+                        if !bucket.iter().any(|&i| encs[i as usize] == best) {
+                            bucket.push(encs.len() as u32);
+                            encs.push(best.clone());
+                            meta.push((at as u32, Some(step)));
+                        }
+                    }
+                }
+            }
+            if !progress
+                && self.cfg.properties.deadlock_free
+                && (state.messages_in_flight() > 0 || state.has_pending_access())
+            {
+                violation = Some(self.build_violation(&meta, at, None, ViolationKind::Deadlock));
+                break;
+            }
+            at += 1;
+            if encs.len() >= self.cfg.max_states {
+                hit_limit = true;
+                break;
+            }
+        }
+
+        HierResult {
+            states: encs.len(),
+            transitions,
+            violation,
+            hit_state_limit: hit_limit,
+            seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    fn build_violation(
+        &self,
+        meta: &[(u32, Option<HStep>)],
+        at: usize,
+        last: Option<HStep>,
+        kind: ViolationKind,
+    ) -> Violation {
+        let mut steps = Vec::new();
+        let mut i = at;
+        while let (parent, Some(step)) = meta[i] {
+            steps.push(step.to_string());
+            i = parent as usize;
+        }
+        steps.reverse();
+        if let Some(step) = last {
+            steps.push(step.to_string());
+        }
+        steps.push(format!("=> {kind}"));
+        Violation { kind, trace: steps }
+    }
+
+    /// A breadth-first sample of reachable canonical encodings (`limit`
+    /// states in deterministic BFS order), for the delta-store property
+    /// tests. Violating or disabled successors are skipped.
+    pub fn sample_encodings(&self, limit: usize) -> Vec<Vec<u8>> {
+        let mut encs: Vec<Vec<u8>> = Vec::new();
+        let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
+        let mut best = Vec::new();
+        let mut cur = Vec::new();
+        let mut state = self.initial();
+        let mut succ = self.initial();
+        let mut outcome = ApplyOutcome::default();
+        let mut steps_buf: Vec<HStep> = Vec::new();
+        self.canonical_into(&self.initial(), &mut best, &mut cur);
+        buckets.insert(fingerprint_bytes(&best), vec![0]);
+        encs.push(best.clone());
+        let mut at = 0usize;
+        while at < encs.len() && encs.len() < limit {
+            self.decode_into(&encs[at], &mut state);
+            self.steps_into(&state, &mut steps_buf);
+            for &step in &steps_buf {
+                if encs.len() >= limit {
+                    break;
+                }
+                if let Ok(true) = self.successor_into(&state, step, &mut succ, &mut outcome) {
+                    if self.check_state(&succ).is_some() {
+                        continue;
+                    }
+                    self.canonical_into(&succ, &mut best, &mut cur);
+                    let fp = fingerprint_bytes(&best);
+                    let bucket = buckets.entry(fp).or_default();
+                    if !bucket.iter().any(|&i| encs[i as usize] == best) {
+                        bucket.push(encs.len() as u32);
+                        encs.push(best.clone());
+                    }
+                }
+            }
+            at += 1;
+        }
+        encs
+    }
+}
+
+fn identity_perm(counts: &[usize]) -> HierPerm {
+    let maps: Vec<Vec<u8>> = counts.iter().map(|&n| (0..n as u8).collect()).collect();
+    HierPerm { invs: maps.clone(), maps }
+}
+
+/// Permutations of `0..n` (fanouts are at most 8).
+fn local_perms(n: usize) -> Vec<Vec<u8>> {
+    crate::system::permutations(n)
+}
+
+/// The wreath-product group over the stack's topology: for each machine
+/// level below the root, independently permute the children of every
+/// parent, composing with the parent's own (already chosen) new position.
+/// `None` when the group exceeds [`MAX_GROUP`].
+fn wreath_group(levels: &[LevelRt], counts: &[usize]) -> Option<Vec<HierPerm>> {
+    let k = levels.len();
+    let mut size = 1usize;
+    for jm in 0..k {
+        let f = levels[jm].fanout;
+        let fact: usize = (1..=f).product();
+        for _ in 0..counts[jm + 1] {
+            size = size.checked_mul(fact)?;
+            if size > MAX_GROUP {
+                return None;
+            }
+        }
+    }
+    // Partial maps, root-first: start with the trivial root map and extend
+    // downward one machine level at a time.
+    let mut partials: Vec<Vec<Vec<u8>>> = vec![vec![vec![0]]];
+    for jm in (0..k).rev() {
+        let f = levels[jm].fanout;
+        let sigmas = local_perms(f);
+        let mut next: Vec<Vec<Vec<u8>>> = Vec::new();
+        for partial in &partials {
+            // partial[0] is the map for machine level jm+1.
+            let parent_map = &partial[0];
+            // One sibling permutation choice per parent: iterate the
+            // cartesian product via a mixed-radix counter.
+            let parents = counts[jm + 1];
+            let mut choice = vec![0usize; parents];
+            loop {
+                let mut map = vec![0u8; counts[jm]];
+                for (p, &ci) in choice.iter().enumerate() {
+                    let sigma = &sigmas[ci];
+                    for c in 0..f {
+                        map[p * f + c] = parent_map[p] * f as u8 + sigma[c];
+                    }
+                }
+                let mut ext = Vec::with_capacity(partial.len() + 1);
+                ext.push(map);
+                ext.extend(partial.iter().cloned());
+                next.push(ext);
+                // Advance the counter.
+                let mut d = 0;
+                loop {
+                    if d == parents {
+                        break;
+                    }
+                    choice[d] += 1;
+                    if choice[d] < sigmas.len() {
+                        break;
+                    }
+                    choice[d] = 0;
+                    d += 1;
+                }
+                if d == parents {
+                    break;
+                }
+            }
+        }
+        partials = next;
+    }
+    Some(
+        partials
+            .into_iter()
+            .map(|maps| {
+                let invs = maps.iter().map(|m| crate::system::invert(m)).collect();
+                HierPerm { maps, invs }
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protogen_core::{compose, GenConfig};
+    use protogen_protocols::{flat_composition, msi_under_msi};
+
+    fn checker(comp: &protogen_spec::Composition, cfg: HierConfig) -> HierChecker {
+        let composed = compose(comp, &GenConfig::stalling()).unwrap();
+        HierChecker::new(&composed, cfg)
+    }
+
+    #[test]
+    fn wreath_group_size_matches_topology() {
+        let hc = checker(&msi_under_msi(2, 2), HierConfig::default());
+        // 2 sibling swaps per L2 subnet × 2 subnets × 1 swap of the L2s.
+        assert_eq!(hc.group_size(), 8);
+        assert_eq!(hc.counts(), &[4, 2, 1]);
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let hc = checker(&msi_under_msi(2, 2), HierConfig::default());
+        let encs = hc.sample_encodings(50);
+        assert!(encs.len() > 10, "sampled only {}", encs.len());
+        let mut s = hc.initial();
+        let mut best = Vec::new();
+        let mut cur = Vec::new();
+        for enc in &encs {
+            hc.decode_into(enc, &mut s);
+            hc.canonical_into(&s, &mut best, &mut cur);
+            assert_eq!(&best, enc, "canonical encodings must be decode-stable");
+        }
+    }
+
+    #[test]
+    fn symmetric_states_share_a_canonical_encoding() {
+        let hc = checker(&msi_under_msi(2, 2), HierConfig::default());
+        let mut a = hc.initial();
+        a.caches[0][0].data = Some(1);
+        let mut b = hc.initial();
+        b.caches[0][3].data = Some(1);
+        let (mut ba, mut bb, mut cur) = (Vec::new(), Vec::new(), Vec::new());
+        hc.canonical_into(&a, &mut ba, &mut cur);
+        hc.canonical_into(&b, &mut bb, &mut cur);
+        assert_eq!(ba, bb);
+        // But a leaf and an L2 holding data are NOT symmetric.
+        let mut c = hc.initial();
+        c.caches[1][0].data = Some(1);
+        let mut bc = Vec::new();
+        hc.canonical_into(&c, &mut bc, &mut cur);
+        assert_ne!(ba, bc);
+    }
+
+    #[test]
+    fn one_level_composition_checks_clean() {
+        let comp = flat_composition("msi", 2).unwrap();
+        let hc = checker(&comp, HierConfig::default());
+        let res = hc.check();
+        assert!(res.passed(), "{:?}", res.violation);
+        assert!(res.states > 100);
+    }
+}

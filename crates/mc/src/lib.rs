@@ -51,16 +51,18 @@ mod canon;
 mod delta;
 mod explore;
 mod frontier;
+mod hier;
 mod property;
 mod spill;
 mod store;
 mod system;
 
 pub use canon::{cache_sort_key, Canonicalizer};
-pub use delta::{apply_delta, encode_delta};
+pub use delta::{apply_delta, encode_delta, SectionMap};
 pub use explore::{
     CheckResult, McConfig, ModelChecker, ResourceLimit, Step, StoreMode, Violation, ViolationKind,
 };
+pub use hier::{HStep, HierChecker, HierConfig, HierResult, HierState, MAX_GROUP};
 pub use property::{
     DataValue, DeadlockFree, Predicate, Property, PropertyCtx, PropertySet, SingleWriter, Swmr,
 };

@@ -8,8 +8,11 @@
 //! them — must reconstruct every link of the chain.
 
 use proptest::prelude::*;
-use protogen_core::{generate, GenConfig};
-use protogen_mc::{apply_delta, encode_delta, McConfig, ModelChecker, SysState};
+use protogen_core::{compose, generate, GenConfig};
+use protogen_mc::{
+    apply_delta, encode_delta, HierChecker, HierConfig, McConfig, ModelChecker, SectionMap,
+    SysState,
+};
 use std::sync::OnceLock;
 
 /// The sampled corpora: for MSI and MESI (non-stalling — the richer
@@ -42,6 +45,19 @@ fn assert_roundtrip(n: usize, base: &SysState, target: &SysState) -> usize {
     assert_eq!(rebuilt, et, "delta did not reconstruct the target encoding");
     assert_eq!(&SysState::decode(&rebuilt, n), target, "decode is not the end-to-end inverse");
     dlen
+}
+
+/// A composed-protocol corpus: reachable canonical encodings of the
+/// 2×2 MSI-under-MSI stack, paired with the leveled section map derived
+/// from the checker's topology.
+fn hier_corpus() -> &'static (SectionMap, Vec<Vec<u8>>) {
+    static CORPUS: OnceLock<(SectionMap, Vec<Vec<u8>>)> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let comp = protogen_protocols::msi_under_msi(2, 2);
+        let composed = compose(&comp, &GenConfig::stalling()).unwrap();
+        let hc = HierChecker::new(&composed, HierConfig::default());
+        (hc.section_map(), hc.sample_encodings(250))
+    })
 }
 
 proptest! {
@@ -89,5 +105,29 @@ proptest! {
             assert_eq!(&SysState::decode(&rebuilt, n), target);
             prev_full = rebuilt;
         }
+    }
+
+    /// The leveled section map deltas composed-protocol encodings with
+    /// the same lossless contract as the flat one: any reachable state of
+    /// the 2×2 MSI-under-MSI stack reconstructs byte-for-byte from a
+    /// delta against any other.
+    #[test]
+    fn composed_deltas_round_trip_between_reachable_states(
+        a in any::<usize>(),
+        b in any::<usize>(),
+    ) {
+        let (map, encs) = hier_corpus();
+        let base = &encs[a % encs.len()];
+        let target = &encs[b % encs.len()];
+        let mut delta = Vec::new();
+        let dlen = map.encode_delta(base, target, &mut delta);
+        assert_eq!(dlen, delta.len());
+        let mut rebuilt = Vec::new();
+        map.apply_delta(base, &delta, &mut rebuilt);
+        assert_eq!(&rebuilt, target, "leveled delta did not reconstruct the target");
+        // Self-deltas compress to the bare mask.
+        let mut self_delta = Vec::new();
+        let self_len = map.encode_delta(base, base, &mut self_delta);
+        assert_eq!(self_len, map.section_count().div_ceil(8));
     }
 }

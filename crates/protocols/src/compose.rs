@@ -1,0 +1,52 @@
+//! Built-in hierarchical compositions (DESIGN.md §12).
+
+use protogen_spec::{Composition, LevelSpec};
+
+/// Two-level MSI: `fanout_l1` L1 caches per L2 running MSI, `fanout_l2`
+/// L2s under the root directory, also running MSI.
+pub fn msi_under_msi(fanout_l1: usize, fanout_l2: usize) -> Composition {
+    Composition {
+        name: "msi_under_msi".into(),
+        levels: vec![
+            LevelSpec { label: "l1".into(), ssp: crate::msi(), fanout: fanout_l1 },
+            LevelSpec { label: "llc".into(), ssp: crate::msi(), fanout: fanout_l2 },
+        ],
+    }
+}
+
+/// MSI L1s under a MESI outer level: the L2s acquire from the root with
+/// MESI (exclusive-clean state, silent upgrade) while serving their L1s
+/// with MSI.
+pub fn msi_under_mesi(fanout_l1: usize, fanout_l2: usize) -> Composition {
+    Composition {
+        name: "msi_under_mesi".into(),
+        levels: vec![
+            LevelSpec { label: "l1".into(), ssp: crate::msi(), fanout: fanout_l1 },
+            LevelSpec { label: "llc".into(), ssp: crate::mesi(), fanout: fanout_l2 },
+        ],
+    }
+}
+
+/// A one-level composition over any built-in protocol: `fanout` caches
+/// under the root directory. Semantically identical to the flat system at
+/// the same cache count — the conformance tests pin that identity.
+pub fn flat_composition(name: &str, fanout: usize) -> Option<Composition> {
+    let ssp = crate::by_name(name)?;
+    Some(Composition {
+        name: format!("{name}_flat"),
+        levels: vec![LevelSpec { label: "l1".into(), ssp, fanout }],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_compositions_validate() {
+        msi_under_msi(2, 2).validate().unwrap();
+        msi_under_mesi(2, 2).validate().unwrap();
+        flat_composition("msi", 3).unwrap().validate().unwrap();
+        assert!(flat_composition("nope", 2).is_none());
+    }
+}

@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compose;
 mod mesi;
 mod mosi;
 mod msi;
@@ -33,6 +34,7 @@ mod sanity;
 mod si_sd;
 mod tso_cc;
 
+pub use compose::{flat_composition, msi_under_mesi, msi_under_msi};
 pub use mesi::mesi;
 pub use mosi::mosi;
 pub use msi::msi;

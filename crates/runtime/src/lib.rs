@@ -28,7 +28,7 @@ mod index;
 mod msg;
 mod state;
 
-pub use coverage::{MachineTag, PairSet, StateEventPair};
+pub use coverage::{MachineRole, MachineTag, PairSet, StateEventPair};
 pub use exec::{
     apply, apply_into, select_arc, select_arc_indexed, ApplyOutcome, ExecError, MachineCtx,
 };

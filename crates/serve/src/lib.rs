@@ -48,7 +48,7 @@ mod service;
 pub use service::serve;
 
 use protogen_mc::{McConfig, ModelChecker};
-use protogen_runtime::{MachineTag, PairSet, StateEventPair};
+use protogen_runtime::{MachineRole, PairSet, StateEventPair};
 use protogen_sim::{Histogram, Json, Workload};
 use protogen_spec::{Access, Event, Fsm};
 use std::error::Error;
@@ -264,9 +264,9 @@ impl ServeReport {
 /// Human-readable label for a coverage pair, e.g. `cache M × Fwd_GetS`.
 pub fn pair_label(cache: &Fsm, dir: &Fsm, pair: &StateEventPair) -> String {
     let (tag, state, event) = pair;
-    let (who, fsm) = match tag {
-        MachineTag::Cache => ("cache", cache),
-        MachineTag::Directory => ("dir", dir),
+    let (who, fsm) = match tag.role {
+        MachineRole::Cache => ("cache", cache),
+        MachineRole::Directory => ("dir", dir),
     };
     let ev = match event {
         Event::Access(Access::Load) => "Load".to_string(),

@@ -258,7 +258,7 @@ impl<'s, 'f> CacheWorker<'s, 'f> {
             outcome: ApplyOutcome::default(),
             queues: (0..sh.fabric.nodes()).map(|_| VecDeque::new()).collect(),
             out: WorkerOut {
-                tag: MachineTag::Cache,
+                tag: MachineTag::CACHE,
                 coverage: DenseCoverage::new(sh.cache_fsm),
                 miss_latency_ns: Vec::new(),
                 hits: 0,
@@ -471,7 +471,7 @@ impl<'s, 'f> DirWorker<'s, 'f> {
             outcome: ApplyOutcome::default(),
             queues: (0..sh.fabric.nodes()).map(|_| VecDeque::new()).collect(),
             out: WorkerOut {
-                tag: MachineTag::Directory,
+                tag: MachineTag::DIRECTORY,
                 coverage: DenseCoverage::new(sh.dir_fsm),
                 miss_latency_ns: Vec::new(),
                 hits: 0,

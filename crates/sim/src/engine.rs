@@ -186,9 +186,9 @@ impl<'a> Engine<'a> {
         let a = addr as usize;
         if let Some(cov) = self.coverage.as_mut() {
             let pair = if is_dir {
-                (MachineTag::Directory, self.dirs[a].state, event)
+                (MachineTag::DIRECTORY, self.dirs[a].state, event)
             } else {
-                (MachineTag::Cache, self.caches[dst][a].state, event)
+                (MachineTag::CACHE, self.caches[dst][a].state, event)
             };
             cov.insert(pair);
         }
@@ -298,7 +298,7 @@ impl<'a> Engine<'a> {
             let a = op.addr as usize;
             let event = Event::Access(op.access);
             if let Some(cov) = self.coverage.as_mut() {
-                cov.insert((MachineTag::Cache, self.caches[c][a].state, event));
+                cov.insert((MachineTag::CACHE, self.caches[c][a].state, event));
             }
             let arc = select_arc_indexed(
                 self.cache_fsm,

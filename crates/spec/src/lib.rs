@@ -46,6 +46,7 @@
 
 mod action;
 mod builder;
+mod compose;
 mod error;
 mod fsm;
 mod guard;
@@ -56,6 +57,7 @@ mod validate;
 
 pub use action::{AckSrc, Action, DataSrc, Dst, ReqField, SendSpec};
 pub use builder::SspBuilder;
+pub use compose::{validate_interface, Composition, LevelSpec, MAX_FANOUT};
 pub use error::SpecError;
 pub use fsm::{
     AccessSummary, Arc, ArcKind, ArcNote, ChainLink, Event, Fsm, FsmState, FsmStateId,
