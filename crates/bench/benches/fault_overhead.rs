@@ -1,0 +1,134 @@
+//! Overhead benchmark for the two robustness features: deterministic
+//! fault injection in the live service and epoch checkpointing in the
+//! model checker.
+//!
+//! Both features are *off by default*; this bench quantifies what
+//! turning them on costs, and hard-asserts that neither changes results:
+//!
+//! * **serve**: MSI (non-stalling) at 2 cache workers, 100k uniform
+//!   50%-store operations, once in the perfect world and once under the
+//!   full fault schedule (delays + stalls + squeezes + one crash/recovery
+//!   cycle per cache). Both runs must quiesce inside the model-checked
+//!   envelope with zero escapes; the faulted run must complete its
+//!   planned crashes and lose no lines. Reported: ops/sec each, the
+//!   slowdown ratio, and the fault counters.
+//! * **mc**: MSI stalling at 3 caches, once plain and once writing a
+//!   checkpoint every 2 epochs to a temp directory. Reported: seconds
+//!   each and the overhead percentage; state/transition counts are
+//!   hard-asserted identical (checkpointing must never change the
+//!   exploration).
+//!
+//! Writes `BENCH_faults.json` at the workspace root. No baseline gate —
+//! the numbers are recorded for trend-watching; the correctness asserts
+//! are the only failure conditions, so plain `cargo bench` never fails
+//! on a slow laptop.
+
+use protogen_bench::{write_report, Json};
+use protogen_core::{generate, GenConfig};
+use protogen_mc::{McConfig, ModelChecker};
+use protogen_serve::{checked_envelope, pair_label, serve, FaultConfig, ServeConfig, StopReason};
+use std::path::PathBuf;
+
+const SERVE_OPS: usize = 100_000;
+const SERVE_WORKERS: usize = 2;
+
+fn tmpdir() -> PathBuf {
+    let d = std::env::temp_dir().join(format!("protogen-bench-ck-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("temp checkpoint dir");
+    d
+}
+
+fn main() {
+    let ssp = protogen_protocols::msi();
+    let g = generate(&ssp, &GenConfig::non_stalling()).expect("msi generates");
+
+    let mut mc_cfg = McConfig::with_caches(SERVE_WORKERS);
+    mc_cfg.ordered = ssp.network_ordered;
+    let envelope = checked_envelope(&g.cache, &g.directory, mc_cfg).expect("envelope run passes");
+
+    println!("=== fault_overhead: MSI non-stalling, {SERVE_WORKERS} workers, {SERVE_OPS} ops ===");
+    let run = |faults: Option<FaultConfig>| {
+        let mut cfg = ServeConfig::new(SERVE_WORKERS);
+        cfg.total_ops = SERVE_OPS;
+        cfg.seed = 7;
+        cfg.max_seconds = 120.0;
+        cfg.faults = faults;
+        let report = serve(&g.cache, &g.directory, &cfg).expect("service run completes");
+        assert_eq!(report.stop_reason, StopReason::Quiesced, "run must quiesce");
+        let escapes = report.escapes(&envelope);
+        assert!(
+            escapes.is_empty(),
+            "run escaped the verified envelope: {:?}",
+            escapes.iter().map(|p| pair_label(&g.cache, &g.directory, p)).collect::<Vec<_>>()
+        );
+        report
+    };
+
+    let clean = run(None);
+    let faulted = run(Some(FaultConfig::all(7)));
+    let fs = faulted.faults.expect("faulted run reports fault stats");
+    assert_eq!(fs.crashes_completed, fs.planned_crashes, "every planned crash must recover");
+    assert_eq!(fs.lines_lost, 0, "recovery must not lose lines");
+
+    let slowdown = clean.ops_per_sec() / faulted.ops_per_sec();
+    println!(
+        "{:>9} {:>13.0} ops/sec\n{:>9} {:>13.0} ops/sec  (slowdown {slowdown:.2}x, \
+         {} crashes recovered, {} recovery writebacks, {} delays, {} stalls)",
+        "clean",
+        clean.ops_per_sec(),
+        "faulted",
+        faulted.ops_per_sec(),
+        fs.crashes_completed,
+        fs.recovery_writebacks,
+        fs.delays_injected,
+        fs.stalls_injected,
+    );
+
+    // Checkpoint overhead: same exploration, once plain and once writing
+    // epoch snapshots. Counts must match exactly.
+    let ck_ssp = protogen_protocols::msi();
+    let ck = generate(&ck_ssp, &GenConfig::stalling()).expect("msi stalling generates");
+    let base_cfg = McConfig::with_caches(3);
+    let plain = ModelChecker::new(&ck.cache, &ck.directory, base_cfg.clone()).run();
+    assert!(plain.passed(), "plain verification must pass: {:?}", plain.violation);
+
+    let dir = tmpdir();
+    let mut cfg = base_cfg;
+    cfg.checkpoint_dir = Some(dir.clone());
+    cfg.checkpoint_every = 2;
+    let checked = ModelChecker::new(&ck.cache, &ck.directory, cfg).run();
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(checked.states, plain.states, "checkpointing must not change the exploration");
+    assert_eq!(checked.transitions, plain.transitions, "transition counts must match");
+
+    let ck_overhead_pct = (checked.seconds / plain.seconds - 1.0) * 100.0;
+    println!(
+        "mc MSI@3 stalling: plain {:.3}s, checkpointed {:.3}s ({ck_overhead_pct:+.1}% overhead, \
+         {} states)",
+        plain.seconds, checked.seconds, plain.states
+    );
+
+    let doc = Json::obj([
+        (
+            "serve_workload",
+            Json::Str(format!(
+                "MSI non-stalling, uniform-50, {SERVE_WORKERS} workers, {SERVE_OPS} ops"
+            )),
+        ),
+        ("serve_ops_per_sec_clean", Json::F64(clean.ops_per_sec())),
+        ("serve_ops_per_sec_faulted", Json::F64(faulted.ops_per_sec())),
+        ("serve_fault_slowdown", Json::F64(slowdown)),
+        ("serve_crashes_completed", Json::U64(fs.crashes_completed)),
+        ("serve_recovery_writebacks", Json::U64(fs.recovery_writebacks)),
+        ("serve_delays_injected", Json::U64(fs.delays_injected)),
+        ("serve_stalls_injected", Json::U64(fs.stalls_injected)),
+        ("serve_squeeze_parks", Json::U64(fs.squeeze_parks)),
+        ("mc_workload", Json::Str("MSI stalling, 3 caches, checkpoint every 2 epochs".into())),
+        ("mc_states", Json::U64(plain.states as u64)),
+        ("mc_seconds_plain", Json::F64(plain.seconds)),
+        ("mc_seconds_checkpointed", Json::F64(checked.seconds)),
+        ("mc_checkpoint_overhead_pct", Json::F64(ck_overhead_pct)),
+    ]);
+    write_report("BENCH_faults.json", &doc);
+}

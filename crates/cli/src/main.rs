@@ -4,6 +4,7 @@
 //! protogen table   <protocol> [--stalling] [--machine cache|dir] [--markdown]
 //! protogen verify  <protocol> [--stalling] [--caches N] [--threads N] [--max-states N]
 //!                  [--mem-budget BYTES] [--store full|delta|fp-only] [--spill-chunk BYTES]
+//!                  [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
 //! protogen verify  --compose l1=msi:2,llc=mesi [--stalling] [--max-states N]
 //! protogen dot     <protocol> [--stalling] [--machine cache|dir]
 //! protogen murphi  <protocol> [--stalling] [--caches N]
@@ -14,6 +15,8 @@
 //! protogen serve   <protocol> [--stalling] [--caches N] [--dir-shards N] [--addrs N]
 //!                  [--workload W] [--store-pct P] [--ops N] [--seed N]
 //!                  [--duration SECS] [--mailbox-cap N] [--threads N] [--json]
+//!                  [--faults delay,stall,squeeze,crash|all] [--fault-seed N]
+//!                  [--crash-at-op N]
 //! protogen sweep   [--protocols a,b] [--caches 2,4] [--accesses N] [--seed N]
 //!                  [--threads N] [--list] [--out DIR] [--json]
 //! protogen fuzz    [--seed N] [--mutants N] [--threads N] [--budget N]
@@ -44,6 +47,21 @@
 //! any budget. `--store delta` delta-compresses frontier encodings;
 //! `--store fp-only` keeps only 64-bit fingerprints (least RAM, no
 //! counterexample trace, collision bound printed with the result).
+//!
+//! `verify --checkpoint-dir` snapshots the exploration at epoch
+//! boundaries (every `--checkpoint-every` depths, default 8) into a
+//! checksummed, versioned checkpoint; after a crash or `kill -9`,
+//! `--resume` continues from the newest committed checkpoint and produces
+//! byte-identical states, transitions, and violation traces. Flat
+//! verification only (not `--compose`).
+//!
+//! `serve --faults` injects a seeded, replayable fault schedule into the
+//! live run: FIFO-preserving delivery delays, bounded worker stalls,
+//! transient mailbox-capacity squeezes, and full cache crashes recovered
+//! through ordinary replacement traffic. Every fault schedule must stay
+//! inside the verified envelope; the JSON report carries structured
+//! fault/recovery counters and a `stop_reason` (exit 3 on `deadline`,
+//! 4 on an unfinished fault plan).
 //!
 //! `sim` workloads: uniform, zipfian, producer-consumer, migratory,
 //! false-sharing, private — or `--trace file.trc` to replay a trace.
@@ -76,7 +94,9 @@ use protogen_backend::{
 use protogen_core::{compose, generate, Composed, GenConfig, Generated};
 use protogen_litmus::{run_suite, Limits};
 use protogen_mc::{HierChecker, HierConfig, McConfig, ModelChecker, PropertySet, StoreMode};
-use protogen_serve::{checked_envelope, pair_label, serve, ServeConfig, ServeError};
+use protogen_serve::{
+    checked_envelope, pair_label, serve, FaultConfig, ServeConfig, ServeError, StopReason,
+};
 use protogen_sim::{
     parse_trace, run_sweep, simulate, Json, LatencyDist, NetModel, SimConfig, SweepConfig, Workload,
 };
@@ -128,6 +148,11 @@ impl Args {
                         | "property"
                         | "tests"
                         | "depth"
+                        | "checkpoint-dir"
+                        | "checkpoint-every"
+                        | "faults"
+                        | "fault-seed"
+                        | "crash-at-op"
                 );
                 if needs_value {
                     let v = it.next().unwrap_or_default();
@@ -251,12 +276,43 @@ fn verify(g: &Generated, ssp: &Ssp, args: &Args, n: usize, threads: usize) -> bo
             }
         }
     }
+    if let Some(dir) = args.value("checkpoint-dir") {
+        cfg.checkpoint_dir = Some(std::path::PathBuf::from(dir));
+    }
+    if let Some(v) = args.value("checkpoint-every") {
+        match v.parse() {
+            Ok(n) if n >= 1 => cfg.checkpoint_every = n,
+            _ => {
+                eprintln!("bad --checkpoint-every `{v}` (whole epochs, at least 1)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let resume = args.flag("resume");
+    if resume && cfg.checkpoint_dir.is_none() {
+        eprintln!("--resume requires --checkpoint-dir (where the checkpoints live)");
+        std::process::exit(2);
+    }
     // Default to the property contract the protocol declares; `--property`
     // overrides it (e.g. `--property sc` to demonstrate that TSO-CC
     // really does trade SWMR away).
     cfg.properties = property_set(ssp, args);
     let fp_only = cfg.store == StoreMode::FpOnly;
-    let r = ModelChecker::new(&g.cache, &g.directory, cfg).run();
+    let mc = ModelChecker::new(&g.cache, &g.directory, cfg);
+    let r = if resume {
+        match mc.resume() {
+            Ok(r) => r,
+            Err(e) => {
+                // Corruption and mismatches are hard errors, never a
+                // silent fresh start: a "PASSED" that quietly re-ran from
+                // scratch would misrepresent what was verified.
+                eprintln!("cannot resume: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        mc.run()
+    };
     println!(
         "{}: {} — {} states, {} transitions, {:.2}s ({:.0} states/s) on {} thread{}",
         ssp.name,
@@ -400,6 +456,12 @@ fn compose_cmd(cmd: &str, comp: &Composition, args: &Args) -> ExitCode {
     let composed = compose_or_exit(comp, args);
     match cmd {
         "verify" => {
+            if args.value("checkpoint-dir").is_some() || args.flag("resume") {
+                // The hierarchical checker is single-threaded with its own
+                // store layout; checkpoint/resume covers flat runs only.
+                eprintln!("--checkpoint-dir/--resume are not supported with --compose");
+                return ExitCode::from(2);
+            }
             if verify_composed(&composed, comp, args) {
                 ExitCode::SUCCESS
             } else {
@@ -570,6 +632,46 @@ fn serve_cmd(ssp: &Ssp, g: &Generated, args: &Args, caches: usize, threads: usiz
         Ok(w) => w,
         Err(e) => return usage_err(e),
     };
+    if let Some(list) = args.value("faults") {
+        // The fault seed defaults to the workload seed: one seed replays
+        // the whole run, faults included.
+        let seed = match args.value("fault-seed").map(str::parse).transpose() {
+            Ok(s) => s.unwrap_or(cfg.seed),
+            Err(_) => {
+                return usage_err(format!(
+                    "bad --fault-seed `{}`",
+                    args.value("fault-seed").unwrap()
+                ))
+            }
+        };
+        let mut fc = FaultConfig::none(seed);
+        for item in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            match item {
+                "all" => fc = FaultConfig::all(seed),
+                "delay" | "delays" => fc.delays = true,
+                "stall" | "stalls" => fc.stalls = true,
+                "squeeze" | "squeezes" => fc.squeezes = true,
+                "crash" | "crashes" => fc.crashes = fc.crashes.max(1),
+                other => {
+                    return usage_err(format!(
+                        "bad --faults item `{other}` (delay, stall, squeeze, crash, or all)"
+                    ))
+                }
+            }
+        }
+        if let Some(v) = args.value("crash-at-op") {
+            match v.parse() {
+                Ok(n) => {
+                    fc.crash_at_op = Some(n);
+                    fc.crashes = fc.crashes.max(1);
+                }
+                Err(_) => return usage_err(format!("bad --crash-at-op `{v}`")),
+            }
+        }
+        cfg.faults = Some(fc);
+    } else if args.value("crash-at-op").is_some() {
+        return usage_err("--crash-at-op requires --faults (e.g. --faults crash)".into());
+    }
 
     // The envelope: exhaustive pair coverage at the same cache count. Runs
     // first so a protocol the checker rejects never goes live. Progress
@@ -645,10 +747,26 @@ fn serve_cmd(ssp: &Ssp, g: &Generated, args: &Args, caches: usize, threads: usiz
             envelope.len(),
             if escapes.is_empty() { "yes" } else { "NO" }
         );
+        println!("  stop reason: {}", report.stop_reason.label());
+        if let Some(fs) = &report.faults {
+            println!(
+                "  faults: {}/{} crash recoveries, {} recovery writeback(s), {} delay(s), \
+                 {} stall(s), {} squeeze park(s){}",
+                fs.crashes_completed,
+                fs.planned_crashes,
+                fs.recovery_writebacks,
+                fs.delays_injected,
+                fs.stalls_injected,
+                fs.squeeze_parks,
+                if fs.lines_lost > 0 {
+                    format!(", {} LINE(S) LOST", fs.lines_lost)
+                } else {
+                    String::new()
+                }
+            );
+        }
     }
-    if escapes.is_empty() {
-        ExitCode::SUCCESS
-    } else {
+    if !escapes.is_empty() {
         eprintln!(
             "COVERAGE ESCAPE: {} live pair(s) the model checker never visited:",
             escapes.len()
@@ -656,7 +774,18 @@ fn serve_cmd(ssp: &Ssp, g: &Generated, args: &Args, caches: usize, threads: usiz
         for p in &escapes {
             eprintln!("  {}", pair_label(&g.cache, &g.directory, p));
         }
-        ExitCode::FAILURE
+        return ExitCode::FAILURE;
+    }
+    match report.stop_reason {
+        StopReason::Quiesced => ExitCode::SUCCESS,
+        StopReason::Deadline => {
+            eprintln!("run stopped at the wall-clock deadline — partial measurements only");
+            ExitCode::from(3)
+        }
+        StopReason::Fault => {
+            eprintln!("fault plan did not complete (crash point never reached) — inconclusive");
+            ExitCode::from(4)
+        }
     }
 }
 

@@ -59,8 +59,8 @@ pub use compose::{apply_glue, glue_control, run_composed_mutant, GlueMutation};
 pub use harness::{quick_check_config, run_mutant, Outcome, RunResult};
 pub use mutate::{apply, apply_all, site_count, Inapplicable, MutOp, Mutation};
 pub use run::{
-    derive_mutant, negative_controls, run_fuzz, run_glue_control, Control, ControlRecord,
-    FuzzConfig, FuzzReport, MutantRecord, MutantSpec, ShrunkCase, LABELS,
+    derive_mutant, negative_controls, run_fuzz, run_glue_control, run_recovery_control, Control,
+    ControlRecord, FuzzConfig, FuzzReport, MutantRecord, MutantSpec, ShrunkCase, LABELS,
 };
 pub use script::{Script, ScriptError};
 pub use shrink::{shrink, Shrunk};

@@ -381,6 +381,76 @@ fn run_control(c: &Control, bases: &dyn Fn(&str) -> Option<Ssp>, budget: usize) 
     }
 }
 
+/// Runs the crash-recovery negative control: a live `serve` run whose
+/// crashed cache uses the planted [`unsafe_reset`] recovery bug —
+/// dropping its lines without the write-back/invalidate traffic — which
+/// the serve-side conformance oracle (protocol error, envelope escape,
+/// or a non-quiescent stop reason) must flag. The other controls
+/// calibrate the *checker's* oracles; this one calibrates the *live
+/// run's*.
+///
+/// The live run is multi-threaded, so which seed first produces a
+/// non-vacuous caught run can vary with scheduling; the record carries
+/// only the aggregate verdict and fixed text, keeping the fuzz report
+/// byte-identical across thread counts.
+///
+/// [`unsafe_reset`]: protogen_serve::FaultConfig::unsafe_reset
+pub fn run_recovery_control(budget: usize) -> ControlRecord {
+    use protogen_serve::{checked_envelope, serve, FaultConfig, ServeConfig, StopReason};
+
+    let name = "serve-crash-recovery-drops-lines";
+    let miss = |detail: &str| ControlRecord {
+        name,
+        outcome: "silent-pass".into(),
+        family: None,
+        detail: detail.into(),
+        caught: false,
+    };
+    let ssp = protogen_protocols::msi();
+    let Ok(g) = protogen_core::generate(&ssp, &protogen_core::GenConfig::non_stalling()) else {
+        return miss("base protocol failed to generate");
+    };
+    // MSI@2 exhausts in well under the default quick-check budget; raise
+    // the cap for generous budgets so the envelope is never partial.
+    let mut mc_cfg = protogen_mc::McConfig::with_caches(2);
+    mc_cfg.max_states = mc_cfg.max_states.max(budget);
+    let Ok(envelope) = checked_envelope(&g.cache, &g.directory, mc_cfg) else {
+        return miss("envelope verification failed");
+    };
+    for seed in 0..5u64 {
+        let mut cfg = ServeConfig::new(2);
+        cfg.dir_shards = 2;
+        cfg.n_addrs = 4;
+        cfg.total_ops = 8_000;
+        cfg.mailbox_cap = 16;
+        // Store-heavy: the crashed cache almost surely holds lines to lose.
+        cfg.workload = protogen_sim::Workload::Uniform { store_pct: 90 };
+        cfg.seed = seed;
+        cfg.faults =
+            Some(FaultConfig { crashes: 1, unsafe_reset: true, ..FaultConfig::none(seed) });
+        let caught = match serve(&g.cache, &g.directory, &cfg) {
+            Err(_) => true, // dropped state made a later message unhandleable
+            Ok(report) => {
+                if report.faults.is_some_and(|f| f.lines_lost == 0) {
+                    continue; // vacuous: nothing was held at the crash point
+                }
+                !report.escapes(&envelope).is_empty() || report.stop_reason != StopReason::Quiesced
+            }
+        };
+        if caught {
+            return ControlRecord {
+                name,
+                outcome: "rejected-by-oracle".into(),
+                family: Some("serve-conformance".into()),
+                detail: "planted lossy crash recovery flagged by the live-run oracle".into(),
+                caught: true,
+            };
+        }
+        return miss("lines were lost but no oracle fired");
+    }
+    miss("every seed was vacuous (no lines held at the crash point)")
+}
+
 /// Runs the composed negative control: MSI-under-MSI 2×2 with the `GetM`
 /// glue gate weakened `ReadWrite → Read` (see [`crate::compose`]), checked
 /// hierarchically. The flat controls calibrate the flat pipeline; this one
@@ -422,6 +492,7 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> Result<FuzzReport, String> {
         .map(|c| run_control(c, &|n| protogen_protocols::by_name(n), cfg.budget))
         .collect();
     controls.push(run_glue_control(cfg.budget));
+    controls.push(run_recovery_control(cfg.budget));
 
     let threads = cfg.effective_threads();
     let bases_ref = &bases;
@@ -534,6 +605,13 @@ mod tests {
             let rec = run_control(&c, &|n| protogen_protocols::by_name(n), 200_000);
             assert_eq!(rec.family.as_deref(), Some(family), "{name}: {}", rec.detail);
         }
+    }
+
+    #[test]
+    fn recovery_control_is_caught_by_the_live_oracle() {
+        let rec = run_recovery_control(20_000);
+        assert!(rec.caught, "{}: {} — {}", rec.name, rec.outcome, rec.detail);
+        assert_eq!(rec.family.as_deref(), Some("serve-conformance"));
     }
 
     #[test]

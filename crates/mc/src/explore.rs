@@ -89,6 +89,17 @@ pub struct McConfig {
     /// can force spilling on tiny state spaces; the default of 1 MiB is
     /// right for real runs.
     pub spill_chunk_bytes: usize,
+    /// Directory for epoch-boundary checkpoints. `None` — the default —
+    /// disables checkpointing. When set, every [`McConfig::checkpoint_every`]-th
+    /// BFS level writes a committed, checksummed snapshot of the visited
+    /// store and frontier, and [`ModelChecker::resume`] can restart a
+    /// killed run from the newest one with byte-identical results (see
+    /// `crate::checkpoint` and DESIGN.md §13).
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Checkpoint cadence in BFS levels (a checkpoint is written on
+    /// entering each depth divisible by this). Values below 1 are treated
+    /// as 1. Only meaningful when [`McConfig::checkpoint_dir`] is set.
+    pub checkpoint_every: u32,
 }
 
 /// How the checker stores visited/frontier states (the tiered-store
@@ -154,6 +165,8 @@ impl Default for McConfig {
             mem_budget_bytes: 0,
             store: StoreMode::Full,
             spill_chunk_bytes: 1 << 20,
+            checkpoint_dir: None,
+            checkpoint_every: 8,
         }
     }
 }
@@ -445,18 +458,18 @@ impl CheckResult {
 /// tail) plus the state's shard-local id and fingerprint. The fingerprint
 /// rides along so expansion never touches the store.
 #[derive(Debug, Clone, Copy)]
-struct FrontEntry {
+pub(crate) struct FrontEntry {
     /// Global arena offset. `usize`, not `u32`: a single shard's level
     /// arena can exceed 4 GiB at raised `--max-states` (shard capacity is
     /// 2^27 states; ~120 B of encoding each), and a truncated offset
     /// would silently decode a wrong-but-plausible state next epoch.
-    off: usize,
-    len: u32,
-    lid: u32,
+    pub(crate) off: usize,
+    pub(crate) len: u32,
+    pub(crate) lid: u32,
     /// Whether the bytes are a delta against the previous entry's full
     /// encoding rather than a full encoding themselves.
-    delta: bool,
-    fp: u64,
+    pub(crate) delta: bool,
+    pub(crate) fp: u64,
 }
 
 /// Consecutive delta entries allowed before a full-encoding restart.
@@ -478,10 +491,10 @@ const DELTA_RESTART: u32 = 64;
 /// streamed back in next epoch. `off` in entries is *global* — chunk
 /// flushing never rewrites the index.
 #[derive(Debug, Default)]
-struct FrontierBuf {
+pub(crate) struct FrontierBuf {
     /// The hot tail: bytes `spilled_off..` of the global arena.
-    bytes: Vec<u8>,
-    index: Vec<FrontEntry>,
+    pub(crate) bytes: Vec<u8>,
+    pub(crate) index: Vec<FrontEntry>,
     /// Global offset of `bytes[0]` (= bytes already spilled).
     spilled_off: usize,
     /// `(global_off, len, file_off)` per spilled chunk, in offset order.
@@ -564,6 +577,35 @@ impl FrontierBuf {
     /// Cumulative `(payload bytes, chunks)` spilled by this arena.
     fn spill_totals(&self) -> (u64, u64) {
         self.spill.as_ref().map_or((0, 0), |s| (s.total_written(), s.total_chunks()))
+    }
+
+    /// Materializes the arena's *global* byte string for the checkpoint
+    /// tier: spilled chunks in offset order followed by the hot tail.
+    /// Because entry offsets are global, the concatenation reproduces the
+    /// arena with every index offset unchanged.
+    pub(crate) fn global_bytes(&self) -> std::io::Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(self.spilled_off + self.bytes.len());
+        for &(off, len, file_off) in &self.chunks {
+            debug_assert_eq!(off, out.len());
+            let start = out.len();
+            out.resize(start + len, 0);
+            self.spill
+                .as_ref()
+                .ok_or_else(|| std::io::Error::other("spilled chunks without a spill file"))?
+                .read_exact_at(&mut out[start..], file_off)?;
+        }
+        out.extend_from_slice(&self.bytes);
+        Ok(out)
+    }
+
+    /// Rebuilds an arena from a checkpoint snapshot: everything hot, no
+    /// spill tier. The delta-append state (`last`/`since_full`) is *not*
+    /// part of a snapshot and need not be: after a restore the arena is
+    /// only ever read sequentially (reads reconstruct delta chains from
+    /// the entries themselves), and the first append after the next
+    /// `clear()` always restarts with a full encoding.
+    pub(crate) fn restored(index: Vec<FrontEntry>, bytes: Vec<u8>) -> FrontierBuf {
+        FrontierBuf { bytes, index, ..FrontierBuf::default() }
     }
 }
 
@@ -702,6 +744,15 @@ impl<'w, 'a> Worker<'w, 'a> {
         self.cur.append(self.mc.cfg.n_caches, &enc, 0, fp0, self.delta_mode);
     }
 
+    /// Installs a loaded checkpoint shard in place of a fresh start: the
+    /// restored visited store and frontier, positioned at the top of the
+    /// checkpointed epoch (exactly where the checkpoint was taken).
+    fn restore_snapshot(&mut self, snap: crate::checkpoint::ShardSnapshot, depth: u32) {
+        self.store = ShardStore::restore(&snap.fps, snap.recs);
+        self.cur = FrontierBuf::restored(snap.entries, snap.arena);
+        self.depth = depth;
+    }
+
     /// The worker loop: one iteration per BFS epoch.
     ///
     /// Each phase body runs under `catch_unwind`: a panicking worker
@@ -753,9 +804,16 @@ impl<'w, 'a> Worker<'w, 'a> {
                         }
                     }
                 };
-                *coord.decision.lock().unwrap() = dec;
+                // Poison-recovery: a panicking sibling already recorded
+                // its payload on the coordinator; the decision value
+                // itself is always written whole, so the lock's data is
+                // usable even when poisoned.
+                *coord.decision.lock().unwrap_or_else(|e| e.into_inner()) = dec;
             });
-            if matches!(*coord.decision.lock().unwrap(), Decision::Stop { .. }) {
+            if matches!(
+                *coord.decision.lock().unwrap_or_else(|e| e.into_inner()),
+                Decision::Stop { .. }
+            ) {
                 // Fold this worker's frontier spill totals into the
                 // fleet counters (the store's totals travel with the
                 // returned shard).
@@ -771,7 +829,53 @@ impl<'w, 'a> Worker<'w, 'a> {
             self.prev_full.clear();
             self.depth += 1;
             self.epoch_start = self.store.len() as u32;
+            // Checkpoint point: the one place in an epoch where shard
+            // state is minimal and final — records frozen, `next` empty,
+            // queues drained, `cur` read-only from here on. The trigger
+            // depends only on (depth, config), so every worker takes the
+            // extra rendezvous in lockstep.
+            if let Some(dir) = mc.cfg.checkpoint_dir.as_deref() {
+                if self.depth.is_multiple_of(mc.cfg.checkpoint_every.max(1)) {
+                    self.write_checkpoint(dir);
+                }
+            }
         }
+    }
+
+    /// Writes this shard's checkpoint file, then rendezvouses; the last
+    /// arriver commits the manifest. Both steps run under `catch_unwind`
+    /// with the fleet's usual panic discipline; a panic anywhere means the
+    /// manifest is never committed, so the previous checkpoint (if any)
+    /// stays the authoritative one.
+    fn write_checkpoint(&mut self, dir: &std::path::Path) {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let coord = self.coord;
+        if !coord.aborted.load(Relaxed) {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+                crate::checkpoint::write_shard(
+                    dir,
+                    self.depth,
+                    self.t,
+                    &self.store,
+                    &self.cur,
+                    self.keeps_recs,
+                )
+                .expect("checkpoint shard write failed");
+            })) {
+                coord.record_panic(payload);
+            }
+        }
+        let (mc, depth, n_shards) = (self.mc, self.depth, self.n_shards);
+        coord.phaser.arrive(|| {
+            if !coord.aborted.load(Relaxed) {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+                    crate::checkpoint::commit(dir, depth, n_shards, mc, &mc.cfg, coord)
+                        .expect("checkpoint manifest commit failed");
+                })) {
+                    coord.record_panic(payload);
+                }
+            }
+        });
     }
 
     /// Expands every frontier entry of the current epoch: decode into the
@@ -1104,6 +1208,12 @@ impl<'a> ModelChecker<'a> {
         self.props.iter().map(|p| p.name()).collect()
     }
 
+    /// The generated FSM pair this checker verifies (for the checkpoint
+    /// manifest's machine fingerprint).
+    pub(crate) fn fsms(&self) -> (&Fsm, &Fsm) {
+        (self.cache_fsm, self.dir_fsm)
+    }
+
     fn property_ctx(&self) -> PropertyCtx<'_> {
         PropertyCtx { cache_fsm: self.cache_fsm, dir_fsm: self.dir_fsm }
     }
@@ -1124,8 +1234,30 @@ impl<'a> ModelChecker<'a> {
     /// Runs breadth-first exploration until exhaustion, a violation, or the
     /// state limit.
     pub fn run(&self) -> CheckResult {
+        self.run_with(None)
+    }
+
+    /// Resumes exploration from the newest committed checkpoint under
+    /// [`McConfig::checkpoint_dir`]. The checkpoint is fully validated
+    /// first — checksums, manifest↔shard agreement, and that the
+    /// configuration and generated FSMs match what the checkpoint was
+    /// written under; any mismatch or corruption is a hard
+    /// [`CheckpointError`], never a silent fresh start. The worker count
+    /// comes from the manifest (shard assignment is `fp % threads`), so
+    /// [`McConfig::threads`] is ignored on resume. A resumed run's
+    /// states, transitions, violation, and counterexample trace are
+    /// byte-identical to an uninterrupted run's; wall-clock and memory
+    /// statistics describe only the resumed portion, and pair coverage —
+    /// merged per epoch, not checkpointed — covers only re-executed
+    /// epochs.
+    pub fn resume(&self) -> Result<CheckResult, crate::checkpoint::CheckpointError> {
+        let loaded = crate::checkpoint::load_latest(self, &self.cfg)?;
+        Ok(self.run_with(Some(loaded)))
+    }
+
+    fn run_with(&self, resume: Option<crate::checkpoint::LoadedCheckpoint>) -> CheckResult {
         let start = Instant::now();
-        let threads = self.cfg.effective_threads();
+        let threads = resume.as_ref().map_or_else(|| self.cfg.effective_threads(), |r| r.threads);
 
         let mut canon0 = Canonicalizer::new(self.cfg.n_caches, self.cfg.symmetry);
         let initial = canon0.canonical_rep(&SysState::initial(self.cfg.n_caches));
@@ -1134,7 +1266,17 @@ impl<'a> ModelChecker<'a> {
 
         let inboxes: Vec<Inbox> = (0..threads).map(|_| Inbox::default()).collect();
         let coord = Coordinator::new(threads);
-        coord.total_states.store(1, Relaxed);
+        let (depth0, mut snaps) = match resume {
+            Some(r) => {
+                coord.total_states.store(r.total_states, Relaxed);
+                coord.transitions.store(r.transitions, Relaxed);
+                (r.depth, r.shards.into_iter().map(Some).collect())
+            }
+            None => {
+                coord.total_states.store(1, Relaxed);
+                (0, (0..threads).map(|_| None).collect::<Vec<_>>())
+            }
+        };
 
         let stores: Vec<ShardStore> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads)
@@ -1142,10 +1284,13 @@ impl<'a> ModelChecker<'a> {
                     let inboxes = &inboxes;
                     let coord = &coord;
                     let initial = &initial;
+                    let snap = snaps[t].take();
                     s.spawn(move || {
                         let mut w = Worker::new(self, t, threads, inboxes, coord);
-                        if t == owner0 {
-                            w.seed_root(initial, fp0);
+                        match snap {
+                            Some(snap) => w.restore_snapshot(snap, depth0),
+                            None if t == owner0 => w.seed_root(initial, fp0),
+                            None => {}
                         }
                         w.run()
                     })
@@ -1171,16 +1316,17 @@ impl<'a> ModelChecker<'a> {
             spill_bytes += b;
             spill_chunks += c;
         }
-        let (violation, hit_limit) = match coord.decision.into_inner().unwrap() {
-            Decision::Stop { violation, hit_limit } => {
-                let v = violation.map(|v| Violation {
-                    kind: v.kind.clone(),
-                    trace: self.build_trace(&stores, &v),
-                });
-                (v, hit_limit)
-            }
-            Decision::Continue => (None, false),
-        };
+        let (violation, hit_limit) =
+            match coord.decision.into_inner().unwrap_or_else(|e| e.into_inner()) {
+                Decision::Stop { violation, hit_limit } => {
+                    let v = violation.map(|v| Violation {
+                        kind: v.kind.clone(),
+                        trace: self.build_trace(&stores, &v),
+                    });
+                    (v, hit_limit)
+                }
+                Decision::Continue => (None, false),
+            };
         let limit = if hit_limit {
             let shard = coord.exhausted_shard.load(Relaxed);
             if shard == usize::MAX {

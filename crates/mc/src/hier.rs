@@ -912,6 +912,11 @@ impl HierChecker {
                     0 => Some(Access::Load),
                     1 => Some(Access::Store),
                     2 => Some(Access::Replacement),
+                    // SAFETY OF THE PANIC: this decoder is private to the
+                    // hierarchical checker and only ever fed encodings it
+                    // produced itself in the same process (the hier tier
+                    // has no checkpoint/disk path), so a bad byte is a
+                    // checker bug, not an input condition.
                     b => panic!("bad pending-access byte {b}"),
                 };
                 let slots = next(&mut pos);

@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 mod canon;
+mod checkpoint;
 mod delta;
 mod explore;
 mod frontier;
@@ -58,6 +59,7 @@ mod store;
 mod system;
 
 pub use canon::{cache_sort_key, Canonicalizer};
+pub use checkpoint::CheckpointError;
 pub use delta::{apply_delta, encode_delta, SectionMap};
 pub use explore::{
     CheckResult, McConfig, ModelChecker, ResourceLimit, Step, StoreMode, Violation, ViolationKind,

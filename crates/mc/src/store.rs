@@ -71,6 +71,19 @@ impl Gid {
     pub(crate) fn local(self) -> usize {
         (self.0 & LOCAL_MASK) as usize
     }
+
+    /// The packed representation, for the checkpoint codec.
+    pub(crate) fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds a Gid from its packed representation. Only the checkpoint
+    /// loader uses this, and only for bytes that already passed the
+    /// checksum gate — the id was packed by `try_pack` when the
+    /// checkpoint was written.
+    pub(crate) fn from_raw(raw: u32) -> Gid {
+        Gid(raw)
+    }
 }
 
 /// Sentinel for "no step" in a packed step slot (the root record, and
@@ -111,6 +124,12 @@ impl Hasher for FpPassthroughHasher {
     }
 
     fn write(&mut self, _bytes: &[u8]) {
+        // SAFETY OF THE UNREACHABLE: this hasher is only ever installed
+        // in `FpMap` (`HashMap<u64, u32, _>`), whose key type hashes
+        // exclusively through `write_u64`. No byte-slice key can reach
+        // here without changing the map's key type, which would fail to
+        // compile against `FpMap`'s alias anyway — so this is a checker
+        // bug, not an input condition, and panicking is correct.
         unreachable!("fingerprint maps only hash u64 keys");
     }
 
@@ -233,6 +252,34 @@ impl ShardStore {
     /// file.
     pub(crate) fn spill_totals(&self) -> (u64, u64) {
         self.spill.as_ref().map_or((0, 0), |s| (s.total_written(), s.total_chunks()))
+    }
+
+    /// Snapshot for the checkpoint tier: fingerprints in shard-local id
+    /// order (the map inverted — lids are dense `0..len`), plus every
+    /// record when the store mode keeps them, frozen ones read back
+    /// through the spill tier. Called only at an epoch boundary, where
+    /// all records are final.
+    pub(crate) fn snapshot(&self, keeps_recs: bool) -> (Vec<u64>, Vec<StateRec>) {
+        let mut fps = vec![0u64; self.len()];
+        for (&fp, &lid) in &self.map {
+            fps[lid as usize] = fp;
+        }
+        let recs =
+            if keeps_recs { (0..self.len()).map(|i| self.rec(i)).collect() } else { Vec::new() };
+        (fps, recs)
+    }
+
+    /// Rebuilds a shard from a checkpoint snapshot. Everything comes back
+    /// hot (no spill tier): a resumed run re-freezes under its own memory
+    /// budget exactly as a fresh one would.
+    pub(crate) fn restore(fps: &[u64], recs: Vec<StateRec>) -> ShardStore {
+        let mut s = ShardStore::new();
+        s.map.reserve(fps.len());
+        for (lid, &fp) in fps.iter().enumerate() {
+            s.map.insert(fp, lid as u32);
+        }
+        s.recs = recs;
+        s
     }
 }
 

@@ -255,6 +255,14 @@ impl SysState {
                 0 => Some(Access::Load),
                 1 => Some(Access::Store),
                 2 => Some(Access::Replacement),
+                // SAFETY OF THE PANIC: every byte string reaching this
+                // decoder was produced in-process by
+                // `encode_permuted_to`, which only emits 0/1/2/0xff here.
+                // Checkpoint-fed bytes pass the manifest + shard checksum
+                // gate (`crate::checkpoint`) before any decode, so a
+                // corrupt file errors out long before this line. A bad
+                // byte here is therefore a checker bug and must abort
+                // loudly rather than decode a wrong-but-plausible state.
                 b => panic!("bad pending-access byte {b}"),
             };
             let slots = u8(&mut pos);

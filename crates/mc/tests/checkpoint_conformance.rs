@@ -1,0 +1,161 @@
+//! Resume determinism: a verification stopped mid-run and resumed from
+//! its newest committed checkpoint must report byte-identical states,
+//! transitions, violation, and counterexample trace to an uninterrupted
+//! run. A `kill -9` and an in-process stop are indistinguishable to
+//! resume — both leave only the on-disk checkpoint — so these tests pin
+//! the contract the CI `resume` job exercises with a real SIGKILL.
+
+use protogen_core::{generate, GenConfig};
+use protogen_mc::{McConfig, ModelChecker, PropertySet, ResourceLimit, StoreMode};
+use std::path::PathBuf;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "protogen-ck-it-{}-{tag}-{:x}",
+        std::process::id(),
+        protogen_mc::fingerprint_bytes(tag.as_bytes())
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Runs to the `max_states` budget with checkpointing on (leaving
+/// committed checkpoints behind, exactly like a killed process), then
+/// resumes without the budget and compares against an uninterrupted run.
+fn assert_resume_matches(tag: &str, cfg_base: McConfig, interrupt_at: usize) {
+    let ssp = protogen_protocols::msi();
+    let g = generate(&ssp, &GenConfig::stalling()).unwrap();
+
+    let full = ModelChecker::new(&g.cache, &g.directory, cfg_base.clone()).run();
+    assert!(full.passed(), "baseline must pass: {:?}", full.violation);
+
+    let dir = tmpdir(tag);
+    let mut cfg = cfg_base.clone();
+    cfg.checkpoint_dir = Some(dir.clone());
+    cfg.checkpoint_every = 1;
+    cfg.max_states = interrupt_at;
+    let partial = ModelChecker::new(&g.cache, &g.directory, cfg.clone()).run();
+    assert_eq!(partial.limit, Some(ResourceLimit::StateBudget), "interruption must trigger");
+    assert!(partial.states < full.states, "interruption must be mid-run");
+
+    // Resume with the budget lifted — and a *different* configured thread
+    // count, which resume must override from the manifest.
+    cfg.max_states = cfg_base.max_states;
+    cfg.threads = cfg_base.threads % 2 + 1;
+    let resumed = ModelChecker::new(&g.cache, &g.directory, cfg).resume().unwrap();
+    assert_eq!(resumed.states, full.states, "states must match uninterrupted run");
+    assert_eq!(resumed.transitions, full.transitions, "transitions must match");
+    assert!(resumed.passed());
+    assert_eq!(resumed.threads, cfg_base.effective_threads(), "threads come from the manifest");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resumed_run_matches_uninterrupted_counts() {
+    let mut cfg = McConfig::with_caches_and_threads(2, 2);
+    cfg.value_domain = 2;
+    assert_resume_matches("basic", cfg, 200);
+}
+
+#[test]
+fn resume_matches_across_store_modes() {
+    for (mode, tag) in
+        [(StoreMode::Full, "full"), (StoreMode::Delta, "delta"), (StoreMode::FpOnly, "fp")]
+    {
+        let mut cfg = McConfig::with_caches_and_threads(2, 2);
+        cfg.store = mode;
+        assert_resume_matches(tag, cfg, 300);
+    }
+}
+
+#[test]
+fn resume_matches_with_spill_tier_active() {
+    if !cfg!(unix) {
+        // Spilling needs positioned file reads (mirrors the checker's own
+        // SPILL_SUPPORTED gate); elsewhere the budget is ignored.
+        return;
+    }
+    // A 1-byte budget forces both frontier-chunk and frozen-record
+    // spilling, so the checkpoint writer must read arenas and records
+    // back through the spill tier.
+    let mut cfg = McConfig::with_caches_and_threads(2, 2);
+    cfg.mem_budget_bytes = 1;
+    cfg.spill_chunk_bytes = 1;
+    assert_resume_matches("spill", cfg, 250);
+}
+
+#[test]
+fn resumed_violation_trace_is_byte_identical() {
+    // TSO-CC under the SC property set fails (the fuzz campaign's
+    // calibration control): the resumed run must find the *same*
+    // violation with the *same* counterexample trace.
+    let ssp = protogen_protocols::tso_cc();
+    let g = generate(&ssp, &GenConfig::non_stalling()).unwrap();
+    let mut cfg = McConfig::with_caches_and_threads(2, 2);
+    cfg.properties = PropertySet::sc();
+
+    let full = ModelChecker::new(&g.cache, &g.directory, cfg.clone()).run();
+    let want = full.violation.as_ref().expect("tso-cc must violate SC");
+
+    let dir = tmpdir("vio");
+    cfg.checkpoint_dir = Some(dir.clone());
+    cfg.checkpoint_every = 1;
+    cfg.max_states = 40;
+    let partial = ModelChecker::new(&g.cache, &g.directory, cfg.clone()).run();
+    assert!(
+        partial.violation.is_none() && partial.hit_state_limit,
+        "interruption must land before the violation (partial: {:?})",
+        partial.violation
+    );
+
+    cfg.max_states = McConfig::default().max_states;
+    let resumed = ModelChecker::new(&g.cache, &g.directory, cfg).resume().unwrap();
+    let got = resumed.violation.as_ref().expect("resumed run must refind the violation");
+    assert_eq!(format!("{:?}", got.kind), format!("{:?}", want.kind));
+    assert_eq!(format!("{:?}", got.trace), format!("{:?}", want.trace), "trace must be identical");
+    assert_eq!(resumed.states, full.states);
+    assert_eq!(resumed.transitions, full.transitions);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_refuses_mismatched_configuration() {
+    let ssp = protogen_protocols::msi();
+    let g = generate(&ssp, &GenConfig::stalling()).unwrap();
+    let dir = tmpdir("mismatch");
+    let mut cfg = McConfig::with_caches_and_threads(2, 2);
+    cfg.checkpoint_dir = Some(dir.clone());
+    cfg.checkpoint_every = 1;
+    cfg.max_states = 200;
+    ModelChecker::new(&g.cache, &g.directory, cfg.clone()).run();
+
+    // Different value domain ⇒ different reachable space: refuse.
+    let mut wrong = cfg.clone();
+    wrong.value_domain = 3;
+    let err = ModelChecker::new(&g.cache, &g.directory, wrong).resume().err().unwrap();
+    assert!(err.to_string().contains("configuration"), "{err}");
+
+    // Different generated FSMs (other protocol) ⇒ refuse.
+    let mesi = generate(&protogen_protocols::mesi(), &GenConfig::stalling()).unwrap();
+    let err = ModelChecker::new(&mesi.cache, &mesi.directory, cfg.clone()).resume().err().unwrap();
+    assert!(err.to_string().contains("FSM"), "{err}");
+
+    // A flipped byte in a shard file ⇒ hard error, never a silent
+    // fallback to an older checkpoint or a fresh start.
+    let ck = std::fs::read_dir(&dir)
+        .unwrap()
+        .flatten()
+        .find(|e| e.file_name().to_string_lossy().starts_with("ck-"))
+        .expect("a committed checkpoint")
+        .path();
+    let shard0 = ck.join("shard-0.bin");
+    let mut bytes = std::fs::read(&shard0).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&shard0, &bytes).unwrap();
+    let err = ModelChecker::new(&g.cache, &g.directory, cfg).resume().err().unwrap();
+    let msg = err.to_string();
+    assert!(msg.contains("corrupt") || msg.contains("manifest"), "{msg}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

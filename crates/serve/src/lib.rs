@@ -42,9 +42,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod mailbox;
 mod service;
 
+pub use fault::{FaultConfig, FaultPlan, FaultStats};
 pub use service::serve;
 
 use protogen_mc::{McConfig, ModelChecker};
@@ -71,10 +73,13 @@ pub struct ServeConfig {
     pub seed: u64,
     /// Per-edge mailbox capacity in messages.
     pub mailbox_cap: usize,
-    /// Wall-clock budget; exceeding it aborts the run with
-    /// [`ServeError::Deadline`] (the liveness backstop — a quiescent
+    /// Wall-clock budget; exceeding it stops the run with
+    /// [`StopReason::Deadline`] (the liveness backstop — a quiescent
     /// finish always beats it).
     pub max_seconds: f64,
+    /// Deterministic fault injection (`None` — the default — runs the
+    /// perfect-world service). See [`FaultConfig`].
+    pub faults: Option<FaultConfig>,
 }
 
 impl ServeConfig {
@@ -91,6 +96,7 @@ impl ServeConfig {
             seed: 1,
             mailbox_cap: 1024,
             max_seconds: 60.0,
+            faults: None,
         }
     }
 
@@ -139,7 +145,19 @@ pub enum ServeError {
     /// [`protogen_runtime::ExecError`]).
     Exec(String),
     /// The run failed to quiesce within [`ServeConfig::max_seconds`].
+    /// Internal only: [`serve`] converts a deadline into an `Ok` report
+    /// with [`StopReason::Deadline`], so callers can still inspect the
+    /// partial measurements; the CLI maps it to its own exit code.
     Deadline(String),
+    /// A worker thread panicked. The panic is isolated per worker
+    /// (`catch_unwind`), the rest of the fleet drains, and the run fails
+    /// with this structured error instead of aborting the process.
+    WorkerPanic {
+        /// Which worker (e.g. `cache 2`, `dir shard 0`).
+        worker: String,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -150,6 +168,9 @@ impl fmt::Display for ServeError {
             ServeError::UnexpectedMessage(m) => write!(f, "unexpected message: {m}"),
             ServeError::Exec(m) => write!(f, "execution error: {m}"),
             ServeError::Deadline(m) => write!(f, "deadline exceeded: {m}"),
+            ServeError::WorkerPanic { worker, message } => {
+                write!(f, "worker panic: {worker} panicked: {message}")
+            }
         }
     }
 }
@@ -178,7 +199,36 @@ pub fn checked_envelope(cache: &Fsm, dir: &Fsm, mut cfg: McConfig) -> Result<Pai
             r.states
         )));
     }
+    // SAFETY OF THE EXPECT: `collect_pair_coverage` was set four lines
+    // up, and `ModelChecker::run` always populates `coverage` when it is
+    // set — a `None` here is a checker bug, not a runtime condition.
     Ok(r.coverage.expect("collect_pair_coverage was set"))
+}
+
+/// Why a service run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Clean quiescence: every core finished its schedule, every message
+    /// was applied, and any planned fault recovery completed.
+    Quiesced,
+    /// The wall-clock backstop fired before quiescence. The report holds
+    /// partial measurements; the CLI exits non-zero.
+    Deadline,
+    /// The run quiesced but its fault plan did not complete (e.g. a
+    /// crash point past the end of the schedule never triggered). The
+    /// fault experiment is inconclusive; the CLI exits non-zero.
+    Fault,
+}
+
+impl StopReason {
+    /// The stable label used in JSON output and CI greps.
+    pub fn label(self) -> &'static str {
+        match self {
+            StopReason::Quiesced => "quiesced",
+            StopReason::Deadline => "deadline",
+            StopReason::Fault => "fault",
+        }
+    }
 }
 
 /// What a completed service run measured.
@@ -207,6 +257,12 @@ pub struct ServeReport {
     pub peak_queue_depths: Vec<usize>,
     /// Every `(machine, state, event)` pair the run dispatched on.
     pub coverage: PairSet,
+    /// Why the run stopped (clean quiescence, the deadline backstop, or
+    /// an unfinished fault plan).
+    pub stop_reason: StopReason,
+    /// Fault/recovery counters; `Some` exactly when fault injection was
+    /// configured.
+    pub faults: Option<FaultStats>,
 }
 
 impl ServeReport {
@@ -246,7 +302,22 @@ impl ServeReport {
                 "escaped_pairs",
                 Json::Arr(escapes.iter().map(|p| Json::Str(pair_label(cache, dir, p))).collect()),
             ),
+            ("stop_reason", Json::Str(self.stop_reason.label().into())),
         ]);
+        if let Some(fs) = &self.faults {
+            doc.push(
+                "faults",
+                Json::obj([
+                    ("planned_crashes", Json::U64(fs.planned_crashes)),
+                    ("crashes_completed", Json::U64(fs.crashes_completed)),
+                    ("recovery_writebacks", Json::U64(fs.recovery_writebacks)),
+                    ("lines_lost", Json::U64(fs.lines_lost)),
+                    ("delays_injected", Json::U64(fs.delays_injected)),
+                    ("stalls_injected", Json::U64(fs.stalls_injected)),
+                    ("squeeze_parks", Json::U64(fs.squeeze_parks)),
+                ]),
+            );
+        }
         if !self.miss_latency.is_empty() {
             doc.push("miss_p50_ns", Json::U64(self.miss_latency.percentile(50.0)));
             doc.push("miss_p95_ns", Json::U64(self.miss_latency.percentile(95.0)));

@@ -32,14 +32,15 @@
 //! (impossible inside the verified envelope) would instead trip the
 //! wall-clock deadline.
 
+use crate::fault::{FaultPlan, FaultState, FaultStats};
 use crate::mailbox::{Envelope, Fabric};
-use crate::{ServeConfig, ServeError, ServeReport};
+use crate::{ServeConfig, ServeError, ServeReport, StopReason};
 use protogen_runtime::{
     apply_into, select_arc_indexed, ApplyOutcome, CacheBlock, DirEntry, FsmIndex, MachineCtx,
     MachineTag, Msg, NodeId, PairSet,
 };
 use protogen_sim::{Histogram, Op};
-use protogen_spec::{Access, ArcKind, Event, Fsm, FsmStateId, MsgId};
+use protogen_spec::{Access, ArcKind, Event, Fsm, FsmStateId, MsgId, Perm};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
@@ -115,6 +116,9 @@ struct Shared<'f> {
     /// First failure wins; later ones are dropped.
     failure: Mutex<Option<ServeError>>,
     deadline: Instant,
+    /// The expanded fault schedule, when fault injection is on. Immutable
+    /// and consulted through each worker's own [`FaultState`] cursors.
+    plan: Option<FaultPlan>,
 }
 
 impl<'f> Shared<'f> {
@@ -133,7 +137,12 @@ impl<'f> Shared<'f> {
     /// Whether every message in `outgoing` fits its output ring right
     /// now. Sound as a pre-commit check: this thread is the only producer
     /// on each of those rings, so space cannot shrink before the pushes.
-    fn outgoing_fits(&self, src: usize, addr: u32, outgoing: &[Msg]) -> bool {
+    ///
+    /// `withheld` is the slot count an active capacity squeeze pretends
+    /// is occupied (0 without fault injection). Squeezes only make this
+    /// check *more* conservative, so the publish-after-check argument —
+    /// and [`Shared::publish`]'s expect — are untouched by them.
+    fn outgoing_fits(&self, src: usize, addr: u32, outgoing: &[Msg], withheld: usize) -> bool {
         'msgs: for (i, m) in outgoing.iter().enumerate() {
             let d = self.route(m.dst, addr);
             for prev in &outgoing[..i] {
@@ -142,7 +151,7 @@ impl<'f> Shared<'f> {
                 }
             }
             let needed = outgoing[i..].iter().filter(|n| self.route(n.dst, addr) == d).count();
-            if self.fabric.ring(src, d).space() < needed {
+            if self.fabric.ring(src, d).space().saturating_sub(withheld) < needed {
                 return false;
             }
         }
@@ -165,7 +174,10 @@ impl<'f> Shared<'f> {
     }
 
     fn fail(&self, e: ServeError) {
-        let mut slot = self.failure.lock().unwrap();
+        // A worker can panic while holding this lock; the slot is a plain
+        // Option, so recovering the poisoned guard is sound — first
+        // failure still wins.
+        let mut slot = self.failure.lock().unwrap_or_else(|p| p.into_inner());
         if slot.is_none() {
             *slot = Some(e);
         }
@@ -191,6 +203,7 @@ struct WorkerOut {
     misses: u64,
     messages: u64,
     peak_queue_depth: usize,
+    fault: FaultStats,
 }
 
 enum StepOutcome {
@@ -228,6 +241,23 @@ fn drain(sh: &Shared, topo: usize, queues: &mut [VecDeque<Envelope>]) {
     }
 }
 
+/// The crash-recovery state machine a planned cache crash walks through.
+/// Recovery uses only ordinary `Replacement` transitions of the verified
+/// FSM, so every step stays inside the checked envelope (DESIGN.md §13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CrashPhase {
+    /// No crash yet (or none planned).
+    Normal,
+    /// Crash point reached: stopped issuing, draining the outstanding
+    /// transaction.
+    Draining,
+    /// Evacuating held lines one block at a time via `Replacement`.
+    Flushing { addr: u32 },
+    /// Recovery finished (or the crash point was never reached); the
+    /// cache has rejoined and resumes its schedule.
+    Done,
+}
+
 struct CacheWorker<'s, 'f> {
     sh: &'s Shared<'f>,
     /// This cache's id: FSM identity `NodeId(id)` and topology index.
@@ -242,10 +272,15 @@ struct CacheWorker<'s, 'f> {
     outcome: ApplyOutcome,
     queues: Vec<VecDeque<Envelope>>,
     out: WorkerOut,
+    fault: FaultState,
+    /// Schedule position this cache crashes at, from the fault plan.
+    crash_at: Option<usize>,
+    phase: CrashPhase,
 }
 
 impl<'s, 'f> CacheWorker<'s, 'f> {
     fn new(sh: &'s Shared<'f>, id: usize, schedule: Vec<Op>) -> Self {
+        let crash_at = sh.plan.as_ref().and_then(|p| p.crash_cursor(id, schedule.len()));
         CacheWorker {
             sh,
             id,
@@ -265,7 +300,11 @@ impl<'s, 'f> CacheWorker<'s, 'f> {
                 misses: 0,
                 messages: 0,
                 peak_queue_depth: 0,
+                fault: FaultStats::default(),
             },
+            fault: FaultState::new(sh.fabric.nodes()),
+            crash_at,
+            phase: CrashPhase::Normal,
         }
     }
 
@@ -310,7 +349,10 @@ impl<'s, 'f> CacheWorker<'s, 'f> {
             sh.fail(ServeError::Exec(format!("cache {} applying {}: {e}", self.id, env.msg)));
             return StepOutcome::Failed;
         }
-        if !sh.outgoing_fits(self.id, addr, &self.outcome.outgoing) {
+        if !sh.outgoing_fits(self.id, addr, &self.outcome.outgoing, self.fault.withheld) {
+            if self.fault.withheld > 0 {
+                self.fault.stats.squeeze_parks += 1;
+            }
             return StepOutcome::Parked; // retry once the edge drains
         }
         std::mem::swap(&mut self.blocks[addr as usize], &mut self.scratch);
@@ -321,7 +363,11 @@ impl<'s, 'f> CacheWorker<'s, 'f> {
         if self.outcome.performed.is_some() {
             if let Some((oaddr, t0)) = self.outstanding {
                 if oaddr == addr {
-                    self.out.miss_latency_ns.push(t0.elapsed().as_nanos() as u64);
+                    // Evacuation transactions complete here too, but only
+                    // demand misses count toward miss latency.
+                    if !matches!(self.phase, CrashPhase::Flushing { .. }) {
+                        self.out.miss_latency_ns.push(t0.elapsed().as_nanos() as u64);
+                    }
                     self.outstanding = None;
                 }
             }
@@ -337,6 +383,11 @@ impl<'s, 'f> CacheWorker<'s, 'f> {
         let mut progressed = false;
         let mut hit_budget = 1024u32;
         while self.outstanding.is_none() && hit_budget > 0 {
+            if matches!(self.phase, CrashPhase::Normal)
+                && self.crash_at.is_some_and(|at| self.cursor >= at)
+            {
+                break; // the crash point is due; advance_crash takes over
+            }
             let Some(&op) = self.schedule.get(self.cursor) else { break };
             let addr = op.addr;
             let block = &self.blocks[addr as usize];
@@ -376,7 +427,10 @@ impl<'s, 'f> CacheWorker<'s, 'f> {
                 )));
                 return progressed;
             }
-            if !sh.outgoing_fits(self.id, addr, &self.outcome.outgoing) {
+            if !sh.outgoing_fits(self.id, addr, &self.outcome.outgoing, self.fault.withheld) {
+                if self.fault.withheld > 0 {
+                    self.fault.stats.squeeze_parks += 1;
+                }
                 break; // output backpressure: retry next pass
             }
             std::mem::swap(&mut self.blocks[addr as usize], &mut self.scratch);
@@ -394,7 +448,122 @@ impl<'s, 'f> CacheWorker<'s, 'f> {
         progressed
     }
 
+    /// Advances the crash state machine at pass boundaries.
+    fn advance_crash(&mut self) {
+        match self.phase {
+            CrashPhase::Normal => {
+                let Some(at) = self.crash_at else { return };
+                if self.cursor >= at {
+                    self.phase = CrashPhase::Draining;
+                } else if self.cursor == self.schedule.len() && self.outstanding.is_none() {
+                    // The crash point lies past the schedule end, so the
+                    // plan can never complete. Finish the run and let
+                    // `serve` report [`StopReason::Fault`]
+                    // (`crashes_completed` stays short of the plan).
+                    self.phase = CrashPhase::Done;
+                }
+            }
+            CrashPhase::Draining => {
+                if self.outstanding.is_some() {
+                    return; // the in-flight transaction drains first
+                }
+                if self.sh.plan.as_ref().is_some_and(|p| p.unsafe_reset()) {
+                    // Planted recovery bug: drop every line *without*
+                    // telling the directory. It still believes this cache
+                    // holds them, so the conformance oracle must flag the
+                    // run (the fuzz campaign's negative control).
+                    let fsm = self.sh.cache_fsm;
+                    self.fault.stats.lines_lost += self
+                        .blocks
+                        .iter()
+                        .filter(|b| fsm.state(b.state).perm != Perm::None)
+                        .count() as u64;
+                    self.blocks.fill(CacheBlock::new());
+                    self.phase = CrashPhase::Done;
+                    self.fault.stats.crashes_completed += 1;
+                } else {
+                    self.phase = CrashPhase::Flushing { addr: 0 };
+                }
+            }
+            CrashPhase::Flushing { .. } | CrashPhase::Done => {}
+        }
+    }
+
+    /// Drives crash recovery: evacuates every block through ordinary
+    /// `Replacement` transitions — the same verified arcs a capacity
+    /// replacement would use — launching at most one transaction at a
+    /// time (the one-outstanding discipline the issue path follows).
+    /// Blocks with nothing to evacuate complete on the spot.
+    fn try_flush(&mut self) -> bool {
+        let sh = self.sh;
+        let mut progressed = false;
+        while self.outstanding.is_none() {
+            let CrashPhase::Flushing { addr } = self.phase else { break };
+            if addr as usize >= self.blocks.len() {
+                self.phase = CrashPhase::Done;
+                self.fault.stats.crashes_completed += 1;
+                progressed = true;
+                break;
+            }
+            let block = &self.blocks[addr as usize];
+            let event = Event::Access(Access::Replacement);
+            self.out.coverage.record(block.state, event);
+            let arc = select_arc_indexed(
+                sh.cache_fsm,
+                &sh.cache_idx,
+                block.state,
+                event,
+                None,
+                Some(block),
+                None,
+            );
+            let Some(arc) = arc else {
+                // Nothing to evacuate (the block is already invalid).
+                self.phase = CrashPhase::Flushing { addr: addr + 1 };
+                progressed = true;
+                continue;
+            };
+            if arc.kind == ArcKind::Stall {
+                break; // a blocking chain holds this block; retry next pass
+            }
+            self.scratch.clone_from(block);
+            let ctx = MachineCtx::Cache {
+                block: &mut self.scratch,
+                self_id: NodeId(self.id as u8),
+                dir_id: NodeId(sh.n_caches as u8),
+            };
+            if let Err(e) = apply_into(sh.cache_fsm, arc, None, ctx, 0, &mut self.outcome) {
+                sh.fail(ServeError::Exec(format!(
+                    "cache {} evacuating block {addr} during crash recovery: {e}",
+                    self.id
+                )));
+                return progressed;
+            }
+            if !sh.outgoing_fits(self.id, addr, &self.outcome.outgoing, self.fault.withheld) {
+                if self.fault.withheld > 0 {
+                    self.fault.stats.squeeze_parks += 1;
+                }
+                break; // output backpressure: retry next pass
+            }
+            std::mem::swap(&mut self.blocks[addr as usize], &mut self.scratch);
+            sh.publish(self.id, addr, &self.outcome.outgoing);
+            progressed = true;
+            self.phase = CrashPhase::Flushing { addr: addr + 1 };
+            if self.outcome.performed.is_none() {
+                self.fault.stats.recovery_writebacks += 1;
+                self.outstanding = Some((addr, Instant::now()));
+            }
+        }
+        progressed
+    }
+
     fn run(mut self) -> WorkerOut {
+        self.run_loop();
+        self.out.fault = self.fault.stats;
+        self.out
+    }
+
+    fn run_loop(&mut self) {
         let sh = self.sh;
         let nodes = sh.fabric.nodes();
         let mut idle = 0u32;
@@ -403,21 +572,41 @@ impl<'s, 'f> CacheWorker<'s, 'f> {
             if sh.done.load(Ordering::SeqCst) {
                 break;
             }
+            if let Some(plan) = sh.plan.as_ref() {
+                self.fault.begin_pass(plan, self.id);
+            }
             let mut progress = false;
             drain(sh, self.id, &mut self.queues);
             for src in 0..nodes {
                 loop {
+                    if self.queues[src].is_empty() {
+                        break;
+                    }
+                    if let Some(plan) = sh.plan.as_ref() {
+                        if self.fault.edge_held(plan, self.id, src) {
+                            break; // head delayed; the edge waits behind it
+                        }
+                    }
                     match self.step_msg(src) {
-                        StepOutcome::Applied => progress = true,
+                        StepOutcome::Applied => {
+                            self.fault.consumed(src);
+                            progress = true;
+                        }
                         StepOutcome::Parked => break,
-                        StepOutcome::Failed => return self.out,
+                        StepOutcome::Failed => return,
                     }
                 }
             }
-            progress |= self.try_issue();
+            self.advance_crash();
+            progress |= match self.phase {
+                CrashPhase::Flushing { .. } => self.try_flush(),
+                CrashPhase::Normal | CrashPhase::Done => self.try_issue(),
+                CrashPhase::Draining => false,
+            };
             if !self.declared_done
                 && self.cursor == self.schedule.len()
                 && self.outstanding.is_none()
+                && (self.crash_at.is_none() || self.phase == CrashPhase::Done)
             {
                 self.declared_done = true;
                 sh.cores_done.fetch_add(1, Ordering::SeqCst);
@@ -446,7 +635,6 @@ impl<'s, 'f> CacheWorker<'s, 'f> {
             }
             idle_backoff(idle);
         }
-        self.out
     }
 }
 
@@ -459,6 +647,7 @@ struct DirWorker<'s, 'f> {
     outcome: ApplyOutcome,
     queues: Vec<VecDeque<Envelope>>,
     out: WorkerOut,
+    fault: FaultState,
 }
 
 impl<'s, 'f> DirWorker<'s, 'f> {
@@ -478,7 +667,9 @@ impl<'s, 'f> DirWorker<'s, 'f> {
                 misses: 0,
                 messages: 0,
                 peak_queue_depth: 0,
+                fault: FaultStats::default(),
             },
+            fault: FaultState::new(sh.fabric.nodes()),
         }
     }
 
@@ -525,7 +716,10 @@ impl<'s, 'f> DirWorker<'s, 'f> {
             )));
             return StepOutcome::Failed;
         }
-        if !sh.outgoing_fits(self.topo(), addr, &self.outcome.outgoing) {
+        if !sh.outgoing_fits(self.topo(), addr, &self.outcome.outgoing, self.fault.withheld) {
+            if self.fault.withheld > 0 {
+                self.fault.stats.squeeze_parks += 1;
+            }
             return StepOutcome::Parked;
         }
         std::mem::swap(&mut self.entries[addr as usize], &mut self.scratch);
@@ -537,6 +731,12 @@ impl<'s, 'f> DirWorker<'s, 'f> {
     }
 
     fn run(mut self) -> WorkerOut {
+        self.run_loop();
+        self.out.fault = self.fault.stats;
+        self.out
+    }
+
+    fn run_loop(&mut self) {
         let sh = self.sh;
         let nodes = sh.fabric.nodes();
         let topo = self.topo();
@@ -545,14 +745,28 @@ impl<'s, 'f> DirWorker<'s, 'f> {
             if sh.done.load(Ordering::SeqCst) {
                 break;
             }
+            if let Some(plan) = sh.plan.as_ref() {
+                self.fault.begin_pass(plan, topo);
+            }
             let mut progress = false;
             drain(sh, topo, &mut self.queues);
             for src in 0..nodes {
                 loop {
+                    if self.queues[src].is_empty() {
+                        break;
+                    }
+                    if let Some(plan) = sh.plan.as_ref() {
+                        if self.fault.edge_held(plan, topo, src) {
+                            break; // head delayed; the edge waits behind it
+                        }
+                    }
                     match self.step_msg(src) {
-                        StepOutcome::Applied => progress = true,
+                        StepOutcome::Applied => {
+                            self.fault.consumed(src);
+                            progress = true;
+                        }
                         StepOutcome::Parked => break,
-                        StepOutcome::Failed => return self.out,
+                        StepOutcome::Failed => return,
                     }
                 }
             }
@@ -575,7 +789,6 @@ impl<'s, 'f> DirWorker<'s, 'f> {
             }
             idle_backoff(idle);
         }
-        self.out
     }
 }
 
@@ -590,6 +803,31 @@ fn deadline_error(sh: &Shared) -> ServeError {
 
 fn shared_addrs(sh: &Shared) -> usize {
     sh.n_addrs
+}
+
+/// Runs a worker body under a panic guard: a panicking worker becomes
+/// [`ServeError::WorkerPanic`] — failing the run and releasing every
+/// other thread — instead of tearing down the whole scope.
+fn supervise(sh: &Shared, worker: String, body: impl FnOnce() -> WorkerOut) -> Option<WorkerOut> {
+    // AssertUnwindSafe: everything the body shares is atomics, the rings
+    // (whose per-slot publication protocol a mid-push unwind cannot
+    // corrupt for *other* slots — the run is failed anyway), and the
+    // failure mutex, whose poisoning `fail` recovers from. Worker-local
+    // state dies with the worker.
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)) {
+        Ok(out) => Some(out),
+        Err(payload) => {
+            let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "opaque panic payload".to_string()
+            };
+            sh.fail(ServeError::WorkerPanic { worker, message });
+            None
+        }
+    }
 }
 
 /// Runs the service to quiescence and reports what it measured.
@@ -628,6 +866,7 @@ pub fn serve(cache: &Fsm, dir: &Fsm, cfg: &ServeConfig) -> Result<ServeReport, S
         done: AtomicBool::new(false),
         failure: Mutex::new(None),
         deadline: Instant::now() + Duration::from_secs_f64(cfg.max_seconds),
+        plan: cfg.faults.as_ref().map(|f| FaultPlan::expand(f, cfg.n_caches, cfg.mailbox_cap)),
     };
 
     let start = Instant::now();
@@ -635,20 +874,42 @@ pub fn serve(cache: &Fsm, dir: &Fsm, cfg: &ServeConfig) -> Result<ServeReport, S
         let mut handles = Vec::with_capacity(nodes);
         for (id, schedule) in schedules.into_iter().enumerate() {
             let sh = &sh;
-            handles.push(scope.spawn(move || CacheWorker::new(sh, id, schedule).run()));
+            handles.push(scope.spawn(move || {
+                supervise(sh, format!("cache {id}"), move || {
+                    CacheWorker::new(sh, id, schedule).run()
+                })
+            }));
         }
         for shard in 0..cfg.dir_shards {
             let sh = &sh;
-            handles.push(scope.spawn(move || DirWorker::new(sh, shard).run()));
+            handles.push(scope.spawn(move || {
+                supervise(sh, format!("dir shard {shard}"), move || DirWorker::new(sh, shard).run())
+            }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        // `supervise` converts worker panics into a recorded failure, so
+        // the joins themselves cannot fail.
+        handles
+            .into_iter()
+            .filter_map(|h| h.join().expect("supervise contains all panics"))
+            .collect()
     });
     let seconds = start.elapsed().as_secs_f64();
 
-    if let Some(e) = sh.failure.lock().unwrap().take() {
-        return Err(e);
+    let failure = sh.failure.lock().unwrap_or_else(|p| p.into_inner()).take();
+    let deadline_hit = matches!(failure, Some(ServeError::Deadline(_)));
+    if let Some(e) = failure {
+        if !deadline_hit {
+            return Err(e);
+        }
+        // A deadline is a *timeout with partial measurements*, not a
+        // protocol failure: report what was measured, marked
+        // `StopReason::Deadline` (the CLI still exits non-zero).
     }
 
+    let mut fault_stats = sh
+        .plan
+        .as_ref()
+        .map(|p| FaultStats { planned_crashes: p.planned_crashes() as u64, ..Default::default() });
     let mut coverage = PairSet::new();
     let mut miss_latency = Histogram::new();
     let mut report = ServeReport {
@@ -663,6 +924,8 @@ pub fn serve(cache: &Fsm, dir: &Fsm, cfg: &ServeConfig) -> Result<ServeReport, S
         miss_latency: Histogram::new(),
         peak_queue_depths: Vec::with_capacity(nodes),
         coverage: PairSet::new(),
+        stop_reason: StopReason::Quiesced,
+        faults: None,
     };
     for out in &outs {
         out.coverage.merge_into(out.tag, &mut coverage);
@@ -673,9 +936,23 @@ pub fn serve(cache: &Fsm, dir: &Fsm, cfg: &ServeConfig) -> Result<ServeReport, S
         report.misses += out.misses;
         report.messages += out.messages;
         report.peak_queue_depths.push(out.peak_queue_depth);
+        if let Some(fs) = &mut fault_stats {
+            fs.absorb(&out.fault);
+        }
     }
     report.ops = report.hits + report.misses;
     report.miss_latency = miss_latency;
     report.coverage = coverage;
+    report.stop_reason = if deadline_hit {
+        StopReason::Deadline
+    } else if fault_stats.is_some_and(|fs| fs.crashes_completed < fs.planned_crashes) {
+        // Quiesced, but the fault plan never finished (e.g. an explicit
+        // crash point past the schedule end): the experiment is
+        // inconclusive, which callers must be able to see.
+        StopReason::Fault
+    } else {
+        StopReason::Quiesced
+    };
+    report.faults = fault_stats;
     Ok(report)
 }

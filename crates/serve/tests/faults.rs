@@ -1,0 +1,242 @@
+//! Fault-injection robustness: every fault schedule the plan can produce
+//! must leave the conformance contract intact (live pairs ⊆ checked
+//! envelope, no protocol errors), crash recovery must complete through
+//! in-envelope `Replacement` traffic, worker panics must surface as
+//! structured errors instead of torn-down scopes, and the planted
+//! `unsafe_reset` recovery bug must be *caught* by the oracle — the
+//! negative control proving the other tests can fail.
+
+use protogen_core::{generate, GenConfig};
+use protogen_mc::McConfig;
+use protogen_serve::{
+    checked_envelope, serve, FaultConfig, FaultPlan, ServeConfig, ServeError, StopReason,
+};
+use protogen_sim::Workload;
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Liveness watchdog (same discipline as `stress.rs`): a wedged fault
+/// schedule fails fast instead of hanging the suite.
+fn with_watchdog<F: FnOnce() + Send + 'static>(secs: u64, f: F) {
+    let (tx, rx) = mpsc::channel();
+    let t = std::thread::spawn(move || {
+        f();
+        tx.send(()).unwrap();
+    });
+    rx.recv_timeout(Duration::from_secs(secs)).expect("fault scenario deadlocked");
+    t.join().unwrap();
+}
+
+fn base_cfg(ops: usize) -> ServeConfig {
+    let mut cfg = ServeConfig::new(2);
+    cfg.dir_shards = 2;
+    cfg.n_addrs = 4;
+    cfg.total_ops = ops;
+    cfg.mailbox_cap = 16;
+    cfg.workload = Workload::Uniform { store_pct: 50 };
+    cfg.seed = 7;
+    cfg
+}
+
+/// The full fault matrix — delays, stalls, squeezes, and a mid-schedule
+/// cache crash with proper recovery — across both protocols and both
+/// generation modes: every run must quiesce cleanly, complete its crash
+/// recovery, and stay strictly inside the verified envelope.
+#[test]
+fn fault_matrix_stays_inside_the_verified_envelope() {
+    for (name, ssp) in [("msi", protogen_protocols::msi()), ("mesi", protogen_protocols::mesi())] {
+        for (mode, gen_cfg) in
+            [("stalling", GenConfig::stalling()), ("non-stalling", GenConfig::non_stalling())]
+        {
+            let g = generate(&ssp, &gen_cfg).expect("protocol generates");
+            let envelope = checked_envelope(&g.cache, &g.directory, McConfig::with_caches(2))
+                .expect("verification passes");
+            let label = format!("{name}/{mode}");
+            with_watchdog(120, move || {
+                let mut cfg = base_cfg(20_000);
+                cfg.faults = Some(FaultConfig::all(11));
+                let report = serve(&g.cache, &g.directory, &cfg)
+                    .unwrap_or_else(|e| panic!("{label}: faulted run failed: {e}"));
+                assert_eq!(report.stop_reason, StopReason::Quiesced, "{label}");
+                assert_eq!(report.ops, 20_000, "{label}: every op completes despite faults");
+                let fs = report.faults.expect("fault stats are reported");
+                assert_eq!(fs.planned_crashes, 1, "{label}");
+                assert_eq!(fs.crashes_completed, 1, "{label}: recovery must finish");
+                assert_eq!(fs.lines_lost, 0, "{label}: proper recovery loses nothing");
+                assert!(fs.delays_injected > 0, "{label}: delays must actually fire");
+                let escapes = report.escapes(&envelope);
+                assert!(
+                    escapes.is_empty(),
+                    "{label}: faulted run escaped the envelope: {escapes:?}"
+                );
+            });
+        }
+    }
+}
+
+/// A panicking worker must not tear down the scope: `serve` reports a
+/// structured [`ServeError::WorkerPanic`] naming the worker, and every
+/// other thread exits cleanly.
+#[test]
+fn worker_panic_is_isolated_and_reported() {
+    use protogen_spec::{
+        Access, Arc, ArcKind, ArcNote, Event, Fsm, FsmState, FsmStateId, FsmStateKind, MachineKind,
+        Perm, StableId,
+    };
+    let state = |name: &str| FsmState {
+        name: name.into(),
+        kind: FsmStateKind::Stable(StableId(0)),
+        state_sets: vec![],
+        perm: Perm::None,
+        data_valid: false,
+        merged_names: vec![],
+    };
+    // A deliberately corrupt FSM: the Load arc targets a state id that
+    // does not exist, so applying it panics inside a cache worker.
+    let cache = Fsm {
+        protocol: "broken".into(),
+        machine: MachineKind::Cache,
+        messages: vec![],
+        states: vec![state("I")],
+        arcs: vec![Arc {
+            from: FsmStateId(0),
+            event: Event::Access(Access::Load),
+            guards: vec![],
+            actions: vec![],
+            to: FsmStateId(99),
+            kind: ArcKind::Normal,
+            note: ArcNote::Ssp,
+        }],
+    };
+    let dir = Fsm {
+        protocol: "broken".into(),
+        machine: MachineKind::Directory,
+        messages: vec![],
+        states: vec![state("D")],
+        arcs: vec![],
+    };
+    with_watchdog(60, move || {
+        let cfg = base_cfg(1_000);
+        match serve(&cache, &dir, &cfg) {
+            Err(ServeError::WorkerPanic { worker, message }) => {
+                assert!(worker.starts_with("cache "), "panic attributed to a worker: {worker}");
+                assert!(!message.is_empty(), "panic message captured");
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+    });
+}
+
+/// The wall-clock backstop is a *timeout with partial measurements*, not
+/// a protocol failure: `serve` returns the report marked
+/// [`StopReason::Deadline`].
+#[test]
+fn deadline_yields_partial_report_not_error() {
+    let g = generate(&protogen_protocols::msi(), &GenConfig::non_stalling()).unwrap();
+    with_watchdog(60, move || {
+        let mut cfg = base_cfg(50_000_000);
+        cfg.max_seconds = 0.05;
+        let report = serve(&g.cache, &g.directory, &cfg).expect("deadline is not an error");
+        assert_eq!(report.stop_reason, StopReason::Deadline);
+        assert!(report.ops < 50_000_000, "the run cannot have finished");
+    });
+}
+
+/// An explicit crash point past the schedule end never fires: the run
+/// quiesces, but the unfinished fault plan is reported as
+/// [`StopReason::Fault`] so the experiment cannot pass silently.
+#[test]
+fn abandoned_crash_reports_fault_stop_reason() {
+    let g = generate(&protogen_protocols::msi(), &GenConfig::non_stalling()).unwrap();
+    with_watchdog(60, move || {
+        let mut cfg = base_cfg(4_000);
+        cfg.faults =
+            Some(FaultConfig { crashes: 1, crash_at_op: Some(usize::MAX), ..FaultConfig::none(3) });
+        let report = serve(&g.cache, &g.directory, &cfg).expect("run still completes");
+        assert_eq!(report.stop_reason, StopReason::Fault);
+        let fs = report.faults.unwrap();
+        assert_eq!(fs.planned_crashes, 1);
+        assert_eq!(fs.crashes_completed, 0, "the crash never triggered");
+        assert_eq!(report.ops, 4_000, "the workload itself still completed");
+    });
+}
+
+/// Same seed ⇒ same fault plan and the same logical outcome. Wall-clock
+/// fields (seconds, latencies) and counters coupled to thread
+/// interleaving (delay/stall tallies, recovery traffic volume) are
+/// legitimately run-dependent, so determinism is pinned on the plan
+/// itself plus the interleaving-independent outcome facts.
+#[test]
+fn fault_runs_are_seed_deterministic() {
+    let cfg = FaultConfig::all(99);
+    assert_eq!(FaultPlan::expand(&cfg, 4, 64), FaultPlan::expand(&cfg, 4, 64));
+
+    let g = generate(&protogen_protocols::msi(), &GenConfig::non_stalling()).unwrap();
+    let envelope =
+        checked_envelope(&g.cache, &g.directory, McConfig::with_caches(2)).expect("msi verifies");
+    with_watchdog(120, move || {
+        let run = || {
+            let mut scfg = base_cfg(10_000);
+            scfg.faults = Some(FaultConfig::all(99));
+            serve(&g.cache, &g.directory, &scfg).expect("faulted run completes")
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.stop_reason, b.stop_reason);
+        let (fa, fb) = (a.faults.unwrap(), b.faults.unwrap());
+        assert_eq!(fa.planned_crashes, fb.planned_crashes);
+        assert_eq!(fa.crashes_completed, fb.crashes_completed);
+        assert_eq!(fa.lines_lost, 0);
+        assert_eq!(fb.lines_lost, 0);
+        assert!(a.escapes(&envelope).is_empty());
+        assert!(b.escapes(&envelope).is_empty());
+    });
+}
+
+/// Negative control: the planted `unsafe_reset` recovery bug (drop owned
+/// lines without telling the directory) must be *caught* — as a protocol
+/// error or an envelope escape — proving the conformance oracle would
+/// notice a real recovery bug. Seeds where the crashed cache happened to
+/// hold nothing are vacuous and skipped; at least one seed must both
+/// lose lines and get caught.
+#[test]
+fn unsafe_reset_recovery_bug_is_caught() {
+    let g = generate(&protogen_protocols::msi(), &GenConfig::non_stalling()).unwrap();
+    let envelope =
+        checked_envelope(&g.cache, &g.directory, McConfig::with_caches(2)).expect("msi verifies");
+    with_watchdog(120, move || {
+        let mut caught_nonvacuous = false;
+        for seed in 0..4 {
+            let mut cfg = base_cfg(8_000);
+            cfg.workload = Workload::Uniform { store_pct: 90 }; // store-heavy: lines to lose
+            cfg.faults =
+                Some(FaultConfig { crashes: 1, unsafe_reset: true, ..FaultConfig::none(seed) });
+            match serve(&g.cache, &g.directory, &cfg) {
+                Err(_) => {
+                    // Dropped state made a later message unhandleable —
+                    // caught, but we cannot inspect lines_lost; try more
+                    // seeds for a report-carrying catch too.
+                    caught_nonvacuous = true;
+                }
+                Ok(report) => {
+                    let fs = report.faults.unwrap();
+                    if fs.lines_lost == 0 {
+                        continue; // vacuous: the cache held nothing at the crash
+                    }
+                    let caught = !report.escapes(&envelope).is_empty()
+                        || report.stop_reason != StopReason::Quiesced;
+                    assert!(
+                        caught,
+                        "seed {seed}: lost {} line(s) yet the oracle saw nothing",
+                        fs.lines_lost
+                    );
+                    caught_nonvacuous = true;
+                }
+            }
+            if caught_nonvacuous {
+                break;
+            }
+        }
+        assert!(caught_nonvacuous, "no seed produced a non-vacuous caught run");
+    });
+}
